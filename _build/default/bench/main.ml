@@ -1,0 +1,232 @@
+(* Benchmark harness.
+
+   Running this executable:
+
+   1. regenerates every table and figure of the paper's evaluation
+      (Section 6), the Theorem 5 running-time sweeps, and the DESIGN.md
+      ablations — at Quick scale by default, or at the paper's parameters
+      with FULL=1 (MultiPathRB at paper scale is very slow, exactly as the
+      paper reports);
+   2. runs a Bechamel microbenchmark suite with one [Test.make] per
+      experiment id (a miniature instance of that table's inner simulation)
+      and one per protocol primitive. *)
+
+open Bechamel
+open Toolkit
+
+let tiny_spec protocol =
+  {
+    Scenario.default with
+    map_w = 8.0;
+    map_h = 8.0;
+    deployment = Scenario.Uniform 80;
+    radius = 3.0;
+    message = Bitvec.of_string "101";
+    protocol;
+    heard_relay_limit = Some 4;
+  }
+
+let run_spec spec = ignore (Scenario.summarize (Scenario.run spec))
+
+(* One kernel per experiment id: a miniature instance of the simulation at
+   the heart of that table/figure. *)
+let experiment_kernels =
+  [
+    ( "E1.fig5-crash",
+      fun () ->
+        run_spec
+          { (tiny_spec (Scenario.Neighbor_watch { votes = 1 })) with
+            deployment = Scenario.Uniform 60 } );
+    ( "E2.jamming",
+      fun () ->
+        run_spec
+          { (tiny_spec (Scenario.Neighbor_watch { votes = 1 })) with
+            faults = Scenario.Jamming { fraction = 0.1; budget = 20; probability = 0.2 } } );
+    ( "E3.fig6-lying",
+      fun () ->
+        run_spec
+          { (tiny_spec (Scenario.Neighbor_watch { votes = 1 })) with
+            faults = Scenario.Lying 0.05 } );
+    ( "E4.fig7-density",
+      fun () ->
+        run_spec
+          { (tiny_spec (Scenario.Neighbor_watch { votes = 2 })) with
+            faults = Scenario.Lying 0.05 } );
+    ( "E5.clustered",
+      fun () ->
+        run_spec
+          { (tiny_spec (Scenario.Neighbor_watch { votes = 1 })) with
+            deployment = Scenario.Clustered { n = 80; clusters = 4; stddev = 1.5 } } );
+    ( "E6.mapsize",
+      fun () ->
+        run_spec
+          { (tiny_spec (Scenario.Neighbor_watch { votes = 1 })) with
+            message = Bitvec.of_string "10110" } );
+    ("E7.epidemic", fun () -> run_spec (tiny_spec Scenario.Epidemic));
+    ( "E8.theory-grid",
+      fun () ->
+        run_spec
+          {
+            (tiny_spec (Scenario.Neighbor_watch { votes = 1 })) with
+            deployment = Scenario.Grid;
+            radio = Scenario.Disk_linf;
+            radius = 2.0;
+            square_side = Some 1.0;
+          } );
+    ( "MP.multipath",
+      fun () ->
+        run_spec
+          {
+            (tiny_spec (Scenario.Multi_path { tolerance = 1 })) with
+            map_w = 6.0;
+            map_h = 6.0;
+            deployment = Scenario.Uniform 40;
+            radius = 2.0;
+            message = Bitvec.of_string "10";
+          } );
+  ]
+
+(* Protocol primitives, benchmarked in isolation. *)
+let primitive_kernels =
+  let payload = Bitvec.random (Rng.create 99) 256 in
+  [
+    ( "prim.two-bit-exchange",
+      fun () ->
+        let sender = Two_bit.Sender.create ~b1:true ~b2:false in
+        let receiver = Two_bit.Receiver.create () in
+        for phase = 0 to 5 do
+          let s_tx = Two_bit.Sender.act sender ~phase in
+          let r_tx = Two_bit.Receiver.act receiver ~phase in
+          Two_bit.Sender.observe sender ~phase ~activity:r_tx;
+          Two_bit.Receiver.observe receiver ~phase ~activity:s_tx
+        done;
+        ignore (Two_bit.Sender.outcome sender);
+        ignore (Two_bit.Receiver.outcome receiver) );
+    ( "prim.one-hop-64bit-stream",
+      fun () ->
+        let sender = One_hop.Sender.create () in
+        let receiver = One_hop.Receiver.create () in
+        for i = 0 to 63 do
+          One_hop.Sender.push sender (i land 3 = 1)
+        done;
+        while One_hop.Sender.has_current sender do
+          let parity, data = One_hop.Sender.current sender in
+          One_hop.Receiver.push_two_bit receiver ~parity ~data;
+          One_hop.Sender.advance sender
+        done );
+    ( "prim.voting-quorum-30",
+      let items =
+        List.init 30 (fun i ->
+            {
+              Voting.origin = (i, 2 * i);
+              value = true;
+              points = [ Point.make (float_of_int (i mod 7)) (float_of_int (i mod 5)) ];
+            })
+      in
+      fun () -> ignore (Voting.quorum ~radius:4.0 ~need:8 ~value:true items) );
+    ( "prim.frame-roundtrip",
+      let codec = Frame.codec ~msg_len:16 ~coord_range:8.0 ~coord_step:0.5 in
+      fun () ->
+        let frame = Frame.Heard { index = 7; value = true; cause = (3, -2) } in
+        match Frame.decode codec (Frame.encode codec frame) with
+        | Some _ -> ()
+        | None -> assert false );
+    ("prim.digest-256bit", fun () -> ignore (Bitvec.digest ~size:8 payload));
+  ]
+
+let tests =
+  List.map
+    (fun (name, f) -> Test.make ~name (Staged.stage f))
+    (experiment_kernels @ primitive_kernels)
+
+let microbenchmarks () =
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:30 ~quota:(Time.second 0.4) ~kde:None ~sampling:(`Linear 1)
+      ~stabilize:false ()
+  in
+  let table =
+    Table.create ~title:"Bechamel microbenchmarks (OLS time per run)"
+      ~columns:[ "kernel"; "time/run"; "r2" ]
+  in
+  List.iter
+    (fun test ->
+      let raw = Benchmark.all cfg instances test in
+      let results = Analyze.all ols (List.hd instances) raw in
+      Hashtbl.iter
+        (fun name ols_result ->
+          let time_cell =
+            match Analyze.OLS.estimates ols_result with
+            | Some (ns :: _) ->
+              if ns >= 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+              else if ns >= 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+              else if ns >= 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+              else Printf.sprintf "%.0f ns" ns
+            | Some [] | None -> "n/a"
+          in
+          let r2_cell =
+            match Analyze.OLS.r_square ols_result with
+            | Some r2 -> Printf.sprintf "%.3f" r2
+            | None -> "-"
+          in
+          Table.add_row table [ name; time_cell; r2_cell ])
+        results)
+    tests;
+  Table.print table
+
+let () =
+  let scale = Figures.scale_of_env () in
+  Printf.printf "securebit benchmark harness — scale: %s\n\n%!"
+    (match scale with
+    | Figures.Quick -> "Quick (set FULL=1 for paper-scale parameters)"
+    | Figures.Paper -> "Paper");
+  let t0 = Unix.gettimeofday () in
+  let stamp () = Printf.printf "[elapsed %.1fs]\n\n%!" (Unix.gettimeofday () -. t0) in
+  let print_table t =
+    Table.print t;
+    stamp ()
+  in
+  print_table (Figures.fig5_crash scale);
+  let jam_table, jam_fit = Figures.jamming scale in
+  Table.print jam_table;
+  Printf.printf "E2 linearity: rounds = %.2f x budget + %.0f (r2 = %.3f)\n%!" jam_fit.Stats.slope
+    jam_fit.Stats.intercept jam_fit.Stats.r2;
+  stamp ();
+  print_table (Figures.fig6_lying scale);
+  print_table (Figures.fig7_density scale);
+  print_table (Figures.clustered scale);
+  let size_table, round_fit, bcast_fit = Figures.map_size scale in
+  Table.print size_table;
+  Printf.printf "E6 linearity vs hop diameter: rounds r2 = %.3f, broadcasts r2 = %.3f\n%!"
+    round_fit.Stats.r2 bcast_fit.Stats.r2;
+  stamp ();
+  let epi_table, slowdown = Figures.epidemic_comparison scale in
+  Table.print epi_table;
+  Printf.printf "E7: mean NW/epidemic slowdown = %.1fx (paper reports ~7.7x)\n%!" slowdown;
+  stamp ();
+  List.iter
+    (fun { Theory.table; fit } ->
+      Table.print table;
+      Printf.printf "fit: slope = %.2f, r2 = %.3f\n%!" fit.Stats.slope fit.Stats.r2;
+      stamp ())
+    (Theory.all scale);
+  print_table (Figures.ablation_pipeline scale);
+  print_table (Figures.ablation_square scale);
+  print_table (Figures.ablation_jamprob scale);
+  print_table (Figures.ablation_dualmode scale);
+  print_table (Figures.ablation_cpa scale);
+  print_table
+    (Bounds.summary_table ~radii:[ 2; 3; 4; 6; 8 ]);
+  (* A sparse deployment, so the table shows the interesting regime:
+     static partitions that movement ferries the message across. *)
+  let mobile_config =
+    match scale with
+    | Figures.Quick ->
+      { Mobile.default with nodes = 60; map = 16.0; epoch_rounds = 3000; max_epochs = 20 }
+    | Figures.Paper ->
+      { Mobile.default with nodes = 240; map = 32.0; epoch_rounds = 4000; max_epochs = 30 }
+  in
+  print_table (Mobile.table mobile_config ~speeds:[ 0.0; 0.003; 0.01 ]);
+  microbenchmarks ();
+  Printf.printf "\ntotal wall time: %.1fs\n%!" (Unix.gettimeofday () -. t0)

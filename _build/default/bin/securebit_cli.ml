@@ -1,0 +1,244 @@
+(* securebit — command-line front end.
+
+   `securebit run`  simulates one authenticated broadcast and prints the
+                    metrics the paper reports;
+   `securebit fig`  regenerates a table/figure of the evaluation (E1–E8,
+                    A1–A4, or `all`);
+   `securebit topo` prints topology statistics of a deployment. *)
+
+open Cmdliner
+
+(* --- shared options ---------------------------------------------------- *)
+
+let map_arg =
+  Arg.(value & opt float 20.0 & info [ "map" ] ~docv:"UNITS" ~doc:"Square map side length.")
+
+let nodes_arg =
+  Arg.(value & opt int 600 & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Number of devices.")
+
+let radius_arg =
+  Arg.(value & opt float 4.0 & info [ "r"; "radius" ] ~docv:"R" ~doc:"Broadcast range.")
+
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let message_arg =
+  Arg.(
+    value
+    & opt string "1011"
+    & info [ "m"; "message" ] ~docv:"BITS" ~doc:"Broadcast message as a bit pattern.")
+
+let protocol_conv =
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ "nw" ] -> Ok (Scenario.Neighbor_watch { votes = 1 })
+    | [ "nw2" ] -> Ok (Scenario.Neighbor_watch { votes = 2 })
+    | [ "mp"; t ] -> (
+      match int_of_string_opt t with
+      | Some tolerance when tolerance >= 0 -> Ok (Scenario.Multi_path { tolerance })
+      | Some _ | None -> Error (`Msg "mp:<t> needs a non-negative integer"))
+    | [ "epidemic" ] -> Ok Scenario.Epidemic
+    | _ -> Error (`Msg "expected nw | nw2 | mp:<t> | epidemic")
+  in
+  let print fmt = function
+    | Scenario.Neighbor_watch { votes = 1 } -> Format.pp_print_string fmt "nw"
+    | Scenario.Neighbor_watch { votes = _ } -> Format.pp_print_string fmt "nw2"
+    | Scenario.Multi_path { tolerance } -> Format.fprintf fmt "mp:%d" tolerance
+    | Scenario.Epidemic -> Format.pp_print_string fmt "epidemic"
+  in
+  Arg.conv (parse, print)
+
+let protocol_arg =
+  Arg.(
+    value
+    & opt protocol_conv (Scenario.Neighbor_watch { votes = 1 })
+    & info [ "p"; "protocol" ] ~docv:"PROTO"
+        ~doc:"Protocol: nw (NeighborWatchRB), nw2 (2-voting), mp:<t> (MultiPathRB), epidemic.")
+
+let faults_conv =
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ "none" ] -> Ok Scenario.No_faults
+    | [ "crash"; f ] -> (
+      match float_of_string_opt f with
+      | Some fraction -> Ok (Scenario.Crash fraction)
+      | None -> Error (`Msg "crash:<fraction>"))
+    | [ "lie"; f ] -> (
+      match float_of_string_opt f with
+      | Some fraction -> Ok (Scenario.Lying fraction)
+      | None -> Error (`Msg "lie:<fraction>"))
+    | [ "jam"; f; b; p ] -> (
+      match (float_of_string_opt f, int_of_string_opt b, float_of_string_opt p) with
+      | Some fraction, Some budget, Some probability ->
+        Ok (Scenario.Jamming { fraction; budget; probability })
+      | _ -> Error (`Msg "jam:<fraction>:<budget>:<probability>"))
+    | _ -> Error (`Msg "expected none | crash:<f> | lie:<f> | jam:<f>:<b>:<p>")
+  in
+  let print fmt = function
+    | Scenario.No_faults -> Format.pp_print_string fmt "none"
+    | Scenario.Crash f -> Format.fprintf fmt "crash:%g" f
+    | Scenario.Lying f -> Format.fprintf fmt "lie:%g" f
+    | Scenario.Jamming { fraction; budget; probability } ->
+      Format.fprintf fmt "jam:%g:%d:%g" fraction budget probability
+  in
+  Arg.conv (parse, print)
+
+let faults_arg =
+  Arg.(
+    value
+    & opt faults_conv Scenario.No_faults
+    & info [ "f"; "faults" ] ~docv:"FAULTS"
+        ~doc:"Fault model: none, crash:<f>, lie:<f>, jam:<f>:<budget>:<p>.")
+
+let radio_conv =
+  Arg.enum [ ("friis", Scenario.Friis); ("disk", Scenario.Disk_l2); ("grid", Scenario.Disk_linf) ]
+
+let radio_arg =
+  Arg.(
+    value
+    & opt radio_conv Scenario.Friis
+    & info [ "radio" ] ~docv:"MODEL" ~doc:"Radio model: friis, disk (L2) or grid (L-infinity).")
+
+let clusters_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "clusters" ] ~docv:"K" ~doc:"Deploy in K normal clusters instead of uniformly.")
+
+let relay_cap_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "heard-cap" ] ~docv:"K" ~doc:"Cap MultiPathRB HEARD relays per bit (default: none).")
+
+let build_spec map nodes radius seed message protocol faults radio clusters relay_cap =
+  {
+    Scenario.default with
+    map_w = map;
+    map_h = map;
+    deployment =
+      (match clusters with
+      | None -> Scenario.Uniform nodes
+      | Some clusters -> Scenario.Clustered { n = nodes; clusters; stddev = 2.0 });
+    radio;
+    radius;
+    message = Bitvec.of_string message;
+    protocol;
+    faults;
+    heard_relay_limit = relay_cap;
+    seed;
+  }
+
+let spec_term =
+  Term.(
+    const build_spec $ map_arg $ nodes_arg $ radius_arg $ seed_arg $ message_arg $ protocol_arg
+    $ faults_arg $ radio_arg $ clusters_arg $ relay_cap_arg)
+
+(* --- run --------------------------------------------------------------- *)
+
+let run_cmd =
+  let run spec =
+    let result = Scenario.run spec in
+    let s = Scenario.summarize result in
+    let table = Table.create ~title:"broadcast summary" ~columns:[ "metric"; "value" ] in
+    Table.add_row table [ "honest nodes"; Table.cell_i s.Scenario.honest_nodes ];
+    Table.add_row table [ "delivered"; Table.cell_pct s.Scenario.completion_rate ];
+    Table.add_row table [ "correct of delivered"; Table.cell_pct s.Scenario.correct_of_delivered ];
+    Table.add_row table [ "correct overall"; Table.cell_pct s.Scenario.correct_rate ];
+    Table.add_row table [ "rounds"; Table.cell_i s.Scenario.rounds ];
+    Table.add_row table [ "total broadcasts"; Table.cell_i s.Scenario.total_broadcasts ];
+    Table.add_row table [ "mean completion round"; Table.cell_f ~decimals:0 s.Scenario.mean_completion_round ];
+    Table.add_row table [ "hit round cap"; string_of_bool s.Scenario.hit_cap ];
+    Table.print table
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Simulate one authenticated broadcast and print its metrics.")
+    Term.(const run $ spec_term)
+
+(* --- fig ---------------------------------------------------------------- *)
+
+let fig_cmd =
+  let full_arg =
+    Arg.(value & flag & info [ "full" ] ~doc:"Use the paper-scale parameters (slow).")
+  in
+  let csv_arg =
+    Arg.(value & flag & info [ "csv" ] ~doc:"Emit tables as CSV instead of aligned text.")
+  in
+  let id_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"ID" ~doc:"Experiment id: e1..e8, a1..a5, mobile or all.")
+  in
+  let run full csv id =
+    let scale = if full then Figures.Paper else Figures.Quick in
+    let print_table t = if csv then print_string (Table.to_csv t) else Table.print t in
+    let print_fit label (fit : Stats.fit) =
+      Printf.printf "%s: slope = %.2f, r2 = %.3f\n" label fit.Stats.slope fit.Stats.r2
+    in
+    match String.lowercase_ascii id with
+    | "e1" -> print_table (Figures.fig5_crash scale)
+    | "e2" ->
+      let table, fit = Figures.jamming scale in
+      print_table table;
+      print_fit "linearity" fit
+    | "e3" -> print_table (Figures.fig6_lying scale)
+    | "e4" -> print_table (Figures.fig7_density scale)
+    | "e5" -> print_table (Figures.clustered scale)
+    | "e6" ->
+      let table, rounds_fit, bcast_fit = Figures.map_size scale in
+      print_table table;
+      print_fit "rounds vs diameter" rounds_fit;
+      print_fit "broadcasts vs diameter" bcast_fit
+    | "e7" ->
+      let table, slowdown = Figures.epidemic_comparison scale in
+      print_table table;
+      Printf.printf "mean slowdown: %.1fx (paper: ~7.7x)\n" slowdown
+    | "e8" ->
+      List.iter
+        (fun { Theory.table; fit } ->
+          print_table table;
+          print_fit "fit" fit)
+        (Theory.all scale)
+    | "a1" -> print_table (Figures.ablation_pipeline scale)
+    | "a2" -> print_table (Figures.ablation_square scale)
+    | "a3" -> print_table (Figures.ablation_jamprob scale)
+    | "a4" -> print_table (Figures.ablation_dualmode scale)
+    | "a5" -> print_table (Figures.ablation_cpa scale)
+    | "bounds" -> print_table (Bounds.summary_table ~radii:[ 2; 3; 4; 6; 8 ])
+    | "mobile" ->
+      print_table
+        (Mobile.table
+           { Mobile.default with nodes = 120; map = 10.0 }
+           ~speeds:[ 0.0; 0.002; 0.01 ])
+    | "all" ->
+      List.iter print_table (Figures.all scale);
+      List.iter (fun { Theory.table; _ } -> print_table table) (Theory.all scale)
+    | other -> Printf.eprintf "unknown experiment id %s\n" other
+  in
+  Cmd.v
+    (Cmd.info "fig" ~doc:"Regenerate a table/figure of the paper's evaluation.")
+    Term.(const run $ full_arg $ csv_arg $ id_arg)
+
+(* --- topo --------------------------------------------------------------- *)
+
+let topo_cmd =
+  let run spec =
+    let result = Scenario.run { spec with Scenario.cap = 0 } in
+    let topology = result.Scenario.topology in
+    let source = result.Scenario.source in
+    let table = Table.create ~title:"topology" ~columns:[ "metric"; "value" ] in
+    Table.add_row table [ "nodes"; Table.cell_i (Topology.size topology) ];
+    Table.add_row table [ "density"; Table.cell_f (Deployment.density topology.Topology.deployment) ];
+    Table.add_row table [ "average degree"; Table.cell_f (Topology.avg_degree topology) ];
+    Table.add_row table [ "reachable from source"; Table.cell_i (Topology.reachable_from topology source) ];
+    Table.add_row table [ "hop diameter (from source)"; Table.cell_i (Topology.hop_diameter_from topology source) ];
+    Table.print table
+  in
+  Cmd.v
+    (Cmd.info "topo" ~doc:"Print topology statistics for a deployment.")
+    Term.(const run $ spec_term)
+
+let () =
+  let doc = "authenticated broadcast in radio networks (SPAA 2010 reproduction)" in
+  let info = Cmd.info "securebit" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ run_cmd; fig_cmd; topo_cmd ]))

@@ -1,0 +1,1 @@
+examples/clustered_network.ml: List Printf Scenario Table Topology

@@ -1,0 +1,1 @@
+examples/dual_mode_digest.ml: Bitvec Dual_mode Engine Printf Rng Scenario Table

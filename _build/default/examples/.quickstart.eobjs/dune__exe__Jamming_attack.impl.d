@@ -1,0 +1,1 @@
+examples/jamming_attack.ml: List Printf Scenario Stats Table

@@ -1,0 +1,1 @@
+examples/lying_attack.ml: Ascii_map Bitvec List Scenario Table

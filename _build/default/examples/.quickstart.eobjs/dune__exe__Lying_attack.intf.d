@@ -1,0 +1,1 @@
+examples/lying_attack.mli:

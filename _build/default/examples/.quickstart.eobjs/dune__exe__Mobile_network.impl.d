@@ -1,0 +1,1 @@
+examples/mobile_network.ml: Mobile Mobility Printf Table

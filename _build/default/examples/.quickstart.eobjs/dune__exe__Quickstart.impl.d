@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Bitvec Deployment Engine List Neighbor_watch Printf Propagation Rng Topology

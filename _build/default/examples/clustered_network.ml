@@ -1,0 +1,55 @@
+(* Clustered deployment demo (Section 6.2, "Non-uniform Node
+   Distributions").
+
+   Devices are scattered in normal clusters around random centres using
+   Marsaglia's polar method, as in the paper.  NeighborWatchRB keeps
+   working as long as the cluster graph stays connected; nodes cut off
+   from the source simply never complete.
+
+   Run with: dune exec examples/clustered_network.exe *)
+
+let run deployment faults =
+  let spec =
+    {
+      Scenario.default with
+      map_w = 15.0;
+      map_h = 15.0;
+      deployment;
+      radius = 4.0;
+      faults;
+      seed = 21;
+    }
+  in
+  let result = Scenario.run spec in
+  (Scenario.summarize result, result)
+
+let () =
+  let uniform = Scenario.Uniform 400 in
+  let clustered = Scenario.Clustered { n = 400; clusters = 9; stddev = 1.2 } in
+  let table =
+    Table.create ~title:"uniform vs clustered deployment (NeighborWatchRB)"
+      ~columns:[ "deployment"; "liars"; "reached"; "delivered"; "correct of delivered" ]
+  in
+  List.iter
+    (fun (name, deployment) ->
+      List.iter
+        (fun (fault_name, faults) ->
+          let s, result = run deployment faults in
+          let reachable =
+            Topology.reachable_from result.Scenario.topology result.Scenario.source
+          in
+          Table.add_row table
+            [
+              name;
+              fault_name;
+              Printf.sprintf "%d/400" reachable;
+              Table.cell_pct s.Scenario.completion_rate;
+              Table.cell_pct s.Scenario.correct_of_delivered;
+            ])
+        [ ("none", Scenario.No_faults); ("10%", Scenario.Lying 0.10) ])
+    [ ("uniform", uniform); ("clustered", clustered) ];
+  Table.print table;
+  print_endline "\nTight clusters (spread well under the radio range, as here) concentrate";
+  print_endline "honest witnesses in each watch square — the regime where the paper";
+  print_endline "observes clustering helping correctness.  Loose clusters instead expose";
+  print_endline "sparse inter-cluster bridges to the liars (try stddev = 2.5)."

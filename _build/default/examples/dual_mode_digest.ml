@@ -1,0 +1,46 @@
+(* Dual-mode broadcast demo (Section 1, "Interpretation").
+
+   A 32-bit payload is flooded by the fast, insecure epidemic protocol; an
+   8-bit digest of it travels over NeighborWatchRB.  Devices accept the
+   flooded payload only when the authenticated digest matches, so liars
+   can no longer make anyone accept a forged payload — at a fraction of
+   the cost of authenticating every payload bit.
+
+   Run with: dune exec examples/dual_mode_digest.exe *)
+
+let () =
+  let message = Bitvec.random (Rng.create 99) 32 in
+  let base =
+    {
+      Scenario.default with
+      map_w = 12.0;
+      map_h = 12.0;
+      deployment = Scenario.Uniform 250;
+      radius = 3.0;
+      message;
+      faults = Scenario.Lying 0.12;
+      seed = 11;
+    }
+  in
+  Printf.printf "payload: %s (32 bits)\n" (Bitvec.to_string message);
+  Printf.printf "12%% of the devices flood a forged payload and lie about its digest\n\n";
+  let result = Dual_mode.run { Dual_mode.base; digest_len = 8 } in
+  let epi_only =
+    Scenario.summarize (Scenario.run { base with Scenario.protocol = Scenario.Epidemic })
+  in
+  let table = Table.create ~title:"dual-mode vs plain epidemic" ~columns:[ "metric"; "value" ] in
+  Table.add_row table
+    [ "plain epidemic: correct deliveries"; Table.cell_pct epi_only.Scenario.correct_of_delivered ];
+  Table.add_row table
+    [ "dual-mode: accepted the real payload"; Table.cell_pct result.Dual_mode.accepted_correct_rate ];
+  Table.add_row table
+    [ "dual-mode: forged payloads rejected"; Table.cell_pct result.Dual_mode.rejected_fake_rate ];
+  Table.add_row table [ "epidemic phase rounds";
+    Table.cell_i result.Dual_mode.epidemic.Scenario.engine.Engine.rounds_used ];
+  Table.add_row table [ "digest phase rounds";
+    Table.cell_i result.Dual_mode.digest.Scenario.engine.Engine.rounds_used ];
+  Table.add_row table
+    [ "slowdown vs plain epidemic"; Table.cell_f ~decimals:1 result.Dual_mode.slowdown ^ "x" ];
+  Table.print table;
+  print_endline "\nOnly the 8 digest bits pay the authentication overhead; the 32";
+  print_endline "payload bits ride the cheap channel."

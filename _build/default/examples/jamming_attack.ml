@@ -1,0 +1,47 @@
+(* Jamming attack demo (the experiment of Section 6.1).
+
+   10% of the devices jam veto rounds with probability 1/5 until their
+   broadcast budget runs out.  The protocol always completes; the delay it
+   suffers is linear in the adversary's budget — the energy property of
+   Theorems 1/2: every 6-round interval of disruption costs the attacker
+   at least one broadcast.
+
+   Run with: dune exec examples/jamming_attack.exe *)
+
+let () =
+  let table =
+    Table.create ~title:"veto-round jamming vs completion time"
+      ~columns:[ "budget per jammer"; "rounds"; "delay vs clean"; "completed" ]
+  in
+  let run budget =
+    let spec =
+      {
+        Scenario.default with
+        map_w = 12.0;
+        map_h = 12.0;
+        deployment = Scenario.Uniform 220;
+        radius = 4.0;
+        faults = Scenario.Jamming { fraction = 0.1; budget; probability = 0.2 };
+        seed = 5;
+      }
+    in
+    Scenario.summarize (Scenario.run spec)
+  in
+  let clean = run 0 in
+  let points = ref [] in
+  List.iter
+    (fun budget ->
+      let s = run budget in
+      points := (float_of_int budget, float_of_int s.Scenario.rounds) :: !points;
+      Table.add_row table
+        [
+          Table.cell_i budget;
+          Table.cell_i s.Scenario.rounds;
+          Table.cell_i (s.Scenario.rounds - clean.Scenario.rounds);
+          Table.cell_pct s.Scenario.completion_rate;
+        ])
+    [ 0; 25; 50; 100; 200 ];
+  Table.print table;
+  let fit = Stats.linear_fit (List.rev !points) in
+  Printf.printf "\ndelay grows linearly with the jamming budget: %.1f rounds per broadcast (r2 = %.2f)\n"
+    fit.Stats.slope fit.Stats.r2

@@ -1,0 +1,49 @@
+(* Lying attack demo (the experiments behind Figure 6).
+
+   A growing fraction of devices runs the correct protocol but starts out
+   committed to a fake message.  The unauthenticated epidemic baseline
+   adopts whatever arrives first; NeighborWatchRB contains the fake as
+   long as no R/3 square consists of liars only.
+
+   Run with: dune exec examples/lying_attack.exe *)
+
+let run protocol fraction =
+  let spec =
+    {
+      Scenario.default with
+      map_w = 12.0;
+      map_h = 12.0;
+      deployment = Scenario.Uniform 300;
+      radius = 2.5;
+      message = Bitvec.of_string "1011";
+      protocol;
+      faults = (if fraction = 0.0 then Scenario.No_faults else Scenario.Lying fraction);
+      seed = 7;
+    }
+  in
+  Scenario.run spec
+
+let correctness protocol fraction = Scenario.summarize (run protocol fraction)
+
+let () =
+  let table =
+    Table.create ~title:"lying devices: correct deliveries"
+      ~columns:[ "byzantine"; "epidemic"; "NeighborWatchRB"; "2-vote NW" ]
+  in
+  List.iter
+    (fun fraction ->
+      let cell protocol = Table.cell_pct (correctness protocol fraction).Scenario.correct_of_delivered in
+      Table.add_row table
+        [
+          Table.cell_pct fraction;
+          cell Scenario.Epidemic;
+          cell (Scenario.Neighbor_watch { votes = 1 });
+          cell (Scenario.Neighbor_watch { votes = 2 });
+        ])
+    [ 0.0; 0.05; 0.10; 0.15; 0.20 ];
+  Table.print table;
+  print_endline "\nEvery delivery the watch protocols make is authenticated bit-by-bit;";
+  print_endline "the epidemic baseline happily spreads whatever it hears first.";
+  print_endline "\nWhere the fake wins (NeighborWatchRB, 20% liars — note how fake";
+  print_endline "regions grow around liar-only squares and freeze at boundaries):\n";
+  Ascii_map.print (run (Scenario.Neighbor_watch { votes = 1 }) 0.20)

@@ -1,0 +1,1 @@
+lib/adversary/jammer.ml: Budget Engine Msg Rng Schedule

@@ -1,0 +1,1 @@
+lib/adversary/jammer.mli: Budget Engine Msg Rng

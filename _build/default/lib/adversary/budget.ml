@@ -1,0 +1,19 @@
+type t = { limit : int option; mutable used : int }
+
+let create n = { limit = (if n < 0 then None else Some n); used = 0 }
+let unlimited () = { limit = None; used = 0 }
+
+let try_spend t =
+  match t.limit with
+  | None ->
+    t.used <- t.used + 1;
+    true
+  | Some limit ->
+    if t.used < limit then begin
+      t.used <- t.used + 1;
+      true
+    end
+    else false
+
+let spent t = t.used
+let remaining t = Option.map (fun limit -> max 0 (limit - t.used)) t.limit

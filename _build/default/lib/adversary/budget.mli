@@ -1,0 +1,22 @@
+(** Byzantine broadcast budgets.
+
+    The running-time analysis bounds the adversary by β, the maximum number
+    of broadcasts Byzantine devices may make per neighbourhood (Section 1,
+    "Metrics"): continual jamming drains batteries and exposes the
+    devices, so disruption is a finite resource.  A [Budget.t] is shared by
+    the adversarial machines of one device (or one coordinated group) and
+    refuses further broadcasts once spent. *)
+
+type t
+
+val create : int -> t
+(** [create n]: allow [n] broadcasts.  Negative means unlimited. *)
+
+val unlimited : unit -> t
+
+val try_spend : t -> bool
+(** Consume one broadcast if available; [false] once exhausted. *)
+
+val spent : t -> int
+val remaining : t -> int option
+(** [None] for unlimited budgets. *)

@@ -1,0 +1,16 @@
+let machine_of_predicate pred ~budget =
+  let act round =
+    let phase = Schedule.phase_of_round round in
+    if pred ~round ~phase && Budget.try_spend budget then Engine.Transmit Msg.Blip
+    else Engine.Silent
+  in
+  { Engine.act; observe = (fun _ _ -> ()); delivered = (fun () -> None) }
+
+let veto_jammer ~rng ~budget ~probability =
+  machine_of_predicate ~budget (fun ~round:_ ~phase ->
+      (phase = 4 || phase = 5) && Rng.bernoulli rng probability)
+
+let blanket_jammer ~rng ~budget ~probability =
+  machine_of_predicate ~budget (fun ~round:_ ~phase:_ -> Rng.bernoulli rng probability)
+
+let scripted pred ~budget = machine_of_predicate pred ~budget

@@ -1,0 +1,1 @@
+lib/analysis/ascii_map.ml: Array Bitvec Buffer Deployment Engine Node Point Scenario Topology

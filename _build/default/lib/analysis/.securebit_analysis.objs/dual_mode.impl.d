@@ -1,0 +1,1 @@
+lib/analysis/dual_mode.ml: Array Bitvec Engine Scenario

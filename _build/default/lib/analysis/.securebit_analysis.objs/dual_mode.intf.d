@@ -1,0 +1,1 @@
+lib/analysis/dual_mode.mli: Scenario

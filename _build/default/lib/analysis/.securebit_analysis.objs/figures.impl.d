@@ -1,0 +1,1 @@
+lib/analysis/figures.ml: Array Bitvec Certified_propagation Dual_mode Experiment List Printf Rng Scenario Squares Stats Sys Table Topology

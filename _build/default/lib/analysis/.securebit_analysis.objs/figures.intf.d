@@ -1,0 +1,1 @@
+lib/analysis/figures.mli: Stats Table

@@ -1,0 +1,1 @@
+lib/analysis/mobile.ml: Array Bitvec Deployment Engine Float List Mobility Neighbor_watch Printf Propagation Rng Scenario Schedule Table Topology

@@ -1,0 +1,1 @@
+lib/analysis/mobile.mli: Bitvec Mobility Table

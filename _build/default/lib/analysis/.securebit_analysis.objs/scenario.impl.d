@@ -1,0 +1,1 @@
+lib/analysis/scenario.ml: Array Bitvec Budget Channel Deployment Engine Epidemic Float Jammer List Multi_path Neighbor_watch Node Propagation Rng Schedule Stats Topology

@@ -1,0 +1,1 @@
+lib/analysis/scenario.mli: Bitvec Channel Engine Node Topology

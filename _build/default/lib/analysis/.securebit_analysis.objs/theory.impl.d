@@ -1,0 +1,1 @@
+lib/analysis/theory.ml: Bitvec Experiment Figures List Printf Rng Scenario Squares Stats Table Topology

@@ -1,0 +1,1 @@
+lib/analysis/theory.mli: Figures Stats Table

@@ -1,0 +1,67 @@
+(* Cell states, ordered by display severity. *)
+type cell_state =
+  | Empty
+  | Correct
+  | Silent  (** has nodes, none delivered *)
+  | Fake
+  | Jammer
+  | Liar
+  | Source_cell
+
+let severity = function
+  | Empty -> 0
+  | Correct -> 1
+  | Silent -> 2
+  | Fake -> 3
+  | Jammer -> 4
+  | Liar -> 5
+  | Source_cell -> 6
+
+let glyph = function
+  | Empty -> ' '
+  | Correct -> '#'
+  | Silent -> '.'
+  | Fake -> 'x'
+  | Jammer -> 'J'
+  | Liar -> 'L'
+  | Source_cell -> 'S'
+
+let render ?(cell = 1.0) (result : Scenario.result) =
+  let deployment = result.Scenario.topology.Topology.deployment in
+  let cols = max 1 (int_of_float (ceil (deployment.Deployment.width /. cell))) in
+  let rows = max 1 (int_of_float (ceil (deployment.Deployment.height /. cell))) in
+  let grid = Array.make_matrix rows cols Empty in
+  let message = result.Scenario.spec.Scenario.message in
+  let is_jamming =
+    match result.Scenario.spec.Scenario.faults with Scenario.Jamming _ -> true | _ -> false
+  in
+  Array.iteri
+    (fun i (node : Node.t) ->
+      let cx = min (cols - 1) (int_of_float (node.Node.pos.Point.x /. cell)) in
+      let cy = min (rows - 1) (int_of_float (node.Node.pos.Point.y /. cell)) in
+      let state =
+        if i = result.Scenario.source then Source_cell
+        else if not result.Scenario.honest.(i) then
+          if is_jamming then Jammer else Liar
+        else begin
+          match result.Scenario.engine.Engine.delivered.(i) with
+          | Some bits when Bitvec.equal bits message -> Correct
+          | Some _ -> Fake
+          | None -> Silent
+        end
+      in
+      if severity state > severity grid.(cy).(cx) then grid.(cy).(cx) <- state)
+    deployment.Deployment.nodes;
+  let buf = Buffer.create (rows * (cols + 1)) in
+  (* Draw with y increasing upwards, like the map coordinates. *)
+  for y = rows - 1 downto 0 do
+    for x = 0 to cols - 1 do
+      Buffer.add_char buf (glyph grid.(y).(x))
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.add_string buf
+    "S source  # correct  x fake  . no delivery  L liar  J jammer\n";
+  Buffer.contents buf
+
+let print ?cell result = print_string (render ?cell result)

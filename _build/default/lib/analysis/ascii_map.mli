@@ -1,0 +1,18 @@
+(** ASCII rendering of a finished run: who delivered what, where.
+
+    Makes the spatial dynamics of the paper visible in a terminal — the
+    source-centred wave of correct deliveries, liar-seeded fake regions,
+    and the frozen boundaries between them (the snowball effect of
+    Section 6.1).
+
+    Legend: [S] source, [#] delivered the authentic message, [x] delivered
+    a fake message, [.] delivered nothing, [L] lying device, [J] jamming
+    device, [ ] empty area.  Each character cell aggregates the nodes in
+    one square patch of the map; conflicting nodes in a cell render by
+    severity (fake > none > correct). *)
+
+val render : ?cell:float -> Scenario.result -> string
+(** [render ?cell result] draws the deployment on a grid of [cell]-sized
+    patches (default 1.0 map unit). *)
+
+val print : ?cell:float -> Scenario.result -> unit

@@ -1,0 +1,71 @@
+type config = { base : Scenario.spec; digest_len : int }
+
+type result = {
+  epidemic : Scenario.result;
+  digest : Scenario.result;
+  accepted_rate : float;
+  accepted_correct_rate : float;
+  rejected_fake_rate : float;
+  total_rounds : int;
+  slowdown : float;
+}
+
+let run config =
+  let message = config.base.Scenario.message in
+  let digest_value = Bitvec.digest ~size:config.digest_len message in
+  let epidemic =
+    Scenario.run { config.base with Scenario.protocol = Scenario.Epidemic }
+  in
+  let digest =
+    Scenario.run
+      {
+        config.base with
+        Scenario.protocol = Scenario.Neighbor_watch { votes = 1 };
+        message = digest_value;
+      }
+  in
+  let n = Array.length epidemic.Scenario.honest in
+  let honest_total = ref 0 in
+  let accepted = ref 0 in
+  let accepted_correct = ref 0 in
+  let fake_received = ref 0 in
+  let fake_rejected = ref 0 in
+  for i = 0 to n - 1 do
+    if epidemic.Scenario.honest.(i) && i <> epidemic.Scenario.source then begin
+      incr honest_total;
+      let flooded = epidemic.Scenario.engine.Engine.delivered.(i) in
+      let auth_digest = digest.Scenario.engine.Engine.delivered.(i) in
+      match (flooded, auth_digest) with
+      | Some payload, Some d ->
+        let verifies = Bitvec.equal (Bitvec.digest ~size:config.digest_len payload) d in
+        let is_real = Bitvec.equal payload message in
+        if verifies then begin
+          incr accepted;
+          if is_real then incr accepted_correct
+        end;
+        if not is_real then begin
+          incr fake_received;
+          if not verifies then incr fake_rejected
+        end
+      | Some payload, None ->
+        (* No authenticated digest arrived: nothing can be accepted, so a
+           fake flooded payload is (vacuously) rejected. *)
+        if not (Bitvec.equal payload message) then begin
+          incr fake_received;
+          incr fake_rejected
+        end
+      | None, (Some _ | None) -> ()
+    end
+  done;
+  let ratio a b = if b = 0 then 1.0 else float_of_int a /. float_of_int b in
+  let epidemic_rounds = epidemic.Scenario.engine.Engine.rounds_used in
+  let total_rounds = epidemic_rounds + digest.Scenario.engine.Engine.rounds_used in
+  {
+    epidemic;
+    digest;
+    accepted_rate = ratio !accepted !honest_total;
+    accepted_correct_rate = ratio !accepted_correct !honest_total;
+    rejected_fake_rate = ratio !fake_rejected !fake_received;
+    total_rounds;
+    slowdown = (if epidemic_rounds = 0 then 1.0 else float_of_int total_rounds /. float_of_int epidemic_rounds);
+  }

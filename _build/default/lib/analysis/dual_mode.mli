@@ -1,0 +1,33 @@
+(** The dual-mode protocol conjectured in Section 1 ("Interpretation") and
+    supported by the measurements of Section 6.2.
+
+    The full message is broadcast by fast, unauthenticated epidemic
+    flooding; a short digest of it is broadcast with NeighborWatchRB.  A
+    node accepts the flooded message only if the authenticated digest
+    matches, so security rests on the digest while almost all bits travel
+    on the cheap channel.  The two phases run back-to-back (first flooding,
+    then the digest broadcast), so the total time is the sum of the two
+    phases' times. *)
+
+type config = {
+  base : Scenario.spec;
+      (** deployment/radio/faults template; its [message] is the full
+          message and its [protocol] field is ignored *)
+  digest_len : int;
+}
+
+type result = {
+  epidemic : Scenario.result;
+  digest : Scenario.result;
+  accepted_rate : float;
+      (** honest nodes holding a flooded message whose digest verifies *)
+  accepted_correct_rate : float;
+      (** honest nodes that accepted the *authentic* message *)
+  rejected_fake_rate : float;
+      (** honest nodes that received a fake flooded message and correctly
+          rejected it thanks to the digest *)
+  total_rounds : int;
+  slowdown : float;  (** total_rounds / epidemic-only rounds *)
+}
+
+val run : config -> result

@@ -1,0 +1,32 @@
+type config = { repetitions : int; base_seed : int }
+
+let quick = { repetitions = 3; base_seed = 1000 }
+let paper = { repetitions = 6; base_seed = 1000 }
+
+let seeds config = List.init config.repetitions (fun i -> config.base_seed + (7919 * i))
+
+let run config spec =
+  List.map (fun seed -> Scenario.summarize (Scenario.run { spec with Scenario.seed })) (seeds config)
+
+type aggregate = {
+  completion_rate : float;
+  correct_of_delivered : float;
+  correct_rate : float;
+  rounds : float;
+  broadcasts : float;
+  runs : int;
+}
+
+let aggregate summaries =
+  let f sel = List.map sel summaries in
+  let trimmed_mean sel = Stats.mean (Stats.trimmed (f sel)) in
+  {
+    completion_rate = Stats.mean (f (fun s -> s.Scenario.completion_rate));
+    correct_of_delivered = Stats.mean (f (fun s -> s.Scenario.correct_of_delivered));
+    correct_rate = Stats.mean (f (fun s -> s.Scenario.correct_rate));
+    rounds = trimmed_mean (fun s -> float_of_int s.Scenario.rounds);
+    broadcasts = trimmed_mean (fun s -> float_of_int s.Scenario.total_broadcasts);
+    runs = List.length summaries;
+  }
+
+let measure config spec = aggregate (run config spec)

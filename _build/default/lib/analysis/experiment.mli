@@ -1,0 +1,32 @@
+(** Repetition harness.
+
+    The paper repeats each experiment 6–20 times with outliers discarded
+    (Section 6, "Methodology"); this module runs a scenario across seeds
+    and aggregates the per-run summaries the same way. *)
+
+type config = { repetitions : int; base_seed : int }
+
+val quick : config
+(** 3 repetitions — the scaled-down default of the benchmark harness. *)
+
+val paper : config
+(** 6 repetitions, as in most of the paper's experiments. *)
+
+val seeds : config -> int list
+
+val run : config -> Scenario.spec -> Scenario.summary list
+(** Run the spec once per seed (spec seed replaced). *)
+
+type aggregate = {
+  completion_rate : float;
+  correct_of_delivered : float;
+  correct_rate : float;
+  rounds : float;  (** outlier-trimmed mean over runs *)
+  broadcasts : float;  (** outlier-trimmed mean over runs *)
+  runs : int;
+}
+
+val aggregate : Scenario.summary list -> aggregate
+
+val measure : config -> Scenario.spec -> aggregate
+(** [aggregate] of [run]. *)

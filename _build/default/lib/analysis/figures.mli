@@ -1,0 +1,72 @@
+(** Regeneration of every table and figure of the paper's evaluation
+    (Section 6), plus the ablations called out in DESIGN.md.
+
+    Each generator runs the corresponding simulations and renders the same
+    rows/series the paper reports.  [Quick] is a scaled-down configuration
+    (smaller maps, fewer repetitions, a HEARD relay cap for MultiPathRB)
+    sized so the whole suite completes in minutes; [Paper] reproduces the
+    paper's parameters — at MultiPathRB's paper scale this is
+    overnight-slow, exactly as the authors report ("the simulation becomes
+    prohibitively slow").  EXPERIMENTS.md records paper-vs-measured for
+    each experiment id. *)
+
+type scale = Quick | Paper
+
+val scale_of_env : unit -> scale
+(** [Paper] when the environment variable [FULL] is set to a non-empty
+    value other than ["0"], else [Quick]. *)
+
+val fig5_crash : scale -> Table.t
+(** E1 — Figure 5: completion rate vs deployment density under crash
+    failures, for NW, 2-vote NW, and MultiPathRB (t = 3, 5). *)
+
+val jamming : scale -> Table.t * Stats.fit
+(** E2 — §6.1 jamming: completion time vs per-jammer broadcast budget (10%
+    jammers hitting veto rounds with probability 1/5); the fit documents
+    the linear budget→delay relation the paper describes. *)
+
+val fig6_lying : scale -> Table.t
+(** E3 — Figure 6: fraction of delivered messages that are correct vs the
+    fraction of lying devices. *)
+
+val fig7_density : scale -> Table.t
+(** E4 — Figure 7: maximum Byzantine fraction tolerated while ≥90% of
+    honest nodes still receive the correct message, vs density.
+    MultiPathRB rows only at [Paper] scale (as in the paper, which stops
+    it at density 5). *)
+
+val clustered : scale -> Table.t
+(** E5 — §6.2 non-uniform deployments: NW completion/correctness under
+    uniform vs clustered placement, with and without liars. *)
+
+val map_size : scale -> Table.t * Stats.fit * Stats.fit
+(** E6 — §6.2 varying map size: NW rounds and broadcasts vs hop diameter;
+    the two fits document the linear scaling the paper reports. *)
+
+val epidemic_comparison : scale -> Table.t * float
+(** E7 — §6.2: NW completion time relative to the epidemic baseline across
+    map sizes; returns the mean slowdown (paper: ≈7.7×). *)
+
+val ablation_pipeline : scale -> Table.t
+(** A1: pipelined forwarding vs naive store-and-forward, across message
+    lengths — the paper's central performance claim (Section 5). *)
+
+val ablation_square : scale -> Table.t
+(** A2: square side R/2 (analytic sizing) vs R/3 (simulation sizing) on
+    the Euclidean radio — why the implementation shrinks the squares. *)
+
+val ablation_jamprob : scale -> Table.t
+(** A3: jammer veto-round probability sweep at fixed budget (the paper
+    found 1/5 near-optimal for the attacker). *)
+
+val ablation_dualmode : scale -> Table.t
+(** A4: the dual-mode scheme (§1 "Interpretation"): slowdown over plain
+    epidemic flooding as a function of digest size. *)
+
+val ablation_cpa : scale -> Table.t
+(** A5: certified propagation (Koo/Bhandari–Vaidya) on its idealised
+    authenticated channel vs MultiPathRB on the Byzantine radio, on
+    identical topologies — the cost of hardening the radio. *)
+
+val all : scale -> Table.t list
+(** Every table above, in experiment order. *)

@@ -1,0 +1,257 @@
+type protocol =
+  | Neighbor_watch of { votes : int }
+  | Multi_path of { tolerance : int }
+  | Epidemic
+
+type deployment_kind =
+  | Uniform of int
+  | Clustered of { n : int; clusters : int; stddev : float }
+  | Grid
+
+type radio = Friis | Disk_l2 | Disk_linf
+
+type faults =
+  | No_faults
+  | Crash of float
+  | Jamming of { fraction : float; budget : int; probability : float }
+  | Lying of float
+
+type spec = {
+  map_w : float;
+  map_h : float;
+  deployment : deployment_kind;
+  radio : radio;
+  radius : float;
+  channel : Channel.params;
+  message : Bitvec.t;
+  protocol : protocol;
+  faults : faults;
+  cap : int;
+  heard_relay_limit : int option;
+  square_side : float option;  (* NeighborWatchRB square-size override *)
+  pipelined : bool;  (* false = store-and-forward ablation *)
+  seed : int;
+}
+
+let default =
+  {
+    map_w = 20.0;
+    map_h = 20.0;
+    deployment = Uniform 600;
+    radio = Friis;
+    radius = 4.0;
+    channel = Channel.ideal;
+    message = Bitvec.of_string "1011";
+    protocol = Neighbor_watch { votes = 1 };
+    faults = No_faults;
+    cap = 2_000_000;
+    heard_relay_limit = None;
+    square_side = None;
+    pipelined = true;
+    seed = 42;
+  }
+
+type result = {
+  spec : spec;
+  topology : Topology.t;
+  source : Node.id;
+  honest : bool array;
+  fake : Bitvec.t option;
+  engine : Engine.result;
+}
+
+let fake_message message = Bitvec.init (Bitvec.length message) (fun i -> not (Bitvec.get message i))
+
+let build_deployment rng spec =
+  match spec.deployment with
+  | Uniform n -> Deployment.uniform rng ~n ~width:spec.map_w ~height:spec.map_h
+  | Clustered { n; clusters; stddev } ->
+    Deployment.clustered rng ~n ~clusters ~stddev ~width:spec.map_w ~height:spec.map_h
+  | Grid ->
+    Deployment.grid
+      ~width:(1 + int_of_float spec.map_w)
+      ~height:(1 + int_of_float spec.map_h)
+
+let build_propagation spec =
+  match spec.radio with
+  | Friis -> Propagation.friis spec.radius
+  | Disk_l2 -> Propagation.disk_l2 spec.radius
+  | Disk_linf -> Propagation.disk_linf spec.radius
+
+(* Draw the Byzantine set: a random fraction of the non-source nodes. *)
+let pick_byzantine rng ~n ~source ~fraction =
+  let eligible = List.filter (fun i -> i <> source) (List.init n (fun i -> i)) in
+  let count =
+    min (List.length eligible) (int_of_float (Float.round (fraction *. float_of_int n)))
+  in
+  let arr = Array.of_list eligible in
+  Rng.shuffle rng arr;
+  let byz = Array.make n false in
+  for k = 0 to count - 1 do
+    byz.(arr.(k)) <- true
+  done;
+  byz
+
+let run spec =
+  let rng = Rng.create spec.seed in
+  let deployment_rng = Rng.split rng in
+  let faults_rng = Rng.split rng in
+  let channel_rng = Rng.split rng in
+  let deployment = build_deployment deployment_rng spec in
+  let prop = build_propagation spec in
+  let topology = Topology.build deployment prop in
+  let n = Deployment.size deployment in
+  let source = Deployment.center_node deployment in
+  let byzantine =
+    match spec.faults with
+    | No_faults -> Array.make n false
+    | Crash fraction | Lying fraction -> pick_byzantine faults_rng ~n ~source ~fraction
+    | Jamming { fraction; _ } -> pick_byzantine faults_rng ~n ~source ~fraction
+  in
+  let fake =
+    match spec.faults with Lying _ -> Some (fake_message spec.message) | _ -> None
+  in
+  let honest = Array.init n (fun i -> not byzantine.(i)) in
+  let adversary_machine i =
+    match spec.faults with
+    | No_faults -> Engine.silent_machine
+    | Crash _ -> Engine.silent_machine
+    | Jamming { budget; probability; _ } ->
+      let jam_rng = Rng.split faults_rng in
+      ignore i;
+      Jammer.veto_jammer ~rng:jam_rng ~budget:(Budget.create budget) ~probability
+    | Lying _ -> Engine.silent_machine (* replaced below per protocol *)
+  in
+  let msg_len = Bitvec.length spec.message in
+  let machines, cycle_rounds, progress =
+    match spec.protocol with
+    | Neighbor_watch { votes } ->
+      let config =
+        let base = Neighbor_watch.default_config ~radius:spec.radius ~msg_len in
+        {
+          base with
+          Neighbor_watch.votes;
+          pipelined = spec.pipelined;
+          square_side =
+            (match spec.square_side with
+            | Some side -> side
+            | None -> base.Neighbor_watch.square_side);
+        }
+      in
+      let ctx = Neighbor_watch.make_ctx config ~topology ~source in
+      ( Array.init n (fun i ->
+            if i = source then Neighbor_watch.machine ctx i (Neighbor_watch.Source spec.message)
+            else if byzantine.(i) then begin
+              match (spec.faults, fake) with
+              | Lying _, Some fake_msg ->
+                Neighbor_watch.machine ctx i (Neighbor_watch.Liar fake_msg)
+              | _ -> adversary_machine i
+            end
+            else Neighbor_watch.machine ctx i Neighbor_watch.Relay),
+        Schedule.cycle (Neighbor_watch.schedule ctx) * Schedule.rounds_per_interval,
+        fun () -> Neighbor_watch.progress ctx )
+    | Multi_path { tolerance } ->
+      let config =
+        {
+          (Multi_path.default_config ~radius:spec.radius ~tolerance ~msg_len) with
+          heard_relay_limit = spec.heard_relay_limit;
+        }
+      in
+      let ctx = Multi_path.make_ctx config ~topology ~source in
+      ( Array.init n (fun i ->
+            if i = source then Multi_path.machine ctx i (Multi_path.Source spec.message)
+            else if byzantine.(i) then begin
+              match (spec.faults, fake) with
+              | Lying _, Some fake_msg -> Multi_path.machine ctx i (Multi_path.Liar fake_msg)
+              | _ -> adversary_machine i
+            end
+            else Multi_path.machine ctx i Multi_path.Relay),
+        Schedule.cycle (Multi_path.schedule ctx) * Schedule.rounds_per_interval,
+        fun () -> Multi_path.progress ctx )
+    | Epidemic ->
+      let ctx = Epidemic.make_ctx Epidemic.default_config ~topology ~source in
+      ( Array.init n (fun i ->
+            if i = source then Epidemic.machine ctx i (Epidemic.Source spec.message)
+            else if byzantine.(i) then begin
+              match (spec.faults, fake) with
+              | Lying _, Some fake_msg -> Epidemic.machine ctx i (Epidemic.Liar fake_msg)
+              | _ -> adversary_machine i
+            end
+            else Epidemic.machine ctx i Epidemic.Relay),
+        Epidemic.cycle_rounds ctx,
+        fun () -> 0 )
+  in
+  let waiters = Array.init n (fun i -> honest.(i) && i <> source) in
+  (* Three silent schedule cycles mean the run is permanently stuck (one
+     cycle can legitimately be silent under all-zero parity/data pairs). *)
+  let idle_stop = (3 * cycle_rounds) + 64 in
+  (* A wedged protocol can also keep transmitting forever (honest square
+     members vetoing liars); cut the run when the bit-level progress
+     counter has been flat for a long stretch of schedule cycles. *)
+  let stall_window = 25 * cycle_rounds in
+  let stop_when =
+    let last_progress = ref (-1) in
+    let checks_since_change = ref 0 in
+    let checks_allowed = max 1 (stall_window / 96) in
+    fun () ->
+      let p = progress () in
+      if p <> !last_progress then begin
+        last_progress := p;
+        checks_since_change := 0;
+        false
+      end
+      else begin
+        incr checks_since_change;
+        !checks_since_change >= checks_allowed
+      end
+  in
+  let engine =
+    Engine.run ~rng:channel_rng ~channel:spec.channel ~idle_stop ~stop_when ~topology ~machines
+      ~waiters ~cap:spec.cap ()
+  in
+  { spec; topology; source; honest; fake; engine }
+
+type summary = {
+  honest_nodes : int;
+  delivered_any : int;
+  delivered_correct : int;
+  completion_rate : float;
+  correct_of_delivered : float;
+  correct_rate : float;
+  rounds : int;
+  hit_cap : bool;
+  total_broadcasts : int;
+  mean_completion_round : float;
+}
+
+let summarize result =
+  let n = Array.length result.honest in
+  let honest_nodes = ref 0 in
+  let delivered_any = ref 0 in
+  let delivered_correct = ref 0 in
+  let completion_rounds = ref [] in
+  for i = 0 to n - 1 do
+    if result.honest.(i) && i <> result.source then begin
+      incr honest_nodes;
+      match result.engine.Engine.delivered.(i) with
+      | Some bits ->
+        incr delivered_any;
+        if Bitvec.equal bits result.spec.message then incr delivered_correct;
+        completion_rounds :=
+          float_of_int result.engine.Engine.completion_round.(i) :: !completion_rounds
+      | None -> ()
+    end
+  done;
+  let ratio a b = if b = 0 then if a = 0 then 1.0 else 0.0 else float_of_int a /. float_of_int b in
+  {
+    honest_nodes = !honest_nodes;
+    delivered_any = !delivered_any;
+    delivered_correct = !delivered_correct;
+    completion_rate = ratio !delivered_any !honest_nodes;
+    correct_of_delivered = ratio !delivered_correct !delivered_any;
+    correct_rate = ratio !delivered_correct !honest_nodes;
+    rounds = result.engine.Engine.rounds_used;
+    hit_cap = result.engine.Engine.hit_cap;
+    total_broadcasts = Array.fold_left ( + ) 0 result.engine.Engine.broadcasts;
+    mean_completion_round = Stats.mean !completion_rounds;
+  }

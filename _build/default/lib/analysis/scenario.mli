@@ -1,0 +1,82 @@
+(** Assembly of complete simulation scenarios.
+
+    A {!spec} describes one simulated broadcast exactly the way the paper's
+    experiments do: a map, a deployment, a radio model, a protocol variant,
+    and a fault model.  [run] builds the deployment and topology, attaches
+    per-node machines (honest protocol or adversary), runs the engine, and
+    returns everything needed to compute the reported metrics. *)
+
+type protocol =
+  | Neighbor_watch of { votes : int }
+      (** the NeighborWatchRB protocol; [votes = 2] is the 2-voting variant *)
+  | Multi_path of { tolerance : int }  (** MultiPathRB tuned for t faults per region *)
+  | Epidemic  (** the unauthenticated flooding baseline *)
+
+type deployment_kind =
+  | Uniform of int  (** n nodes uniformly at random *)
+  | Clustered of { n : int; clusters : int; stddev : float }
+  | Grid  (** one node per integer grid point (the analytic model) *)
+
+type radio = Friis | Disk_l2 | Disk_linf
+
+type faults =
+  | No_faults
+  | Crash of float  (** fraction of devices that take no steps *)
+  | Jamming of { fraction : float; budget : int; probability : float }
+      (** veto-round jammers with a per-device broadcast budget
+          ([budget < 0] = unlimited) *)
+  | Lying of float  (** fraction of devices pre-committed to a fake message *)
+
+type spec = {
+  map_w : float;
+  map_h : float;
+  deployment : deployment_kind;
+  radio : radio;
+  radius : float;
+  channel : Channel.params;
+  message : Bitvec.t;
+  protocol : protocol;
+  faults : faults;
+  cap : int;  (** round cap *)
+  heard_relay_limit : int option;  (** MultiPathRB relay cap (None = paper) *)
+  square_side : float option;
+      (** NeighborWatchRB square-size override (default: R/3, the paper's
+          simulation sizing) *)
+  pipelined : bool;  (** [false]: store-and-forward ablation (DESIGN.md) *)
+  seed : int;
+}
+
+val default : spec
+(** 20×20 map, 600 uniform nodes, Friis radio with R=4, ideal channel,
+    4-bit message, NeighborWatchRB, no faults — the paper's most common
+    configuration. *)
+
+type result = {
+  spec : spec;
+  topology : Topology.t;
+  source : Node.id;
+  honest : bool array;  (** honest *and* active (not crashed) *)
+  fake : Bitvec.t option;  (** the liars' message, if any *)
+  engine : Engine.result;
+}
+
+val run : spec -> result
+
+type summary = {
+  honest_nodes : int;  (** honest nodes other than the source *)
+  delivered_any : int;
+  delivered_correct : int;
+  completion_rate : float;  (** delivered_any / honest_nodes *)
+  correct_of_delivered : float;  (** delivered_correct / delivered_any (1 if none) *)
+  correct_rate : float;  (** delivered_correct / honest_nodes *)
+  rounds : int;
+  hit_cap : bool;
+  total_broadcasts : int;
+  mean_completion_round : float;  (** over honest nodes that completed *)
+}
+
+val summarize : result -> summary
+
+val fake_message : Bitvec.t -> Bitvec.t
+(** A canonical fake message for lying experiments: the bitwise complement
+    of the real one (maximally different, so mixing is visible). *)

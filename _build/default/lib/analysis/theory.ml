@@ -1,0 +1,105 @@
+type sweep = { table : Table.t; fit : Stats.fit }
+
+let grid_spec ~side ~message =
+  {
+    Scenario.default with
+    map_w = float_of_int (side - 1);
+    map_h = float_of_int (side - 1);
+    deployment = Scenario.Grid;
+    radio = Scenario.Disk_linf;
+    radius = 2.0;
+    (* The analytic square sizing ⌈R/2⌉: on the unit grid every square is
+       non-empty, which the R/3 simulation sizing does not guarantee. *)
+    square_side = Some (Squares.analytic_side ~radius:2.0);
+    message;
+  }
+
+let config scale = match scale with Figures.Quick -> Experiment.quick | Figures.Paper -> Experiment.paper
+
+let budget_sweep scale =
+  let side = match scale with Figures.Quick -> 11 | Figures.Paper -> 17 in
+  let budgets =
+    match scale with
+    | Figures.Quick -> [ 0; 30; 60; 120 ]
+    | Figures.Paper -> [ 0; 50; 100; 200; 400 ]
+  in
+  let table =
+    Table.create ~title:"E8a (Theorem 5): rounds vs adversary budget (grid)"
+      ~columns:[ "budget"; "rounds"; "completed" ]
+  in
+  let points = ref [] in
+  List.iter
+    (fun budget ->
+      let spec =
+        {
+          (grid_spec ~side ~message:(Bitvec.of_string "1011")) with
+          Scenario.faults =
+            (if budget = 0 then Scenario.No_faults
+             else Scenario.Jamming { fraction = 0.05; budget; probability = 1.0 });
+        }
+      in
+      let agg = Experiment.measure (config scale) spec in
+      points := (float_of_int budget, agg.Experiment.rounds) :: !points;
+      Table.add_row table
+        [
+          Table.cell_i budget;
+          Table.cell_f ~decimals:0 agg.Experiment.rounds;
+          Table.cell_pct agg.Experiment.completion_rate;
+        ])
+    budgets;
+  { table; fit = Stats.linear_fit (List.rev !points) }
+
+let diameter_sweep scale =
+  let sides =
+    match scale with Figures.Quick -> [ 7; 11; 15; 19 ] | Figures.Paper -> [ 9; 15; 21; 27; 33 ]
+  in
+  let table =
+    Table.create ~title:"E8b (Theorem 5): rounds vs hop diameter (grids)"
+      ~columns:[ "grid"; "hop diameter"; "rounds"; "completed" ]
+  in
+  let points = ref [] in
+  List.iter
+    (fun side ->
+      let spec = grid_spec ~side ~message:(Bitvec.of_string "1011") in
+      let result = Scenario.run spec in
+      let diameter =
+        float_of_int (Topology.hop_diameter_from result.Scenario.topology result.Scenario.source)
+      in
+      let agg = Experiment.measure (config scale) spec in
+      points := (diameter, agg.Experiment.rounds) :: !points;
+      Table.add_row table
+        [
+          Printf.sprintf "%dx%d" side side;
+          Table.cell_f ~decimals:0 diameter;
+          Table.cell_f ~decimals:0 agg.Experiment.rounds;
+          Table.cell_pct agg.Experiment.completion_rate;
+        ])
+    sides;
+  { table; fit = Stats.linear_fit (List.rev !points) }
+
+let length_sweep scale =
+  let side = match scale with Figures.Quick -> 11 | Figures.Paper -> 15 in
+  let lengths =
+    match scale with Figures.Quick -> [ 2; 4; 8; 16 ] | Figures.Paper -> [ 2; 4; 8; 16; 32; 64 ]
+  in
+  let table =
+    Table.create ~title:"E8c (Theorem 5): rounds vs message length (grid)"
+      ~columns:[ "message bits"; "rounds"; "completed" ]
+  in
+  let points = ref [] in
+  List.iter
+    (fun len ->
+      let message = Bitvec.random (Rng.create (50 + len)) len in
+      let spec = grid_spec ~side ~message in
+      let agg = Experiment.measure (config scale) spec in
+      points := (float_of_int len, agg.Experiment.rounds) :: !points;
+      Table.add_row table
+        [
+          Table.cell_i len;
+          Table.cell_f ~decimals:0 agg.Experiment.rounds;
+          Table.cell_pct agg.Experiment.completion_rate;
+        ])
+    lengths;
+  { table; fit = Stats.linear_fit (List.rev !points) }
+
+let all scale = [ budget_sweep scale; diameter_sweep scale; length_sweep scale ]

@@ -1,0 +1,26 @@
+(** Validation of the running-time bound of Theorem 5:
+    delivery in O(β·D + log|Σ|) rounds.
+
+    The theorem is asymptotic, so the check is empirical linearity on the
+    analytic model (L-infinity grid): completion time should grow linearly
+    (high r²) in each of
+
+    - the adversary's broadcast budget β at fixed diameter and message,
+    - the network diameter D at fixed β and message,
+    - the message length (≈ log|Σ|) at fixed β and D,
+
+    which is exactly what a tight O(βD + log|Σ|) bound predicts for
+    one-variable sweeps. *)
+
+type sweep = { table : Table.t; fit : Stats.fit }
+
+val budget_sweep : Figures.scale -> sweep
+(** E8a: rounds vs per-jammer budget on a grid. *)
+
+val diameter_sweep : Figures.scale -> sweep
+(** E8b: rounds vs hop diameter across grid sizes. *)
+
+val length_sweep : Figures.scale -> sweep
+(** E8c: rounds vs message length on a fixed grid. *)
+
+val all : Figures.scale -> sweep list

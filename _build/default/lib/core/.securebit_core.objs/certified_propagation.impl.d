@@ -1,0 +1,1 @@
+lib/core/certified_propagation.ml: Array Bitvec List Node Queue Topology Voting

@@ -1,0 +1,1 @@
+lib/core/certified_propagation.mli: Bitvec Node Topology

@@ -1,0 +1,1 @@
+lib/core/epidemic.ml: Bitvec Channel Engine Hashtbl Msg Node Propagation Schedule Topology

@@ -1,0 +1,1 @@
+lib/core/epidemic.mli: Bitvec Engine Msg Node Topology

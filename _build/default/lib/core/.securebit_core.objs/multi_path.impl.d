@@ -1,0 +1,1 @@
+lib/core/multi_path.ml: Array Bitvec Buffer Channel Engine Frame Hashtbl List Msg Node One_hop Point Propagation Schedule Topology Two_bit Voting

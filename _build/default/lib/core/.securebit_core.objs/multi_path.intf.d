@@ -1,0 +1,1 @@
+lib/core/multi_path.mli: Bitvec Engine Msg Node Schedule Topology

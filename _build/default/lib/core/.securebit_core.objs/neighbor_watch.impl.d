@@ -1,0 +1,1 @@
+lib/core/neighbor_watch.ml: Array Bitvec Buffer Channel Deployment Engine Hashtbl List Msg Node One_hop Option Schedule Squares String Topology Two_bit

@@ -1,0 +1,1 @@
+lib/core/neighbor_watch.mli: Bitvec Engine Msg Node Schedule Squares Topology

@@ -1,0 +1,1 @@
+lib/core/one_hop.ml: Bitvec Buffer

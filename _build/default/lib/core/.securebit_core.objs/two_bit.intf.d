@@ -1,0 +1,1 @@
+lib/core/two_bit.mli:

@@ -1,0 +1,1 @@
+lib/core/voting.ml: Hashtbl List Point

@@ -1,0 +1,1 @@
+lib/core/voting.mli: Point

@@ -1,0 +1,104 @@
+type config = { radius : float; tolerance : int }
+type role = Source | Honest | Liar of Bitvec.t
+
+type result = {
+  rounds : int;
+  committed : Bitvec.t option array;
+  messages : int;
+}
+
+(* Evidence a node holds about one candidate value. *)
+type vouch = { voucher : Node.id; value : Bitvec.t }
+
+let run config ~topology ~source ~message ~roles ~max_rounds =
+  let n = Topology.size topology in
+  if Array.length roles <> n then invalid_arg "Certified_propagation.run: roles size mismatch";
+  let committed = Array.make n None in
+  let vouches : vouch list array = Array.make n [] in
+  let announce_queue = Queue.create () in
+  let messages = ref 0 in
+  let commit i value round_commits =
+    if committed.(i) = None then begin
+      committed.(i) <- Some value;
+      Queue.add i round_commits
+    end
+  in
+  (* Round 0: the source announces; liars are born "committed" to their
+     fake value and announce alongside it. *)
+  let pending = Queue.create () in
+  committed.(source) <- Some message;
+  Queue.add source pending;
+  Array.iteri
+    (fun i role ->
+      match role with
+      | Liar fake ->
+        committed.(i) <- Some fake;
+        Queue.add i pending
+      | Source | Honest -> ())
+    roles;
+  let quorum_commit i =
+    if committed.(i) = None then begin
+      (* Group the vouches by value and apply the common-neighbourhood
+         quorum rule. *)
+      let values =
+        List.sort_uniq compare (List.map (fun v -> Bitvec.to_string v.value) vouches.(i))
+      in
+      let decide value_str =
+        let items =
+          List.filter_map
+            (fun v ->
+              if Bitvec.to_string v.value = value_str then
+                Some
+                  {
+                    Voting.origin = (v.voucher, 0);
+                    value = true;
+                    points = [ Topology.position topology v.voucher ];
+                  }
+              else None)
+            vouches.(i)
+        in
+        Voting.quorum ~radius:config.radius ~need:(config.tolerance + 1) ~value:true items
+      in
+      match List.find_opt decide values with
+      | Some value_str -> Some (Bitvec.of_string value_str)
+      | None -> None
+    end
+    else None
+  in
+  let round = ref 0 in
+  let continue = ref true in
+  while !continue && !round < max_rounds do
+    (* Deliver every queued announcement reliably to all decode
+       neighbours, attributed to its true sender. *)
+    Queue.transfer pending announce_queue;
+    let round_commits = Queue.create () in
+    let any_message = not (Queue.is_empty announce_queue) in
+    while not (Queue.is_empty announce_queue) do
+      let sender = Queue.pop announce_queue in
+      match committed.(sender) with
+      | None -> ()
+      | Some value ->
+        incr messages;
+        Array.iter
+          (fun receiver ->
+            (* Direct reception from the source is authenticated by the
+               model itself. *)
+            if receiver <> source then begin
+              if sender = source then commit receiver value round_commits
+              else begin
+                let is_liar = match roles.(receiver) with Liar _ -> true | _ -> false in
+                if not is_liar then begin
+                  vouches.(receiver) <- { voucher = sender; value } :: vouches.(receiver);
+                  match quorum_commit receiver with
+                  | Some decided -> commit receiver decided round_commits
+                  | None -> ()
+                end
+              end
+            end)
+          topology.Topology.rx.(sender)
+    done;
+    Queue.transfer round_commits pending;
+    incr round;
+    if (not any_message) && Queue.is_empty pending then continue := false
+  done;
+  { rounds = !round; committed; messages = !messages }

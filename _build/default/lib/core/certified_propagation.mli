@@ -1,0 +1,42 @@
+(** The certified propagation algorithm (CPA) of Koo (PODC'04) and
+    Bhandari–Vaidya (PODC'05) — the protocol MultiPathRB descends from.
+
+    CPA works in a much friendlier model than this paper's: single-hop
+    communication is reliable and authenticated (no jamming, no spoofing,
+    no collisions), so a whole message travels in one round and carries its
+    sender's identity.  A node commits when it hears the message directly
+    from the source, or when [t + 1] already-committed nodes inside one
+    common neighbourhood vouch for it ({!Voting.quorum} again — Byzantine
+    nodes can lie about their own commitment but cannot impersonate
+    others, and at most [t] of any neighbourhood lie).
+
+    CPA is *not* runnable over a Byzantine radio — that gap is precisely
+    the paper's contribution — but it is the natural baseline for what the
+    voting layer costs once the radio is hardened.  The A5 ablation
+    compares its round count with MultiPathRB's on identical topologies.
+
+    The module brings its own synchronous reliable-message engine
+    (messages from all neighbours arrive each round, attributed to their
+    true senders), since the radio {!Engine} would be the wrong substrate
+    by design. *)
+
+type config = {
+  radius : float;  (** neighbourhood radius of the commit rule *)
+  tolerance : int;  (** t *)
+}
+
+type role = Source | Honest | Liar of Bitvec.t
+
+type result = {
+  rounds : int;  (** rounds until quiescence *)
+  committed : Bitvec.t option array;  (** per-node committed value *)
+  messages : int;  (** total messages sent *)
+}
+
+val run :
+  config -> topology:Topology.t -> source:Node.id -> message:Bitvec.t ->
+  roles:role array -> max_rounds:int -> result
+(** Synchronous execution: each round, every node that committed in the
+    previous round announces its value to all its decode neighbours; liars
+    announce their fake value from the start and never relay.  Stops at
+    quiescence (no new commitment) or [max_rounds]. *)

@@ -1,0 +1,55 @@
+type config = { repeats : int; conflict_factor : float; slot_rounds : int }
+
+let default_config = { repeats = 3; conflict_factor = 3.0; slot_rounds = 6 }
+
+type ctx = {
+  config : config;
+  schedule : Schedule.t;
+  states : (Node.id, state) Hashtbl.t;
+}
+
+and state = {
+  my_slot : int;
+  mutable have : Bitvec.t option;
+  mutable sent : int;
+}
+
+let make_ctx config ~topology ~source =
+  let conflict_range =
+    config.conflict_factor *. Propagation.rx_range topology.Topology.prop
+  in
+  let schedule = Schedule.for_nodes topology ~conflict_range ~source in
+  { config; schedule; states = Hashtbl.create 64 }
+
+let cycle ctx = Schedule.cycle ctx.schedule
+let cycle_rounds ctx = cycle ctx * ctx.config.slot_rounds
+
+type role = Source of Bitvec.t | Relay | Liar of Bitvec.t
+
+let machine ctx id role =
+  let s =
+    {
+      my_slot = Schedule.slot_of ctx.schedule id;
+      have = (match role with Source m | Liar m -> Some m | Relay -> None);
+      sent = 0;
+    }
+  in
+  Hashtbl.replace ctx.states id s;
+  let slot_rounds = ctx.config.slot_rounds in
+  let act round =
+    (* The packet occupies a whole slot; it goes on the air in the slot's
+       first round. *)
+    let slot = round / slot_rounds mod cycle ctx in
+    let in_slot = round mod slot_rounds = 0 in
+    match s.have with
+    | Some message when in_slot && slot = s.my_slot && s.sent < ctx.config.repeats ->
+      s.sent <- s.sent + 1;
+      Engine.Transmit (Msg.Packet message)
+    | Some _ | None -> Engine.Silent
+  in
+  let observe _round obs =
+    match obs with
+    | Channel.Clear (Msg.Packet message) -> if s.have = None then s.have <- Some message
+    | Channel.Clear Msg.Blip | Channel.Silence | Channel.Busy -> ()
+  in
+  { Engine.act; observe; delivered = (fun () -> s.have) }

@@ -1,0 +1,42 @@
+(** The simple epidemic flooding baseline (Section 6.2).
+
+    No authentication and no fault tolerance: the whole message travels in
+    a single packet; a node that has the message rebroadcasts it a fixed
+    number of times in its own TDMA slot; receivers adopt the first packet
+    they decode, whoever sent it.  Any Byzantine interference can suppress
+    packets (collisions) or inject fake ones.  The paper compares
+    NeighborWatchRB against this protocol (≈7.7× slower) and uses it as the
+    fast channel of the dual-mode scheme.
+
+    The baseline runs under the same MAC model as the protocols
+    (Section 3): a fixed TDMA schedule with the 3R conflict rule, and a
+    slot long enough for one packet of a few bits — i.e. one 6-round
+    broadcast interval.  Giving the baseline an idealised 1-round,
+    interference-free schedule instead would overstate the cost of
+    authentication by an order of magnitude (see EXPERIMENTS.md, E7). *)
+
+type config = {
+  repeats : int;  (** rebroadcasts per node (default 3) *)
+  conflict_factor : float;
+      (** TDMA conflict range as a multiple of the decode range (default
+          3.0, the same spatial-reuse rule the protocols use) *)
+  slot_rounds : int;
+      (** rounds per slot — the time to transmit one packet (default 6,
+          one broadcast interval) *)
+}
+
+val default_config : config
+
+type ctx
+
+val make_ctx : config -> topology:Topology.t -> source:Node.id -> ctx
+
+val cycle : ctx -> int
+(** Slots per schedule cycle. *)
+
+val cycle_rounds : ctx -> int
+(** Rounds per schedule cycle ([cycle × slot_rounds]). *)
+
+type role = Source of Bitvec.t | Relay | Liar of Bitvec.t
+
+val machine : ctx -> Node.id -> role -> Msg.t Engine.machine

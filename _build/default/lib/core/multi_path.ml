@@ -1,0 +1,296 @@
+type config = {
+  radius : float;
+  tolerance : int;
+  msg_len : int;
+  coord_step : float;
+  heard_relay_limit : int option;
+}
+
+let default_config ~radius ~tolerance ~msg_len =
+  { radius; tolerance; msg_len; coord_step = 0.5; heard_relay_limit = None }
+
+type role_state =
+  | Idle
+  | Sending of Two_bit.Sender.t
+  | Blocking of Two_bit.Blocker.t
+  | Receiving of Node.id * Two_bit.Receiver.t
+
+type peer = {
+  peer_id : Node.id;
+  peer_pos : Point.t;
+  stream : One_hop.Receiver.t;
+  mutable parsed : int;  (** stream bits consumed by the frame parser *)
+  mutable poisoned : bool;  (** an invalid frame appeared: stop parsing *)
+}
+
+type state = {
+  pos : Point.t;
+  my_slot : int;
+  relay_heard : bool;
+  committed : Buffer.t;
+  sender : One_hop.Sender.t;
+  peers : (int * peer) list;  (** listening slot -> peer *)
+  evidence : Voting.item list ref array;
+  source_bits : Buffer.t;  (** bits received directly from the source *)
+  heard_relayed : int array;
+  enqueue_commits : bool;  (** sources stream SOURCE frames instead *)
+  mutable role : role_state;
+  mutable cur_interval : int;
+}
+
+type ctx = {
+  config : config;
+  topology : Topology.t;
+  schedule : Schedule.t;
+  source : Node.id;
+  codec : Frame.codec;
+  states : (Node.id, state) Hashtbl.t;
+}
+
+let make_ctx config ~topology ~source =
+  let conflict_range =
+    max (3.0 *. config.radius) (2.0 *. Propagation.sense_range topology.Topology.prop)
+  in
+  let schedule = Schedule.for_nodes topology ~conflict_range ~source in
+  let codec =
+    Frame.codec ~msg_len:config.msg_len
+      ~coord_range:(Propagation.sense_range topology.Topology.prop)
+      ~coord_step:config.coord_step
+  in
+  { config; topology; schedule; source; codec; states = Hashtbl.create 64 }
+
+let schedule ctx = ctx.schedule
+
+type role = Source of Bitvec.t | Relay | Liar of Bitvec.t
+
+let committed_len s = Buffer.length s.committed
+let committed_bit s i = Buffer.nth s.committed i = '1'
+
+let push_frame ctx s frame =
+  Bitvec.fold_left (fun () bit -> One_hop.Sender.push s.sender bit) () (Frame.encode ctx.codec frame)
+
+let commit_bit ctx s bit =
+  let index = committed_len s in
+  Buffer.add_char s.committed (if bit then '1' else '0');
+  if s.enqueue_commits then push_frame ctx s (Frame.Commit { index; value = bit })
+
+let rec try_commit ctx s =
+  let c = committed_len s in
+  if c < ctx.config.msg_len then begin
+    if Buffer.length s.source_bits > c then begin
+      (* Directly from the source: authenticated by Theorem 2. *)
+      commit_bit ctx s (Buffer.nth s.source_bits c = '1');
+      try_commit ctx s
+    end
+    else begin
+      let items = !(s.evidence.(c)) in
+      let need = ctx.config.tolerance + 1 in
+      let decide value =
+        if Voting.quorum ~radius:ctx.config.radius ~need ~value items then Some value else None
+      in
+      match
+        (match decide true with Some v -> Some v | None -> decide false)
+      with
+      | Some v ->
+        commit_bit ctx s v;
+        try_commit ctx s
+      | None -> ()
+    end
+  end
+
+let add_evidence s index item =
+  let items = s.evidence.(index) in
+  (* Duplicates (a Byzantine peer can replay frames) would only bloat the
+     quorum scan; origins are deduplicated there anyway. *)
+  if not (List.mem item !items) then items := item :: !items
+
+let handle_frame ctx s peer frame =
+  match frame with
+  | Frame.Source value ->
+    (* SOURCE frames are only meaningful from the source's own slot. *)
+    if peer.peer_id = ctx.source then Buffer.add_char s.source_bits (if value then '1' else '0')
+  | Frame.Commit { index; value } ->
+    let origin = Frame.snap ctx.codec peer.peer_pos in
+    add_evidence s index { Voting.origin; value; points = [ peer.peer_pos ] };
+    let under_cap =
+      match ctx.config.heard_relay_limit with
+      | None -> true
+      | Some cap -> s.heard_relayed.(index) < cap
+    in
+    if s.relay_heard && under_cap then begin
+      s.heard_relayed.(index) <- s.heard_relayed.(index) + 1;
+      let ox, oy = origin and mx, my = Frame.snap ctx.codec s.pos in
+      push_frame ctx s (Frame.Heard { index; value; cause = (ox - mx, oy - my) })
+    end
+  | Frame.Heard { index; value; cause = dx, dy } ->
+    let wx, wy = Frame.snap ctx.codec peer.peer_pos in
+    let origin = (wx + dx, wy + dy) in
+    add_evidence s index
+      { Voting.origin; value; points = [ peer.peer_pos; Frame.lattice_point ctx.codec origin ] }
+
+(* Consume complete frames from a peer's stream. *)
+let parse_frames ctx s peer =
+  let continue = ref (not peer.poisoned) in
+  while !continue do
+    let available = One_hop.Receiver.received peer.stream - peer.parsed in
+    if available < 2 then continue := false
+    else begin
+      let tag =
+        (One_hop.Receiver.get peer.stream peer.parsed,
+         One_hop.Receiver.get peer.stream (peer.parsed + 1))
+      in
+      match Frame.length_from_tag ctx.codec tag with
+      | None ->
+        (* Gibberish can only come from a Byzantine slot owner; there is no
+           way to resynchronise, so stop listening to this peer. *)
+        peer.poisoned <- true;
+        continue := false
+      | Some len ->
+        if available < len then continue := false
+        else begin
+          let bits = Bitvec.init len (fun i -> One_hop.Receiver.get peer.stream (peer.parsed + i)) in
+          peer.parsed <- peer.parsed + len;
+          match Frame.decode ctx.codec bits with
+          | Some frame -> handle_frame ctx s peer frame
+          | None -> peer.poisoned <- true
+        end
+    end
+  done;
+  try_commit ctx s
+
+(* --- interval roles -------------------------------------------------- *)
+
+let setup_interval ctx s interval =
+  s.cur_interval <- interval;
+  let slot = Schedule.active_slot ctx.schedule ~interval in
+  s.role <-
+    (if slot = s.my_slot then begin
+       if One_hop.Sender.has_current s.sender then begin
+         let parity, data = One_hop.Sender.current s.sender in
+         Sending (Two_bit.Sender.create ~b1:parity ~b2:data)
+       end
+       else Blocking (Two_bit.Blocker.create ())
+     end
+     else begin
+       match List.assoc_opt slot s.peers with
+       | Some peer -> Receiving (peer.peer_id, Two_bit.Receiver.create ())
+       | None -> Idle
+     end)
+
+let finish_interval ctx s =
+  match s.role with
+  | Sending sender -> begin
+    match Two_bit.Sender.outcome sender with
+    | Some Two_bit.Success -> One_hop.Sender.advance s.sender
+    | Some Two_bit.Failure | None -> ()
+  end
+  | Receiving (peer_id, receiver) -> begin
+    match Two_bit.Receiver.outcome receiver with
+    | Some (Two_bit.Success, (parity, data)) ->
+      let peer =
+        List.find (fun (_, p) -> p.peer_id = peer_id) s.peers |> snd
+      in
+      One_hop.Receiver.push_two_bit peer.stream ~parity ~data;
+      parse_frames ctx s peer
+    | Some (Two_bit.Failure, _) | None -> ()
+  end
+  | Idle | Blocking _ -> ()
+
+let act ctx s round =
+  let interval = Schedule.interval_of_round round in
+  let phase = Schedule.phase_of_round round in
+  if interval <> s.cur_interval then setup_interval ctx s interval;
+  let transmit =
+    match s.role with
+    | Idle -> false
+    | Sending sender -> Two_bit.Sender.act sender ~phase
+    | Blocking blocker -> Two_bit.Blocker.act blocker ~phase
+    | Receiving (_, receiver) -> Two_bit.Receiver.act receiver ~phase
+  in
+  if transmit then Engine.Transmit Msg.Blip else Engine.Silent
+
+let observe ctx s round obs =
+  let interval = Schedule.interval_of_round round in
+  let phase = Schedule.phase_of_round round in
+  if interval <> s.cur_interval then setup_interval ctx s interval;
+  let activity = Channel.is_activity obs in
+  begin
+    match s.role with
+    | Idle -> ()
+    | Sending sender -> Two_bit.Sender.observe sender ~phase ~activity
+    | Blocking blocker -> Two_bit.Blocker.observe blocker ~phase ~activity
+    | Receiving (_, receiver) -> Two_bit.Receiver.observe receiver ~phase ~activity
+  end;
+  if phase = Schedule.rounds_per_interval - 1 then finish_interval ctx s
+
+let delivered ctx s =
+  if committed_len s >= ctx.config.msg_len then
+    Some (Bitvec.init ctx.config.msg_len (fun i -> committed_bit s i))
+  else None
+
+(* --- construction ---------------------------------------------------- *)
+
+let machine ctx id role =
+  let config = ctx.config in
+  let pos = Topology.position ctx.topology id in
+  let peers =
+    Array.to_list ctx.topology.Topology.sensed.(id)
+    |> List.map (fun { Topology.peer; _ } ->
+           ( Schedule.slot_of ctx.schedule peer,
+             {
+               peer_id = peer;
+               peer_pos = Topology.position ctx.topology peer;
+               stream = One_hop.Receiver.create ();
+               parsed = 0;
+               poisoned = false;
+             } ))
+  in
+  let s =
+    {
+      pos;
+      my_slot = Schedule.slot_of ctx.schedule id;
+      relay_heard = (match role with Liar _ -> false | Source _ | Relay -> true);
+      committed = Buffer.create 16;
+      sender = One_hop.Sender.create ();
+      peers;
+      evidence = Array.init config.msg_len (fun _ -> ref []);
+      source_bits = Buffer.create 16;
+      heard_relayed = Array.make config.msg_len 0;
+      enqueue_commits = (match role with Source _ -> false | Relay | Liar _ -> true);
+      role = Idle;
+      cur_interval = -1;
+    }
+  in
+  begin
+    match role with
+    | Source message ->
+      assert (Bitvec.length message = config.msg_len);
+      Bitvec.fold_left
+        (fun () bit ->
+          Buffer.add_char s.committed (if bit then '1' else '0');
+          push_frame ctx s (Frame.Source bit))
+        () message
+    | Liar message ->
+      assert (Bitvec.length message = config.msg_len);
+      Bitvec.fold_left (fun () bit -> commit_bit ctx s bit) () message
+    | Relay -> ()
+  end;
+  Hashtbl.replace ctx.states id s;
+  {
+    Engine.act = (fun round -> act ctx s round);
+    observe = (fun round obs -> observe ctx s round obs);
+    delivered = (fun () -> delivered ctx s);
+  }
+
+let committed_bits ctx id =
+  match Hashtbl.find_opt ctx.states id with
+  | None -> invalid_arg "Multi_path.committed_bits: unknown node"
+  | Some s -> Bitvec.init (committed_len s) (committed_bit s)
+
+let progress ctx =
+  Hashtbl.fold
+    (fun _ s acc ->
+      List.fold_left
+        (fun acc (_, peer) -> acc + One_hop.Receiver.received peer.stream)
+        (acc + committed_len s) s.peers)
+    ctx.states 0

@@ -1,0 +1,48 @@
+(** MultiPathRB (Section 4, Level 2): optimally resilient authenticated
+    broadcast by multi-path voting.
+
+    Every node owns its own TDMA slot and runs the 1Hop-Protocol towards
+    all its neighbours, streaming self-delimiting {!Frame} messages.  The
+    source streams ⟨SOURCE, bᵢ⟩ frames; its direct neighbours commit from
+    them (authenticated by Theorem 2).  A node that commits bit [i] streams
+    ⟨COMMIT, bᵢ⟩; a node that receives a COMMIT from [v] streams
+    ⟨HEARD, v, bᵢ⟩.  Everyone else commits through the {!Voting.quorum}
+    rule: [t + 1] pieces of evidence with distinct origins inside one
+    common neighbourhood.  Tolerates up to [t < R(2R+1)/2] Byzantine nodes
+    per neighbourhood — the Koo optimum — at a substantial message cost
+    (the paper finds it orders of magnitude slower than epidemic flooding).
+
+    Senders are identified by schedule slot, so spoofing another node
+    requires transmitting in its slot, where the honest owner vetoes.
+
+    The [`Liar] role reproduces the paper's lying experiments: the device
+    is pre-committed to a fake message, broadcasts COMMIT frames for it,
+    and never relays HEARD messages from correct nodes. *)
+
+type config = {
+  radius : float;  (** neighbourhood radius R used by the commit rule *)
+  tolerance : int;  (** t: the protocol commits on t+1 concurring origins *)
+  msg_len : int;
+  coord_step : float;  (** quantisation of positions in HEARD frames *)
+  heard_relay_limit : int option;
+      (** optional cap on HEARD frames relayed per bit; [None] (the
+          protocol as written) relays every COMMIT heard.  The scaled-down
+          benchmark harness uses a cap, documented in DESIGN.md. *)
+}
+
+val default_config : radius:float -> tolerance:int -> msg_len:int -> config
+
+type ctx
+
+val make_ctx : config -> topology:Topology.t -> source:Node.id -> ctx
+val schedule : ctx -> Schedule.t
+
+type role = Source of Bitvec.t | Relay | Liar of Bitvec.t
+
+val machine : ctx -> Node.id -> role -> Msg.t Engine.machine
+val committed_bits : ctx -> Node.id -> Bitvec.t
+
+val progress : ctx -> int
+(** Monotone progress counter (committed bits plus stream bits received),
+    used to cut wedged simulations short; see
+    {!Neighbor_watch.progress}. *)

@@ -1,0 +1,319 @@
+type config = {
+  radius : float;
+  square_side : float;
+  votes : int;
+  msg_len : int;
+  catchup_failures : int;
+  pipelined : bool;
+}
+
+let default_config ~radius ~msg_len =
+  {
+    radius;
+    square_side = Squares.simulation_side ~radius;
+    votes = 1;
+    msg_len;
+    catchup_failures = 25;
+    pipelined = true;
+  }
+
+let analytic_config ~radius ~msg_len =
+  { (default_config ~radius ~msg_len) with square_side = Squares.analytic_side ~radius }
+
+type provider = Src | Sq of int
+
+type role_state =
+  | Idle
+  | Sending of Two_bit.Sender.t * bool  (** 2Bit sender and the parity bit *)
+  | Blocking of Two_bit.Blocker.t
+  | Receiving of provider * Two_bit.Receiver.t
+  | Passive  (** catch-up fired: stay silent for the rest of the interval *)
+
+type state = {
+  my_square : int;
+  my_slot : int;
+  is_source : bool;
+  listen : (int * provider) list;  (** slot -> stream provider *)
+  committed : Buffer.t;  (** '0'/'1' chars *)
+  mutable sender : One_hop.Sender.t;
+  streams : (provider * One_hop.Receiver.t) list;
+  mutable role : role_state;
+  mutable cur_interval : int;
+  mutable failures : int;
+  mutable liar_attempts : int option;
+      (** [Some k]: a lying device that will abandon its fake message and
+          fall back to honest relaying after [k] more vetoed exchanges.
+          The paper's liars "appear correct": a square's honest watch
+          detects and vetoes the injection, after which a rational liar
+          stops burning budget on a detected attack (otherwise it is just a
+          jammer, measured separately).  This matches the paper's stated
+          success condition — only squares with no honest member spread the
+          fake (Section 6.1). *)
+  msg_len : int;
+  votes : int;
+  catchup_failures : int;
+  pipelined : bool;
+}
+
+type ctx = {
+  config : config;
+  topology : Topology.t;
+  squares : Squares.t;
+  schedule : Schedule.t;
+  source : Node.id;
+  states : (Node.id, state) Hashtbl.t;
+}
+
+let make_ctx config ~topology ~source =
+  let deployment = topology.Topology.deployment in
+  let squares =
+    Squares.make ~side:config.square_side
+      ~width:(deployment.Deployment.width +. 1e-6)
+      ~height:(deployment.Deployment.height +. 1e-6)
+  in
+  let schedule = Schedule.for_squares squares ~radius:config.radius in
+  { config; topology; squares; schedule; source; states = Hashtbl.create 64 }
+
+let schedule ctx = ctx.schedule
+let squares ctx = ctx.squares
+
+type role = Source of Bitvec.t | Relay | Liar of Bitvec.t
+
+let committed_len s = Buffer.length s.committed
+let committed_bit s i = Buffer.nth s.committed i = '1'
+
+let commit_bit s bit =
+  Buffer.add_char s.committed (if bit then '1' else '0');
+  (* Committed bits are what the node's square is allowed to forward.  The
+     non-pipelined ablation (DESIGN.md) holds bits back until the whole
+     message has been committed — the "natural" store-and-forward layering
+     whose running time the paper shows to be asymptotically worse. *)
+  if s.pipelined then One_hop.Sender.push s.sender bit
+  else if Buffer.length s.committed = s.msg_len then
+    String.iter (fun c -> One_hop.Sender.push s.sender (c = '1')) (Buffer.contents s.committed)
+
+(* A provider stream can justify bit [c] only if it extends the node's own
+   committed prefix: mixing prefixes of disagreeing streams would deliver a
+   message nobody sent. *)
+let stream_extends s receiver c =
+  One_hop.Receiver.received receiver > c
+  &&
+  let rec agree i = i >= c || (One_hop.Receiver.get receiver i = committed_bit s i && agree (i + 1)) in
+  agree 0
+
+(* Try to extend the committed prefix; repeats until no rule applies. *)
+let rec try_commit s =
+  if committed_len s < s.msg_len then begin
+    let c = committed_len s in
+    let candidates =
+      List.filter_map
+        (fun (provider, receiver) ->
+          if stream_extends s receiver c then Some (provider, One_hop.Receiver.get receiver c)
+          else None)
+        s.streams
+    in
+    let from_source = List.exists (fun (p, _) -> p = Src) candidates in
+    let committed_value =
+      if from_source then
+        (* Direct reception from the source is authenticated by Theorem 2
+           and needs no corroboration, whatever the voting threshold. *)
+        List.assoc Src candidates |> Option.some
+      else begin
+        let votes_for v =
+          List.length (List.filter (fun (_, value) -> value = v) candidates)
+        in
+        if votes_for true >= s.votes then Some true
+        else if votes_for false >= s.votes then Some false
+        else None
+      end
+    in
+    match committed_value with
+    | Some v ->
+      commit_bit s v;
+      try_commit s
+    | None -> ()
+  end
+
+let delivered s =
+  if committed_len s >= s.msg_len then
+    Some (Bitvec.init s.msg_len (fun i -> committed_bit s i))
+  else None
+
+(* --- interval roles ------------------------------------------------- *)
+
+let setup_interval ctx s interval =
+  s.cur_interval <- interval;
+  let slot = Schedule.active_slot ctx.schedule ~interval in
+  let sending_here =
+    if s.is_source then slot = Schedule.source_slot
+    else slot = s.my_slot
+  in
+  s.role <-
+    (if sending_here then begin
+       if One_hop.Sender.has_current s.sender then begin
+         let parity, data = One_hop.Sender.current s.sender in
+         Sending (Two_bit.Sender.create ~b1:parity ~b2:data, parity)
+       end
+       else Blocking (Two_bit.Blocker.create ())
+     end
+     else begin
+       match List.assoc_opt slot s.listen with
+       | Some provider -> Receiving (provider, Two_bit.Receiver.create ())
+       | None -> Idle
+     end)
+
+(* A detected liar abandons the fake and relays honestly from scratch. *)
+let liar_give_up s =
+  s.liar_attempts <- None;
+  Buffer.clear s.committed;
+  s.sender <- One_hop.Sender.create ();
+  s.failures <- 0;
+  try_commit s
+
+let finish_interval s =
+  match s.role with
+  | Sending (sender, _) -> begin
+    match Two_bit.Sender.outcome sender with
+    | Some Two_bit.Success ->
+      One_hop.Sender.advance s.sender;
+      s.failures <- 0
+    | Some Two_bit.Failure when s.liar_attempts <> None -> begin
+      match s.liar_attempts with
+      | Some k when k <= 1 -> liar_give_up s
+      | Some k -> s.liar_attempts <- Some (k - 1)
+      | None -> assert false
+    end
+    | Some Two_bit.Failure ->
+      s.failures <- s.failures + 1;
+      (* Square catch-up, trigger 2: persistently failing on bit [i] while
+         already knowing bit [i+1] means either the rest of the square has
+         moved on, or a jammer is spending a broadcast per interval; skip
+         forward rather than deadlock (see DESIGN.md). *)
+      let pointer = One_hop.Sender.sent s.sender in
+      if s.failures >= s.catchup_failures && One_hop.Sender.total s.sender > pointer + 1
+      then begin
+        One_hop.Sender.skip_to s.sender (pointer + 1);
+        s.failures <- 0
+      end
+    | None -> ()
+  end
+  | Receiving (provider, receiver) -> begin
+    match Two_bit.Receiver.outcome receiver with
+    | Some (Two_bit.Success, (parity, data)) ->
+      let stream = List.assoc provider s.streams in
+      One_hop.Receiver.push_two_bit stream ~parity ~data;
+      try_commit s
+    | Some (Two_bit.Failure, _) | None -> ()
+  end
+  | Idle | Blocking _ | Passive -> ()
+
+let act ctx s round =
+  let interval = Schedule.interval_of_round round in
+  let phase = Schedule.phase_of_round round in
+  if interval <> s.cur_interval then setup_interval ctx s interval;
+  let transmit =
+    match s.role with
+    | Idle | Passive -> false
+    | Sending (sender, _) -> Two_bit.Sender.act sender ~phase
+    | Blocking blocker -> Two_bit.Blocker.act blocker ~phase
+    | Receiving (_, receiver) -> Two_bit.Receiver.act receiver ~phase
+  in
+  if transmit then Engine.Transmit Msg.Blip else Engine.Silent
+
+let observe ctx s round obs =
+  let interval = Schedule.interval_of_round round in
+  let phase = Schedule.phase_of_round round in
+  if interval <> s.cur_interval then setup_interval ctx s interval;
+  let activity = Channel.is_activity obs in
+  begin
+    match s.role with
+    | Idle | Passive -> ()
+    | Sending (sender, parity) ->
+      (* Square catch-up, trigger 1: silent in the parity round but heard
+         parity activity, and the next bit is already committed — the rest
+         of the square is one bit ahead; join them. *)
+      if phase = 0 && (not parity) && activity
+         && One_hop.Sender.total s.sender > One_hop.Sender.sent s.sender + 1
+      then begin
+        One_hop.Sender.skip_to s.sender (One_hop.Sender.sent s.sender + 1);
+        s.failures <- 0;
+        s.role <- Passive
+      end
+      else Two_bit.Sender.observe sender ~phase ~activity
+    | Blocking blocker -> Two_bit.Blocker.observe blocker ~phase ~activity
+    | Receiving (_, receiver) -> Two_bit.Receiver.observe receiver ~phase ~activity
+  end;
+  if phase = Schedule.rounds_per_interval - 1 then finish_interval s
+
+(* --- construction ---------------------------------------------------- *)
+
+let machine ?initial_commit ctx id role =
+  let config = ctx.config in
+  let pos = Topology.position ctx.topology id in
+  let my_square = Squares.square_of ctx.squares pos in
+  let is_source = id = ctx.source in
+  let senses_source =
+    Array.exists (fun { Topology.peer; _ } -> peer = ctx.source) ctx.topology.Topology.sensed.(id)
+  in
+  let adjacent = Squares.neighbors ctx.squares my_square in
+  let listen =
+    let squares_listen =
+      List.map (fun sq -> (Schedule.slot_of ctx.schedule sq, Sq sq)) adjacent
+    in
+    if (not is_source) && senses_source then (Schedule.source_slot, Src) :: squares_listen
+    else squares_listen
+  in
+  let streams = List.map (fun (_, provider) -> (provider, One_hop.Receiver.create ())) listen in
+  let s =
+    {
+      my_square;
+      my_slot = Schedule.slot_of ctx.schedule my_square;
+      is_source;
+      listen;
+      committed = Buffer.create 16;
+      sender = One_hop.Sender.create ();
+      streams;
+      role = Idle;
+      cur_interval = -1;
+      failures = 0;
+      liar_attempts = (match role with Liar _ -> Some 3 | Source _ | Relay -> None);
+      msg_len = config.msg_len;
+      votes = config.votes;
+      catchup_failures = config.catchup_failures;
+      pipelined = config.pipelined;
+    }
+  in
+  begin
+    match role with
+    | Source message | Liar message ->
+      assert (Bitvec.length message = config.msg_len);
+      Bitvec.fold_left (fun () bit -> commit_bit s bit) () message
+    | Relay -> begin
+      (* Bits this node committed in a previous epoch of a mobile run stay
+         committed: commitment is a local, already-authenticated fact. *)
+      match initial_commit with
+      | Some prefix ->
+        assert (Bitvec.length prefix <= config.msg_len);
+        Bitvec.fold_left (fun () bit -> commit_bit s bit) () prefix
+      | None -> ()
+    end
+  end;
+  Hashtbl.replace ctx.states id s;
+  {
+    Engine.act = (fun round -> act ctx s round);
+    observe = (fun round obs -> observe ctx s round obs);
+    delivered = (fun () -> delivered s);
+  }
+
+let committed_bits ctx id =
+  match Hashtbl.find_opt ctx.states id with
+  | None -> invalid_arg "Neighbor_watch.committed_bits: unknown node"
+  | Some s -> Bitvec.init (committed_len s) (committed_bit s)
+
+let progress ctx =
+  Hashtbl.fold
+    (fun _ s acc ->
+      List.fold_left
+        (fun acc (_, receiver) -> acc + One_hop.Receiver.received receiver)
+        (acc + committed_len s) s.streams)
+    ctx.states 0

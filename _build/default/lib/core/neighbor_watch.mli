@@ -1,0 +1,72 @@
+(** NeighborWatchRB (Section 4, Level 2): authenticated multi-hop broadcast
+    by neighbourhood watch.
+
+    The plane is partitioned into squares small enough that any node in a
+    square can communicate with any node in an adjacent square.  All honest
+    members of a square act as one meta-node running the 1Hop-Protocol
+    towards the nodes of adjacent squares: members that have committed to
+    the next bit transmit it together; a member that has not vetoes the
+    exchange (the "neighbourhood watch"), so corrupt data can leave a
+    square only if the square contains no honest node at all — hence the
+    tolerance [t < ⌈R/2⌉²] per neighbourhood, or roughly [t < R²/2] for the
+    2-voting variant ([votes = 2]), where a node commits a bit only after
+    receiving it from two different adjacent squares.
+
+    A node commits to bit [i] when some adjacent square's stream (or the
+    source itself, which is authenticated directly by Theorem 2) agrees
+    with its whole committed prefix and extends it; committed bits are
+    queued on the node's own square stream for forwarding.  The message is
+    delivered once all [msg_len] bits are committed.
+
+    The [`Liar] role reproduces the paper's lying experiments: the device
+    runs this exact protocol but starts out committed to a fake message —
+    it "appears correct" to its neighbours. *)
+
+type config = {
+  radius : float;  (** communication radius R *)
+  square_side : float;  (** side of the meta-node squares *)
+  votes : int;  (** 1 (default protocol) or 2 (2-voting variant) *)
+  msg_len : int;  (** broadcast message length, known to all nodes *)
+  catchup_failures : int;
+      (** consecutive 2Bit failures after which a member that already knows
+          the next bit skips forward (square catch-up rule, DESIGN.md) *)
+  pipelined : bool;
+      (** [true] (the protocol): forward each bit as soon as it commits.
+          [false]: store-and-forward ablation — forward only once the whole
+          message has been committed, the naive layering whose running time
+          is Ω(β·D·log|Σ|) (Section 1, "Analysis"). *)
+}
+
+val default_config : radius:float -> msg_len:int -> config
+(** Simulation sizing: squares of side R/3, 1-voting, catch-up after 25
+    failures. *)
+
+val analytic_config : radius:float -> msg_len:int -> config
+(** Analytic sizing: squares of side ⌈R/2⌉. *)
+
+type ctx
+
+val make_ctx : config -> topology:Topology.t -> source:Node.id -> ctx
+val schedule : ctx -> Schedule.t
+val squares : ctx -> Squares.t
+
+type role =
+  | Source of Bitvec.t  (** the broadcast source and its message *)
+  | Relay  (** an ordinary honest device *)
+  | Liar of Bitvec.t  (** runs the protocol pre-committed to a fake message *)
+
+val machine : ?initial_commit:Bitvec.t -> ctx -> Node.id -> role -> Msg.t Engine.machine
+(** The engine machine for one node.  [Source]/[Liar] payloads must have
+    length [msg_len].  [initial_commit] pre-seeds a [Relay] with a prefix
+    it committed earlier (epoch hand-over in mobile runs, see {!Mobile});
+    commitment is a local fact, so it survives re-clustering. *)
+
+val committed_bits : ctx -> Node.id -> Bitvec.t
+(** Prefix committed so far by a node built with [machine] (for tests and
+    progress inspection).  Requires that the node's machine exists. *)
+
+val progress : ctx -> int
+(** Monotone progress counter over all machines of this context: total
+    committed bits plus total stream bits received.  When it stops growing
+    for a long time the network is wedged (e.g. honest square members
+    permanently vetoing liars) and a simulation can be cut short. *)

@@ -1,0 +1,38 @@
+let parity_of_index i = i mod 2 = 0
+
+module Sender = struct
+  type t = { queue : Buffer.t; mutable pointer : int }
+  (* [queue] stores stream bits as '0'/'1' bytes: cheap append and random
+     access without a functional-queue rebuild per interval. *)
+
+  let create () = { queue = Buffer.create 16; pointer = 0 }
+  let push t bit = Buffer.add_char t.queue (if bit then '1' else '0')
+  let total t = Buffer.length t.queue
+  let has_current t = t.pointer < total t
+
+  let current t =
+    assert (has_current t);
+    (parity_of_index t.pointer, Buffer.nth t.queue t.pointer = '1')
+
+  let advance t = if has_current t then t.pointer <- t.pointer + 1
+  let skip_to t n = if n > t.pointer then t.pointer <- min n (total t)
+  let sent t = t.pointer
+end
+
+module Receiver = struct
+  type t = { stream : Buffer.t }
+
+  let create () = { stream = Buffer.create 16 }
+  let received t = Buffer.length t.stream
+
+  let push_two_bit t ~parity ~data =
+    let expected = parity_of_index (received t) in
+    if parity = expected then Buffer.add_char t.stream (if data then '1' else '0')
+
+  let get t i = Buffer.nth t.stream i = '1'
+  let bits t = Bitvec.init (received t) (get t)
+
+  let prefix t n =
+    assert (received t >= n);
+    Bitvec.init n (get t)
+end

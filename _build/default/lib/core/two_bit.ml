@@ -1,0 +1,93 @@
+type outcome = Success | Failure
+
+module Sender = struct
+  type t = {
+    b1 : bool;
+    b2 : bool;
+    mutable ack1 : bool;
+    mutable ack2 : bool;
+    mutable veto_sent : bool;
+    mutable result : outcome option;
+  }
+
+  let create ~b1 ~b2 =
+    { b1; b2; ack1 = false; ack2 = false; veto_sent = false; result = None }
+
+  let mismatch t = t.ack1 <> t.b1 || t.ack2 <> t.b2
+
+  let act t ~phase =
+    match phase with
+    | 0 -> t.b1
+    | 2 -> t.b2
+    | 4 ->
+      let veto = mismatch t in
+      t.veto_sent <- veto;
+      veto
+    | 1 | 3 | 5 -> false
+    | _ -> invalid_arg "Two_bit.Sender.act: bad phase"
+
+  let observe t ~phase ~activity =
+    match phase with
+    | 1 -> t.ack1 <- activity
+    | 3 -> t.ack2 <- activity
+    | 5 -> t.result <- Some (if t.veto_sent || activity then Failure else Success)
+    | 0 | 2 | 4 -> ()
+    | _ -> invalid_arg "Two_bit.Sender.observe: bad phase"
+
+  let outcome t = t.result
+  let vetoed t = t.veto_sent
+end
+
+module Receiver = struct
+  type t = {
+    mutable act1 : bool;
+    mutable act2 : bool;
+    mutable veto_seen : bool;
+    mutable done_ : bool;
+  }
+
+  let create () = { act1 = false; act2 = false; veto_seen = false; done_ = false }
+
+  let act t ~phase =
+    match phase with
+    | 1 -> t.act1
+    | 3 -> t.act2
+    | 5 -> t.veto_seen
+    | 0 | 2 | 4 -> false
+    | _ -> invalid_arg "Two_bit.Receiver.act: bad phase"
+
+  let observe t ~phase ~activity =
+    match phase with
+    | 0 -> t.act1 <- activity
+    | 2 -> t.act2 <- activity
+    | 4 ->
+      t.veto_seen <- activity;
+      t.done_ <- true
+    | 1 | 3 | 5 -> ()
+    | _ -> invalid_arg "Two_bit.Receiver.observe: bad phase"
+
+  let outcome t =
+    if not t.done_ then None
+    else if t.veto_seen then Some (Failure, (t.act1, t.act2))
+    else Some (Success, (t.act1, t.act2))
+end
+
+module Blocker = struct
+  type t = { mutable saw_data : bool }
+
+  let create () = { saw_data = false }
+
+  let act t ~phase =
+    match phase with
+    | 4 | 5 -> t.saw_data
+    | 0 | 1 | 2 | 3 -> false
+    | _ -> invalid_arg "Two_bit.Blocker.act: bad phase"
+
+  let observe t ~phase ~activity =
+    match phase with
+    | 0 | 2 -> if activity then t.saw_data <- true
+    | 1 | 3 | 4 | 5 -> ()
+    | _ -> invalid_arg "Two_bit.Blocker.observe: bad phase"
+
+  let saw_data t = t.saw_data
+end

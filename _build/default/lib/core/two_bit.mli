@@ -1,0 +1,66 @@
+(** The 2Bit-Protocol (Section 4, Level 1).
+
+    Transmits two bits [⟨b1, b2⟩] from a sender to every honest receiver in
+    its neighbourhood within one 6-round broadcast interval:
+
+    - R1 (phase 0): sender transmits iff [b1 = 1];
+    - R2 (phase 1): every receiver that sensed activity in R1 acknowledges;
+    - R3 (phase 2): sender transmits iff [b2 = 1];
+    - R4 (phase 3): receivers that sensed activity in R3 acknowledge;
+    - R5 (phase 4): the sender vetoes if the acknowledgement pattern does
+      not match what it sent;
+    - R6 (phase 5): receivers relay any veto they sensed in R5 back to the
+      sender.
+
+    A receiver returns success (with its bit estimates) iff R5 was silent; a
+    sender returns success iff it did not veto and R6 was silent.  The
+    sub-machines here are pure per-interval state machines; the engine
+    adapter drives [act] then [observe] for each phase.  All three ignore
+    observations in a phase where they themselves transmitted (half-duplex
+    radios).
+
+    [Blocker] is the neighbourhood-watch role (Section 4, Level 2): a
+    square member with nothing new to send vetoes any transmission it
+    detects during its own square's data rounds, so data leaves a square
+    only when every member has committed to it. *)
+
+type outcome = Success | Failure
+
+module Sender : sig
+  type t
+
+  val create : b1:bool -> b2:bool -> t
+  val act : t -> phase:int -> bool
+  (** Whether to transmit in this phase (phases are 0–5). *)
+
+  val observe : t -> phase:int -> activity:bool -> unit
+  val outcome : t -> outcome option
+  (** Available after phase 5 has been observed. *)
+
+  val vetoed : t -> bool
+  (** Whether the sender itself vetoed in R5. *)
+end
+
+module Receiver : sig
+  type t
+
+  val create : unit -> t
+  val act : t -> phase:int -> bool
+  val observe : t -> phase:int -> activity:bool -> unit
+
+  val outcome : t -> (outcome * (bool * bool)) option
+  (** Available after phase 4 has been observed: the result and the
+      estimates of [(b1, b2)]. *)
+end
+
+module Blocker : sig
+  type t
+
+  val create : unit -> t
+  val act : t -> phase:int -> bool
+  val observe : t -> phase:int -> activity:bool -> unit
+
+  val saw_data : t -> bool
+  (** Whether any activity was detected in the data rounds R1/R3 (i.e. the
+      blocker had something to veto). *)
+end

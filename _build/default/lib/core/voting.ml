@@ -1,0 +1,39 @@
+type origin = int * int
+type item = { origin : origin; value : bool; points : Point.t list }
+
+let distinct_origins ~value items =
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun item -> if item.value = value then Hashtbl.replace seen item.origin ())
+    items;
+  Hashtbl.length seen
+
+let count_in_window items ~x0 ~y0 ~size =
+  let inside (p : Point.t) =
+    p.x >= x0 -. 1e-9 && p.x <= x0 +. size +. 1e-9 && p.y >= y0 -. 1e-9
+    && p.y <= y0 +. size +. 1e-9
+  in
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun item ->
+      if (not (Hashtbl.mem seen item.origin)) && List.for_all inside item.points then
+        Hashtbl.replace seen item.origin ())
+    items;
+  Hashtbl.length seen
+
+let quorum ~radius ~need ~value items =
+  let voting = List.filter (fun item -> item.value = value) items in
+  if need <= 0 then true
+  else if distinct_origins ~value voting < need then false
+  else begin
+    let size = 2.0 *. radius in
+    let points = List.concat_map (fun item -> item.points) voting in
+    (* A minimal window has its left edge at some point's x and its top
+       edge at some point's y, so anchoring candidates there is complete. *)
+    let xs = List.sort_uniq compare (List.map (fun (p : Point.t) -> p.x) points) in
+    let ys = List.sort_uniq compare (List.map (fun (p : Point.t) -> p.y) points) in
+    List.exists
+      (fun x0 ->
+        List.exists (fun y0 -> count_in_window voting ~x0 ~y0 ~size >= need) ys)
+      xs
+  end

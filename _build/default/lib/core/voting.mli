@@ -1,0 +1,33 @@
+(** The MultiPathRB commit rule (Section 4, Level 2).
+
+    A node may commit to a bit value once it holds at least [t + 1] pieces
+    of evidence — COMMIT messages and HEARD messages — whose senders and
+    causes all lie in one common neighbourhood [N]: since at most [t] nodes
+    of any neighbourhood are Byzantine, at least one piece must then come
+    from an honest node, which authenticates the value.
+
+    Evidence items are keyed by their *origin* (the committing node: the
+    sender of a COMMIT, or the cause of a HEARD), because [t + 1] copies
+    must arrive through node-disjoint paths; multiple items from the same
+    origin count once.  Each item carries the set of points that must fit
+    in [N]: the origin's position, plus the witness's position for HEARD
+    evidence.
+
+    A point set fits some L-infinity ball of radius [R] iff it fits a
+    [2R × 2R] window; [quorum] scans candidate windows anchored at evidence
+    coordinates.  (For the Euclidean simulation model this box test is the
+    standard L-infinity approximation of the neighbourhood; the analytic
+    model is exactly L-infinity.) *)
+
+type origin = int * int
+(** Quantised position used as the identity of a committing node. *)
+
+type item = { origin : origin; value : bool; points : Point.t list }
+
+val quorum : radius:float -> need:int -> value:bool -> item list -> bool
+(** [quorum ~radius ~need ~value items]: is there a set of at least [need]
+    items with distinct origins, all carrying [value], whose point sets fit
+    together in one L-infinity ball of radius [radius]? *)
+
+val distinct_origins : value:bool -> item list -> int
+(** Number of distinct origins voting for [value] (the cheap pre-check). *)

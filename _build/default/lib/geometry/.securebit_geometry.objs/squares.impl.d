@@ -1,0 +1,1 @@
+lib/geometry/squares.ml: List Point

@@ -1,0 +1,1 @@
+lib/geometry/squares.mli: Point

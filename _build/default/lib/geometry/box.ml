@@ -1,0 +1,88 @@
+type t = { x_min : float; y_min : float; x_max : float; y_max : float }
+
+let of_points = function
+  | [] -> invalid_arg "Box.of_points: empty list"
+  | p :: ps ->
+    List.fold_left
+      (fun b (q : Point.t) ->
+        {
+          x_min = min b.x_min q.x;
+          y_min = min b.y_min q.y;
+          x_max = max b.x_max q.x;
+          y_max = max b.y_max q.y;
+        })
+      { x_min = p.Point.x; y_min = p.Point.y; x_max = p.Point.x; y_max = p.Point.y }
+      ps
+
+let contains b (p : Point.t) =
+  p.x >= b.x_min && p.x <= b.x_max && p.y >= b.y_min && p.y <= b.y_max
+
+let width b = b.x_max -. b.x_min
+let height b = b.y_max -. b.y_min
+
+let fit_in_linf_ball ~radius = function
+  | [] -> true
+  | pts ->
+    let b = of_points pts in
+    width b <= 2.0 *. radius && height b <= 2.0 *. radius
+
+(* Minimum enclosing circle, Welzl's algorithm without randomization (the
+   evidence sets involved are tiny, so the worst case does not matter). *)
+let circle_from2 (a : Point.t) (b : Point.t) =
+  let cx = (a.x +. b.x) /. 2.0 and cy = (a.y +. b.y) /. 2.0 in
+  (Point.make cx cy, Point.dist_l2 a b /. 2.0)
+
+let circle_from3 (a : Point.t) (b : Point.t) (c : Point.t) =
+  let ax = a.x and ay = a.y in
+  let bx = b.x -. ax and by = b.y -. ay in
+  let cx = c.x -. ax and cy = c.y -. ay in
+  let d = 2.0 *. ((bx *. cy) -. (by *. cx)) in
+  if abs_float d < 1e-12 then None
+  else begin
+    let b2 = (bx *. bx) +. (by *. by) in
+    let c2 = (cx *. cx) +. (cy *. cy) in
+    let ux = ((cy *. b2) -. (by *. c2)) /. d in
+    let uy = ((bx *. c2) -. (cx *. b2)) /. d in
+    let centre = Point.make (ax +. ux) (ay +. uy) in
+    Some (centre, Point.dist_l2 centre a)
+  end
+
+let in_circle (centre, r) p = Point.dist_l2 centre p <= r +. 1e-9
+
+let trivial_circle = function
+  | [] -> (Point.make 0.0 0.0, 0.0)
+  | [ p ] -> (p, 0.0)
+  | [ p; q ] -> circle_from2 p q
+  | [ p; q; r ] -> (
+    match circle_from3 p q r with
+    | Some c -> c
+    | None ->
+      (* Collinear boundary: the widest pair determines the circle. *)
+      let pairs = [ (p, q); (p, r); (q, r) ] in
+      let widest =
+        List.fold_left
+          (fun (best, d) (a, b) ->
+            let d' = Point.dist_l2 a b in
+            if d' > d then ((a, b), d') else (best, d))
+          (((p, q) : Point.t * Point.t), Point.dist_l2 p q)
+          pairs
+      in
+      let (a, b), _ = widest in
+      circle_from2 a b)
+  | _ -> assert false (* a circle boundary never needs more than 3 points *)
+
+let rec mec points boundary =
+  if List.length boundary = 3 then trivial_circle boundary
+  else begin
+    match points with
+    | [] -> trivial_circle boundary
+    | p :: ps ->
+      let c = mec ps boundary in
+      if in_circle c p then c else mec ps (p :: boundary)
+  end
+
+let fit_in_l2_ball ~radius = function
+  | [] -> true
+  | pts ->
+    let _, r = mec pts [] in
+    r <= radius +. 1e-9

@@ -1,0 +1,25 @@
+(** Axis-aligned boxes and the common-neighbourhood test of MultiPathRB.
+
+    The MultiPathRB commit rule (Section 4) asks whether a set of evidence
+    points all lie in *some* neighbourhood [N], i.e. some L-infinity ball of
+    radius [R].  A point set fits in such a ball iff its bounding box has
+    width and height at most [2R]; [fit_in_linf_ball] tests exactly that. *)
+
+type t = { x_min : float; y_min : float; x_max : float; y_max : float }
+
+val of_points : Point.t list -> t
+(** Bounding box; raises [Invalid_argument] on the empty list. *)
+
+val contains : t -> Point.t -> bool
+val width : t -> float
+val height : t -> float
+
+val fit_in_linf_ball : radius:float -> Point.t list -> bool
+(** [fit_in_linf_ball ~radius pts] iff there exists a centre [c] with every
+    point of [pts] within L-infinity distance [radius] of [c].  True for the
+    empty list. *)
+
+val fit_in_l2_ball : radius:float -> Point.t list -> bool
+(** Same question for Euclidean balls, decided by the minimum enclosing
+    circle (Welzl's algorithm); used when simulating MultiPathRB on the
+    realistic L2 radio model. *)

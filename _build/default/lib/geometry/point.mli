@@ -1,0 +1,23 @@
+(** Points in the plane and the two metrics used by the paper.
+
+    The analytical model (Section 3) places nodes on an integer grid and uses
+    the L-infinity norm: [v] neighbours [w] iff [|x2-x1| <= R] and
+    [|y2-y1| <= R].  The simulation model uses Euclidean (L2) distance under
+    Friis free-space propagation. *)
+
+type t = { x : float; y : float }
+
+val make : float -> float -> t
+val dist_l2 : t -> t -> float
+val dist_linf : t -> t -> float
+val within_l2 : float -> t -> t -> bool
+(** [within_l2 r a b] iff [dist_l2 a b <= r]. *)
+
+val within_linf : float -> t -> t -> bool
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+type metric = L2 | Linf
+
+val dist : metric -> t -> t -> float
+val within : metric -> float -> t -> t -> bool

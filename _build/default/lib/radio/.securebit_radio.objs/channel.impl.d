@@ -1,0 +1,1 @@
+lib/radio/channel.ml: Format List Rng

@@ -1,0 +1,1 @@
+lib/radio/channel.mli: Format Rng

@@ -1,0 +1,51 @@
+type 'a observation = Silence | Clear of 'a | Busy
+type 'a tx = { power : float; payload : 'a }
+type params = { capture_ratio : float; loss_prob : float }
+
+let ideal = { capture_ratio = infinity; loss_prob = 0.0 }
+let realistic = { capture_ratio = 3.0; loss_prob = 0.01 }
+
+let resolve ?rng params ~sense_threshold txs =
+  let sensed = List.filter (fun tx -> tx.power >= sense_threshold) txs in
+  match sensed with
+  | [] -> Silence
+  | _ ->
+    let lost tx =
+      tx.power >= 1.0
+      &&
+      match rng with
+      | Some r when params.loss_prob > 0.0 -> Rng.bernoulli r params.loss_prob
+      | Some _ | None ->
+        if params.loss_prob > 0.0 then
+          invalid_arg "Channel.resolve: loss_prob > 0 requires an rng";
+        false
+    in
+    let decodable = List.filter (fun tx -> tx.power >= 1.0 && not (lost tx)) sensed in
+    let total = List.fold_left (fun acc tx -> acc +. tx.power) 0.0 sensed in
+    let capture tx =
+      let interference = total -. tx.power in
+      interference <= 0.0
+      || params.capture_ratio < infinity && tx.power >= params.capture_ratio *. interference
+    in
+    let strongest_first =
+      List.sort (fun a b -> compare b.power a.power) decodable
+    in
+    begin
+      match strongest_first with
+      | [] -> Busy
+      | [ tx ] when List.length sensed = 1 -> Clear tx.payload
+      | tx :: _ -> if capture tx then Clear tx.payload else Busy
+    end
+
+let is_activity = function Silence -> false | Clear _ | Busy -> true
+
+let equal eq a b =
+  match (a, b) with
+  | Silence, Silence | Busy, Busy -> true
+  | Clear x, Clear y -> eq x y
+  | (Silence | Clear _ | Busy), _ -> false
+
+let pp pp_payload fmt = function
+  | Silence -> Format.pp_print_string fmt "silence"
+  | Busy -> Format.pp_print_string fmt "busy"
+  | Clear x -> Format.fprintf fmt "clear(%a)" pp_payload x

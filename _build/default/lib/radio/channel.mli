@@ -1,0 +1,46 @@
+(** Per-receiver channel resolution with carrier sensing.
+
+    The protocols only ever see the MAC-level observation triple of the
+    paper's model: silence, a cleanly decoded message, or detectable
+    activity (a collision, jamming noise, or an undecodable weak/lost
+    packet).  Byzantine nodes can turn silence into activity but can never
+    turn a transmission into silence — the asymmetry all the protocols are
+    built on. *)
+
+type 'a observation =
+  | Silence  (** no energy on the channel *)
+  | Clear of 'a  (** exactly one message decoded *)
+  | Busy  (** energy sensed but nothing decoded (collision / jam / loss) *)
+
+type 'a tx = { power : float; payload : 'a }
+(** One transmission as seen by a given receiver ([power] is normalised so
+    that 1.0 is the decode threshold). *)
+
+type params = {
+  capture_ratio : float;
+      (** A signal is captured (decoded despite interference) when its power
+          is at least [capture_ratio] times the sum of all other sensed
+          power.  [infinity] disables capture, matching the pessimistic
+          collision rule of the analytic model. *)
+  loss_prob : float;
+      (** Probability that an otherwise decodable packet is lost; the energy
+          is still sensed.  Models the packet losses the paper notes its
+          simulation setup captures and its analysis does not. *)
+}
+
+val ideal : params
+(** No capture, no loss: the analytic model. *)
+
+val realistic : params
+(** Capture ratio 3.0 (≈5 dB) and 1% packet loss: the WSNet-like setup. *)
+
+val resolve : ?rng:Rng.t -> params -> sense_threshold:float -> 'a tx list -> 'a observation
+(** Resolve what one receiver observes in one round given all transmissions
+    that reach it.  [rng] is required whenever [loss_prob > 0]. *)
+
+val is_activity : 'a observation -> bool
+(** [true] unless [Silence] — the carrier-sense predicate used throughout
+    the 2Bit-Protocol. *)
+
+val equal : ('a -> 'a -> bool) -> 'a observation -> 'a observation -> bool
+val pp : (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a observation -> unit

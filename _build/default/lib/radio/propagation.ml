@@ -1,0 +1,30 @@
+type t =
+  | Disk of Point.metric * float
+  | Friis of { rx_range : float; sense_range : float }
+
+let disk_linf r = Disk (Point.Linf, r)
+let disk_l2 r = Disk (Point.L2, r)
+
+let friis ?(sense_factor = 1.8) r =
+  assert (r > 0.0 && sense_factor >= 1.0);
+  Friis { rx_range = r; sense_range = sense_factor *. r }
+
+let received_power t ~src ~dst =
+  match t with
+  | Disk (metric, r) -> if Point.within metric r src dst then 1.0 else 0.0
+  | Friis { rx_range; sense_range = _ } ->
+    let d = Point.dist_l2 src dst in
+    if d <= 0.0 then infinity
+    else begin
+      let ratio = rx_range /. d in
+      ratio *. ratio
+    end
+
+let sense_threshold = function
+  | Disk _ -> 0.5
+  | Friis { rx_range; sense_range } ->
+    let ratio = rx_range /. sense_range in
+    ratio *. ratio
+
+let rx_range = function Disk (_, r) -> r | Friis { rx_range; _ } -> rx_range
+let sense_range = function Disk (_, r) -> r | Friis { sense_range; _ } -> sense_range

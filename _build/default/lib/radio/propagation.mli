@@ -1,0 +1,41 @@
+(** Radio propagation models.
+
+    Powers are normalised so that the reception threshold is 1.0: a signal
+    decodes iff its received power is at least 1.0 and is carrier-sensed iff
+    its power is at least the model's sense threshold.
+
+    - [Disk] is the idealised model of the paper's analysis: full power
+      within the communication radius (under the chosen metric), nothing
+      beyond it.
+    - [Friis] is the free-space path-loss model used by WSNet for the
+      simulations: power decays as [1/d²], parameterised here by the
+      distance at which decoding stops ([rx_range]) and the larger distance
+      at which the channel can still be carrier-sensed ([sense_range]). *)
+
+type t =
+  | Disk of Point.metric * float  (** metric and communication radius *)
+  | Friis of { rx_range : float; sense_range : float }
+
+val disk_linf : float -> t
+(** Analytic model: L-infinity disk of the given radius. *)
+
+val disk_l2 : float -> t
+(** Unit-disk model under Euclidean distance. *)
+
+val friis : ?sense_factor:float -> float -> t
+(** [friis r] is free space with decode range [r] and sense range
+    [sense_factor · r] (default factor 1.8, i.e. energy is detectable well
+    past the decode range, as with a real carrier-sensing MAC). *)
+
+val received_power : t -> src:Point.t -> dst:Point.t -> float
+(** Normalised power of a unit transmission from [src] at [dst]. *)
+
+val sense_threshold : t -> float
+(** Normalised power above which the channel appears busy. *)
+
+val rx_range : t -> float
+(** Nominal decode range (used for topology statistics). *)
+
+val sense_range : t -> float
+(** Maximal distance at which a transmission has any effect; neighbour
+    tables must include every node within this distance. *)

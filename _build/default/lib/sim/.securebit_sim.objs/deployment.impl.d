@@ -1,0 +1,1 @@
+lib/sim/deployment.ml: Array List Node Point Rng

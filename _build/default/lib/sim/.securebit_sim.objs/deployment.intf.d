@@ -1,0 +1,1 @@
+lib/sim/deployment.mli: Node Point Rng

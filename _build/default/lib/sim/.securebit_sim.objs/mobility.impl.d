@@ -1,0 +1,1 @@
+lib/sim/mobility.ml: Array Deployment Node Point Rng Stats

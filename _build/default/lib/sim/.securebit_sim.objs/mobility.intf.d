@@ -1,0 +1,1 @@
+lib/sim/mobility.mli: Deployment Rng

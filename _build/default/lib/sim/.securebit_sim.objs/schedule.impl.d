@@ -1,0 +1,1 @@
+lib/sim/schedule.ml: Array Deployment Hashtbl List Node Point Squares Topology

@@ -1,0 +1,1 @@
+lib/sim/topology.mli: Deployment Node Point Propagation

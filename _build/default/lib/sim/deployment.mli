@@ -1,0 +1,39 @@
+(** Device deployments.
+
+    The paper analyses a unit grid and simulates maps of 20×20 to 60×60
+    length units with up to 4000 nodes placed uniformly at random or in
+    clusters (normal scatter around random centres, sampled with Marsaglia's
+    polar method). *)
+
+type t = { width : float; height : float; nodes : Node.t array }
+
+val grid : width:int -> height:int -> t
+(** One node at every integer point of the [width × height] grid (the
+    analytic model).  Node ids are assigned in row-major order. *)
+
+val uniform : Rng.t -> n:int -> width:float -> height:float -> t
+(** [n] nodes placed independently and uniformly at random. *)
+
+val clustered :
+  Rng.t -> n:int -> clusters:int -> stddev:float -> width:float -> height:float -> t
+(** [clusters] centres placed uniformly at random; each node picks a random
+    centre and scatters around it with a symmetric normal of the given
+    standard deviation, clamped to the map. *)
+
+val density : t -> float
+(** Nodes per unit area (the paper's density measure). *)
+
+val size : t -> int
+val node_at : t -> Point.t -> Node.id option
+(** Id of a node at exactly this position, if any (grid deployments). *)
+
+val closest_to : t -> Point.t -> Node.id
+(** Id of the node closest (L2) to a point; the experiments use it to pick
+    the source at the centre of the map.  Requires a non-empty deployment. *)
+
+val center_node : t -> Node.id
+(** [closest_to] the map centre. *)
+
+val subset : t -> keep:(Node.id -> bool) -> t
+(** Restrict to the nodes satisfying [keep]; ids are re-assigned densely in
+    the original order.  Used to crash devices out of a deployment. *)

@@ -1,0 +1,142 @@
+type 'm action = Silent | Transmit of 'm
+
+type 'm machine = {
+  act : int -> 'm action;
+  observe : int -> 'm Channel.observation -> unit;
+  delivered : unit -> Bitvec.t option;
+}
+
+let silent_machine =
+  { act = (fun _ -> Silent); observe = (fun _ _ -> ()); delivered = (fun () -> None) }
+
+type result = {
+  rounds_used : int;
+  hit_cap : bool;
+  delivered : Bitvec.t option array;
+  completion_round : int array;
+  broadcasts : int array;
+}
+
+let run ?rng ?(channel = Channel.ideal) ?stop_when ?idle_stop ~topology ~machines ~waiters ~cap
+    () =
+  let n = Topology.size topology in
+  if Array.length machines <> n || Array.length waiters <> n then
+    invalid_arg "Engine.run: machines/waiters size mismatch";
+  let broadcasts = Array.make n 0 in
+  let completion_round = Array.make n (-1) in
+  (* Outgoing links: receivers that sense node i, with received power. *)
+  let out = Array.make n [] in
+  Array.iteri
+    (fun receiver links ->
+      Array.iter
+        (fun { Topology.peer; power } -> out.(peer) <- (receiver, power) :: out.(peer))
+        links)
+    topology.Topology.sensed;
+  (* Flat per-receiver channel aggregates instead of transmission lists:
+     resolution only needs the sensed power sum, the strongest decodable
+     signal, and the signal counts, so the hot loop allocates (almost)
+     nothing.  Equivalence with the reference [Channel.resolve] is covered
+     by a property test. *)
+  let sum_power = Array.make n 0.0 in
+  let n_decodable = Array.make n 0 in
+  let best_power = Array.make n 0.0 in
+  let best_payload = Array.make n None in
+  let has_rx = Array.make n false in
+  let touched = ref [] in
+  let loss = channel.Channel.loss_prob in
+  let capture_ratio = channel.Channel.capture_ratio in
+  let pending = ref 0 in
+  Array.iter (fun w -> if w then incr pending) waiters;
+  let round = ref 0 in
+  let idle_rounds = ref 0 in
+  let stopped () =
+    !pending = 0
+    || (match idle_stop with Some k -> !idle_rounds >= k | None -> false)
+    ||
+    match stop_when with
+    | Some f when !round mod 96 = 0 -> f ()
+    | Some _ | None -> false
+  in
+  while (not (stopped ())) && !round < cap do
+    let r = !round in
+    let anyone_transmitted = ref false in
+    (* Phase 1: collect actions and fan transmissions out to receivers. *)
+    for i = 0 to n - 1 do
+      match machines.(i).act r with
+      | Silent -> ()
+      | Transmit payload ->
+        anyone_transmitted := true;
+        broadcasts.(i) <- broadcasts.(i) + 1;
+        let payload_opt = Some payload in
+        List.iter
+          (fun (receiver, power) ->
+            if not has_rx.(receiver) then begin
+              has_rx.(receiver) <- true;
+              touched := receiver :: !touched
+            end;
+            sum_power.(receiver) <- sum_power.(receiver) +. power;
+            let lost =
+              power >= 1.0 && loss > 0.0
+              &&
+              match rng with
+              | Some r -> Rng.bernoulli r loss
+              | None -> invalid_arg "Engine.run: loss_prob > 0 requires an rng"
+            in
+            if power >= 1.0 && not lost then begin
+              n_decodable.(receiver) <- n_decodable.(receiver) + 1;
+              if power > best_power.(receiver) then begin
+                best_power.(receiver) <- power;
+                best_payload.(receiver) <- payload_opt
+              end
+            end)
+          out.(i)
+    done;
+    (* Phase 2: resolve the channel at every node and deliver observations. *)
+    for i = 0 to n - 1 do
+      let obs =
+        if not has_rx.(i) then Channel.Silence
+        else if n_decodable.(i) = 0 then Channel.Busy
+        else begin
+          let interference = sum_power.(i) -. best_power.(i) in
+          if
+            interference <= 1e-12
+            || (capture_ratio < infinity && best_power.(i) >= capture_ratio *. interference)
+          then begin
+            match best_payload.(i) with
+            | Some payload -> Channel.Clear payload
+            | None -> assert false
+          end
+          else Channel.Busy
+        end
+      in
+      machines.(i).observe r obs
+    done;
+    List.iter
+      (fun i ->
+        sum_power.(i) <- 0.0;
+        n_decodable.(i) <- 0;
+        best_power.(i) <- 0.0;
+        best_payload.(i) <- None;
+        has_rx.(i) <- false)
+      !touched;
+    touched := [];
+    (* Phase 3: completion bookkeeping. *)
+    for i = 0 to n - 1 do
+      if completion_round.(i) < 0 then begin
+        match machines.(i).delivered () with
+        | Some _ ->
+          completion_round.(i) <- r;
+          if waiters.(i) then decr pending
+        | None -> ()
+      end
+    done;
+    if !anyone_transmitted then idle_rounds := 0 else incr idle_rounds;
+    incr round
+  done;
+  {
+    rounds_used = !round;
+    hit_cap = !round >= cap && !pending > 0;
+    delivered = Array.init n (fun i -> machines.(i).delivered ());
+    completion_round;
+    broadcasts;
+  }

@@ -1,0 +1,56 @@
+(** Synchronous round engine.
+
+    Time advances in slots ("rounds", Section 3); in each round every node
+    either transmits or listens, and each listener observes the resolution
+    of all transmissions that reach it (silence / clear message / busy).
+    This is the substrate replacing the WSNet simulator: the paper drives
+    its protocols from a synchronised TDMA clock, which a synchronous engine
+    reproduces exactly, while the channel model supplies the realistic
+    effects (capture, loss) the paper notes its analysis omits.
+
+    The engine is polymorphic in the on-air payload type ['m]. *)
+
+type 'm action = Silent | Transmit of 'm
+
+type 'm machine = {
+  act : int -> 'm action;  (** called once per round with the round number *)
+  observe : int -> 'm Channel.observation -> unit;
+      (** called once per round, after all [act]s, with what the node's
+          radio observed *)
+  delivered : unit -> Bitvec.t option;
+      (** the broadcast payload this node has accepted, once complete *)
+}
+
+val silent_machine : 'm machine
+(** A machine that never transmits and never delivers (crashed device). *)
+
+type result = {
+  rounds_used : int;  (** rounds executed before stopping *)
+  hit_cap : bool;  (** true when stopped by the round cap *)
+  delivered : Bitvec.t option array;  (** per-node accepted message *)
+  completion_round : int array;  (** first round with a delivery; -1 if none *)
+  broadcasts : int array;  (** transmissions made per node *)
+}
+
+val run :
+  ?rng:Rng.t ->
+  ?channel:Channel.params ->
+  ?stop_when:(unit -> bool) ->
+  ?idle_stop:int ->
+  topology:Topology.t ->
+  machines:'m machine array ->
+  waiters:bool array ->
+  cap:int ->
+  unit ->
+  result
+(** Run until every node marked in [waiters] has delivered (or [stop_when]
+    returns true, checked every 96 rounds), or until [cap] rounds.
+    [idle_stop], if given, also stops the run after that many consecutive
+    rounds in which nobody transmitted: all machines here are
+    schedule-driven, so a silent schedule cycle (beyond the one silent
+    cycle an all-zero parity/data pair can produce) means the network can
+    never make progress again — e.g. disconnected nodes in the crash
+    experiments.  Choose it of at least two full schedule cycles.
+    [channel] defaults to [Channel.ideal].  [rng] is needed whenever the
+    channel has losses.  [machines] and [waiters] must have one entry per
+    node of the topology. *)

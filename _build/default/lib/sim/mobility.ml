@@ -1,0 +1,88 @@
+type model = { speed : float; pause : int }
+
+type waypoint = { mutable target : Point.t; mutable pause_left : int }
+
+type t = {
+  model : model;
+  rng : Rng.t;
+  width : float;
+  height : float;
+  positions : Point.t array;
+  waypoints : waypoint array;
+}
+
+let random_point rng ~width ~height = Point.make (Rng.float rng width) (Rng.float rng height)
+
+let create rng model (d : Deployment.t) =
+  let width = d.Deployment.width and height = d.Deployment.height in
+  {
+    model;
+    rng;
+    width;
+    height;
+    positions = Array.map (fun (n : Node.t) -> n.Node.pos) d.Deployment.nodes;
+    waypoints =
+      Array.map
+        (fun (_ : Node.t) -> { target = random_point rng ~width ~height; pause_left = 0 })
+        d.Deployment.nodes;
+  }
+
+(* Advance one node by a travel distance, possibly across several
+   waypoints. *)
+let advance_node t i distance =
+  let w = t.waypoints.(i) in
+  let budget = ref distance in
+  while !budget > 1e-9 do
+    if w.pause_left > 0 then begin
+      (* Consume pause in distance-equivalent units so a single [advance]
+         call can span both pause and travel. *)
+      let pause_distance = float_of_int w.pause_left *. t.model.speed in
+      if pause_distance >= !budget then begin
+        w.pause_left <- w.pause_left - int_of_float (ceil (!budget /. t.model.speed));
+        budget := 0.0
+      end
+      else begin
+        budget := !budget -. pause_distance;
+        w.pause_left <- 0
+      end
+    end
+    else begin
+      let p = t.positions.(i) in
+      let d = Point.dist_l2 p w.target in
+      if d <= !budget then begin
+        t.positions.(i) <- w.target;
+        budget := !budget -. d;
+        w.target <- random_point t.rng ~width:t.width ~height:t.height;
+        w.pause_left <- t.model.pause
+      end
+      else begin
+        let frac = !budget /. d in
+        t.positions.(i) <-
+          Point.make
+            (p.Point.x +. (frac *. (w.target.Point.x -. p.Point.x)))
+            (p.Point.y +. (frac *. (w.target.Point.y -. p.Point.y)));
+        budget := 0.0
+      end
+    end
+  done
+
+let advance t ~rounds =
+  let distance = float_of_int rounds *. t.model.speed in
+  if distance > 0.0 then
+    Array.iteri (fun i _ -> advance_node t i distance) t.positions
+
+let deployment t =
+  {
+    Deployment.width = t.width;
+    height = t.height;
+    nodes = Array.mapi (fun i p -> Node.make i p) t.positions;
+  }
+
+let displacement t (reference : Deployment.t) =
+  let total =
+    Array.to_list
+      (Array.mapi
+         (fun i p -> Point.dist_l2 p reference.Deployment.nodes.(i).Node.pos)
+         t.positions)
+  in
+  Stats.mean total

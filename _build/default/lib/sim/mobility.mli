@@ -1,0 +1,26 @@
+(** Node mobility (the paper's future-work direction "adapting the
+    protocol to mobile nodes").
+
+    The classic random-waypoint model: each device picks a uniform target
+    on the map, travels towards it in straight line at its speed, pauses,
+    and repeats.  Positions advance in simulation rounds so mobility
+    composes with the round engine: the epoch-based mobile broadcast
+    (see {!Mobile}) alternates protocol epochs with position updates. *)
+
+type model = { speed : float (** map units per round *); pause : int (** rounds at target *) }
+
+type t
+
+val create : Rng.t -> model -> Deployment.t -> t
+(** Start from a deployment's positions; the deployment itself is not
+    modified. *)
+
+val advance : t -> rounds:int -> unit
+(** Move every node [rounds] rounds forward along its waypoint path. *)
+
+val deployment : t -> Deployment.t
+(** Current positions as a deployment (same map and node ids). *)
+
+val displacement : t -> Deployment.t -> float
+(** Mean distance between current positions and those of a reference
+    deployment (for tests and diagnostics). *)

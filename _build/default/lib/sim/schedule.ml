@@ -1,0 +1,72 @@
+let rounds_per_interval = 6
+let interval_of_round r = r / rounds_per_interval
+let phase_of_round r = r mod rounds_per_interval
+
+type t = { cycle : int; slots : int array }
+
+let cycle t = t.cycle
+let slot_of t group = t.slots.(group)
+let active_slot t ~interval = interval mod t.cycle
+let source_slot = 0
+
+let for_squares squares ~radius =
+  assert (radius > 0.0);
+  let side = Squares.side squares in
+  (* Same-slot squares at grid distance k have closest points (k-1)·side
+     apart; keep that above 3R. *)
+  let k = max 3 (1 + int_of_float (ceil (3.0 *. radius /. side))) in
+  let slots =
+    Array.init (Squares.count squares) (fun id ->
+        let cx, cy = Squares.coords squares id in
+        1 + (cx mod k) + (k * (cy mod k)))
+  in
+  { cycle = (k * k) + 1; slots }
+
+let for_nodes topology ~conflict_range ~source =
+  let deployment = topology.Topology.deployment in
+  let nodes = deployment.Deployment.nodes in
+  let n = Array.length nodes in
+  (* Conflict neighbours via a spatial hash of cell size [conflict_range]. *)
+  let cell_of (p : Point.t) =
+    (int_of_float (p.x /. conflict_range), int_of_float (p.y /. conflict_range))
+  in
+  let cells = Hashtbl.create (max 16 n) in
+  Array.iter
+    (fun (node : Node.t) ->
+      let key = cell_of node.pos in
+      Hashtbl.replace cells key (node.id :: (try Hashtbl.find cells key with Not_found -> [])))
+    nodes;
+  let conflicts id =
+    let p = nodes.(id).Node.pos in
+    let cx, cy = cell_of p in
+    let acc = ref [] in
+    for dx = -1 to 1 do
+      for dy = -1 to 1 do
+        match Hashtbl.find_opt cells (cx + dx, cy + dy) with
+        | None -> ()
+        | Some ids ->
+          List.iter
+            (fun j ->
+              if j <> id && Point.dist_l2 p nodes.(j).Node.pos <= conflict_range then
+                acc := j :: !acc)
+            ids
+      done
+    done;
+    !acc
+  in
+  let colors = Array.make n (-1) in
+  let max_color = ref 0 in
+  for id = 0 to n - 1 do
+    if id <> source then begin
+      let used = List.filter_map (fun j -> if colors.(j) >= 0 then Some colors.(j) else None)
+          (conflicts id)
+      in
+      let rec first_free c = if List.mem c used then first_free (c + 1) else c in
+      let c = first_free 0 in
+      colors.(id) <- c;
+      if c > !max_color then max_color := c
+    end
+  done;
+  let slots = Array.map (fun c -> if c < 0 then source_slot else c + 1) colors in
+  slots.(source) <- source_slot;
+  { cycle = !max_color + 2; slots }

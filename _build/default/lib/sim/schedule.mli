@@ -1,0 +1,39 @@
+(** TDMA broadcast schedules (Section 4, "Schedule").
+
+    Time is divided into 6-round broadcast intervals.  Each scheduled group
+    (a NeighborWatchRB square, or an individual node for MultiPathRB) owns
+    one slot per cycle; slots are reused spatially so that no two groups
+    whose transmissions could collide at any receiver — i.e. no two nodes
+    within distance 3R — share a slot.  The source always owns slot 0, the
+    first broadcast interval of every cycle. *)
+
+val rounds_per_interval : int
+(** 6: the length of one 2Bit-Protocol exchange. *)
+
+val interval_of_round : int -> int
+val phase_of_round : int -> int
+(** Position (0–5) inside the current interval. *)
+
+type t
+
+val cycle : t -> int
+(** Number of slots in a schedule cycle. *)
+
+val slot_of : t -> int -> int
+(** Slot of a group id.  The source group is always slot 0. *)
+
+val active_slot : t -> interval:int -> int
+(** Which slot owns a given interval. *)
+
+val source_slot : int
+(** 0. *)
+
+val for_squares : Squares.t -> radius:float -> t
+(** Square schedule: group ids are square ids.  The spatial-reuse factor
+    [k] is the least value keeping same-slot squares more than [3·radius]
+    apart, giving a cycle of [k² + 1] slots (the [+1] is the source's). *)
+
+val for_nodes : Topology.t -> conflict_range:float -> source:Node.id -> t
+(** Per-node schedule by greedy colouring of the conflict graph (nodes
+    within [conflict_range]); group ids are node ids; the source is slot 0
+    regardless of its position. *)

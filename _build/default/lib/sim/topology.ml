@@ -1,0 +1,90 @@
+type link = { peer : Node.id; power : float }
+
+type t = {
+  deployment : Deployment.t;
+  prop : Propagation.t;
+  sensed : link array array;
+  rx : Node.id array array;
+}
+
+(* Spatial hash with cells of the sense range: all neighbours of a node lie
+   in its own or the 8 surrounding cells. *)
+let build (deployment : Deployment.t) prop =
+  let nodes = deployment.Deployment.nodes in
+  let n = Array.length nodes in
+  let reach = max 1e-6 (Propagation.sense_range prop) in
+  let cell_of (p : Point.t) = (int_of_float (p.x /. reach), int_of_float (p.y /. reach)) in
+  let cells = Hashtbl.create (max 16 n) in
+  Array.iter
+    (fun (node : Node.t) ->
+      let key = cell_of node.pos in
+      Hashtbl.replace cells key (node.id :: (try Hashtbl.find cells key with Not_found -> [])))
+    nodes;
+  let sense_thr = Propagation.sense_threshold prop in
+  let sensed = Array.make n [||] in
+  let rx = Array.make n [||] in
+  Array.iter
+    (fun (node : Node.t) ->
+      let cx, cy = cell_of node.pos in
+      let links = ref [] in
+      let decodable = ref [] in
+      for dx = -1 to 1 do
+        for dy = -1 to 1 do
+          match Hashtbl.find_opt cells (cx + dx, cy + dy) with
+          | None -> ()
+          | Some ids ->
+            List.iter
+              (fun j ->
+                if j <> node.id then begin
+                  let power =
+                    Propagation.received_power prop ~src:nodes.(j).Node.pos ~dst:node.pos
+                  in
+                  if power >= sense_thr then begin
+                    links := { peer = j; power } :: !links;
+                    if power >= 1.0 then decodable := j :: !decodable
+                  end
+                end)
+              ids
+        done
+      done;
+      sensed.(node.id) <- Array.of_list !links;
+      rx.(node.id) <- Array.of_list !decodable)
+    nodes;
+  { deployment; prop; sensed; rx }
+
+let position t id = t.deployment.Deployment.nodes.(id).Node.pos
+let size t = Array.length t.deployment.Deployment.nodes
+
+let can_decode t ~rx:receiver ~tx =
+  Array.exists (fun j -> j = tx) t.rx.(receiver)
+
+let hops_from t src =
+  let n = size t in
+  let dist = Array.make n (-1) in
+  let queue = Queue.create () in
+  dist.(src) <- 0;
+  Queue.add src queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    Array.iter
+      (fun v ->
+        if dist.(v) < 0 then begin
+          dist.(v) <- dist.(u) + 1;
+          Queue.add v queue
+        end)
+      t.rx.(u)
+  done;
+  dist
+
+let hop_diameter_from t src = Array.fold_left max 0 (hops_from t src)
+
+let reachable_from t src =
+  Array.fold_left (fun acc d -> if d >= 0 then acc + 1 else acc) 0 (hops_from t src)
+
+let avg_degree t =
+  let n = size t in
+  if n = 0 then 0.0
+  else begin
+    let total = Array.fold_left (fun acc a -> acc + Array.length a) 0 t.rx in
+    float_of_int total /. float_of_int n
+  end

@@ -1,0 +1,40 @@
+(** Precomputed radio topology: who can decode and who can sense whom.
+
+    Built once per simulation with a spatial hash, so that per-round channel
+    resolution only touches actual neighbours.  Also provides the
+    graph-theoretic measurements the experiments report against (hop
+    distances, diameter, connectivity). *)
+
+type link = { peer : Node.id; power : float }
+(** An incoming link: transmissions of [peer] arrive with the given
+    normalised power (1.0 = decode threshold). *)
+
+type t = {
+  deployment : Deployment.t;
+  prop : Propagation.t;
+  sensed : link array array;
+      (** [sensed.(i)] lists every node whose transmissions put detectable
+          energy on [i]'s channel (power ≥ sense threshold), with power. *)
+  rx : Node.id array array;
+      (** [rx.(i)] lists nodes that [i] can decode (power ≥ 1.0). *)
+}
+
+val build : Deployment.t -> Propagation.t -> t
+
+val position : t -> Node.id -> Point.t
+val size : t -> int
+
+val can_decode : t -> rx:Node.id -> tx:Node.id -> bool
+
+val hops_from : t -> Node.id -> int array
+(** BFS hop counts over the decode graph; [-1] marks unreachable nodes. *)
+
+val hop_diameter_from : t -> Node.id -> int
+(** Maximum finite hop count from a node (its eccentricity). *)
+
+val reachable_from : t -> Node.id -> int
+(** Number of nodes reachable from a node, including itself. *)
+
+val avg_degree : t -> float
+(** Average decode out-degree (the paper quotes ≈80 neighbours for its
+    lying experiments). *)

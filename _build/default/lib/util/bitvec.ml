@@ -1,0 +1,53 @@
+type t = bool array
+(* Invariant: never mutated after construction; all exposed operations copy. *)
+
+let length = Array.length
+let get t i = t.(i)
+let create n b = Array.make n b
+let init = Array.init
+let of_list = Array.of_list
+let to_list = Array.to_list
+
+let of_string s =
+  Array.init (String.length s) (fun i ->
+      match s.[i] with
+      | '0' -> false
+      | '1' -> true
+      | c -> invalid_arg (Printf.sprintf "Bitvec.of_string: bad char %c" c))
+
+let to_string t = String.init (Array.length t) (fun i -> if t.(i) then '1' else '0')
+
+let of_int ~width n =
+  assert (n >= 0 && width >= 0);
+  Array.init width (fun i -> (n lsr (width - 1 - i)) land 1 = 1)
+
+let to_int t =
+  assert (Array.length t <= 62);
+  Array.fold_left (fun acc b -> (acc lsl 1) lor if b then 1 else 0) 0 t
+
+let append = Array.append
+let concat = Array.concat
+let sub t ~pos ~len = Array.sub t pos len
+let equal a b = a = b
+let random rng n = Rng.bits rng n
+let empty = [||]
+let snoc t b = Array.append t [| b |]
+let fold_left = Array.fold_left
+
+let digest ~size m =
+  assert (size > 0);
+  (* Fold the message into a 62-bit accumulator with a multiplicative mix,
+     then take [size] bits.  Not cryptographic, but collision-scattering
+     enough that a random fake message almost never matches. *)
+  let mask = (1 lsl 61) - 1 in
+  let acc =
+    Array.fold_left
+      (fun acc b ->
+        let acc = (acc * 0x5DEECE66D) + if b then 0xB504F333F9DE649 else 1 in
+        acc land mask)
+      (0x9E3779B9 land mask) m
+  in
+  let acc = acc lxor (acc lsr 31) in
+  init size (fun i -> (acc lsr (i mod 61)) land 1 = 1)
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

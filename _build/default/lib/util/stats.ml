@@ -1,0 +1,90 @@
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  median : float;
+}
+
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let stddev xs =
+  match xs with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+    let m = mean xs in
+    let ss = List.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs in
+    sqrt (ss /. float_of_int (List.length xs - 1))
+
+let sorted xs = List.sort compare xs
+
+let percentile p xs =
+  match sorted xs with
+  | [] -> 0.0
+  | [ x ] -> x
+  | ys ->
+    let a = Array.of_list ys in
+    let n = Array.length a in
+    let pos = p *. float_of_int (n - 1) in
+    let lo = int_of_float (floor pos) in
+    let hi = min (lo + 1) (n - 1) in
+    let frac = pos -. float_of_int lo in
+    a.(lo) +. (frac *. (a.(hi) -. a.(lo)))
+
+let median xs = percentile 0.5 xs
+
+let summarize xs =
+  match xs with
+  | [] -> { n = 0; mean = 0.0; stddev = 0.0; min = 0.0; max = 0.0; median = 0.0 }
+  | _ ->
+    {
+      n = List.length xs;
+      mean = mean xs;
+      stddev = stddev xs;
+      min = List.fold_left min infinity xs;
+      max = List.fold_left max neg_infinity xs;
+      median = median xs;
+    }
+
+let trimmed xs =
+  match xs with
+  | [] | [ _ ] | [ _; _ ] -> xs
+  | _ ->
+    let q1 = percentile 0.25 xs in
+    let q3 = percentile 0.75 xs in
+    let iqr = q3 -. q1 in
+    let lo = q1 -. (1.5 *. iqr) in
+    let hi = q3 +. (1.5 *. iqr) in
+    List.filter (fun x -> x >= lo && x <= hi) xs
+
+type fit = { slope : float; intercept : float; r2 : float }
+
+let linear_fit points =
+  match points with
+  | [] | [ _ ] -> { slope = 0.0; intercept = 0.0; r2 = 0.0 }
+  | _ ->
+    let n = float_of_int (List.length points) in
+    let sx = List.fold_left (fun a (x, _) -> a +. x) 0.0 points in
+    let sy = List.fold_left (fun a (_, y) -> a +. y) 0.0 points in
+    let sxx = List.fold_left (fun a (x, _) -> a +. (x *. x)) 0.0 points in
+    let sxy = List.fold_left (fun a (x, y) -> a +. (x *. y)) 0.0 points in
+    let denom = (n *. sxx) -. (sx *. sx) in
+    if abs_float denom < 1e-12 then { slope = 0.0; intercept = sy /. n; r2 = 0.0 }
+    else begin
+      let slope = ((n *. sxy) -. (sx *. sy)) /. denom in
+      let intercept = (sy -. (slope *. sx)) /. n in
+      let ybar = sy /. n in
+      let ss_tot = List.fold_left (fun a (_, y) -> a +. ((y -. ybar) *. (y -. ybar))) 0.0 points in
+      let ss_res =
+        List.fold_left
+          (fun a (x, y) ->
+            let e = y -. (slope *. x) -. intercept in
+            a +. (e *. e))
+          0.0 points
+      in
+      let r2 = if ss_tot < 1e-12 then 1.0 else 1.0 -. (ss_res /. ss_tot) in
+      { slope; intercept; r2 }
+    end

@@ -1,0 +1,40 @@
+(** Descriptive statistics for experiment post-processing.
+
+    The paper repeats each experiment 6–20 times and discards outliers before
+    reporting; [trimmed] implements that step.  [linear_fit] backs the
+    running-time validation of Theorem 5 (rounds should grow linearly in the
+    adversary budget, the diameter, and the message length). *)
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  median : float;
+}
+
+val mean : float list -> float
+(** Arithmetic mean; 0 on the empty list. *)
+
+val stddev : float list -> float
+(** Sample standard deviation (n-1 denominator); 0 for fewer than 2 points. *)
+
+val median : float list -> float
+(** Median; 0 on the empty list. *)
+
+val percentile : float -> float list -> float
+(** [percentile p xs] for [p] in [\[0,1\]], linear interpolation. *)
+
+val summarize : float list -> summary
+(** All of the above in one record. *)
+
+val trimmed : float list -> float list
+(** Drop values outside [median ± 1.5·IQR] (the usual Tukey fence), the
+    outlier-discarding rule used before averaging repetitions. *)
+
+type fit = { slope : float; intercept : float; r2 : float }
+
+val linear_fit : (float * float) list -> fit
+(** Least-squares line through [(x, y)] points.  [r2] is the coefficient of
+    determination; degenerate inputs give [r2 = 0]. *)

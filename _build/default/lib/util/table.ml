@@ -1,0 +1,45 @@
+type t = {
+  title : string;
+  columns : string list;
+  mutable rows : string list list; (* reverse order *)
+}
+
+let create ~title ~columns = { title; columns; rows = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.columns then
+    invalid_arg
+      (Printf.sprintf "Table.add_row (%s): %d cells, expected %d" t.title (List.length row)
+         (List.length t.columns));
+  t.rows <- row :: t.rows
+
+let all_rows t = t.columns :: List.rev t.rows
+
+let render t =
+  let rows = all_rows t in
+  let ncols = List.length t.columns in
+  let widths = Array.make ncols 0 in
+  let record_widths row =
+    List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row
+  in
+  List.iter record_widths rows;
+  let pad i cell = cell ^ String.make (widths.(i) - String.length cell) ' ' in
+  let line row = String.concat "  " (List.mapi pad row) in
+  let header = line t.columns in
+  let rule = String.make (String.length header) '-' in
+  let body = List.map line (List.rev t.rows) in
+  String.concat "\n" (("== " ^ t.title ^ " ==") :: header :: rule :: body) ^ "\n"
+
+let to_csv t =
+  let escape cell =
+    if String.exists (fun c -> c = ',' || c = '"' || c = '\n') cell then
+      "\"" ^ String.concat "\"\"" (String.split_on_char '"' cell) ^ "\""
+    else cell
+  in
+  let line row = String.concat "," (List.map escape row) in
+  String.concat "\n" (List.map line (all_rows t)) ^ "\n"
+
+let print t = print_string (render t)
+let cell_f ?(decimals = 2) x = Printf.sprintf "%.*f" decimals x
+let cell_pct x = Printf.sprintf "%.1f%%" (100.0 *. x)
+let cell_i = string_of_int

@@ -1,0 +1,26 @@
+(** Plain-text tables for experiment output.
+
+    Every figure/table generator renders its rows through this module so the
+    benchmark harness prints the same series the paper reports in a uniform,
+    diffable format. *)
+
+type t
+
+val create : title:string -> columns:string list -> t
+val add_row : t -> string list -> unit
+(** Rows must have as many cells as there are columns. *)
+
+val render : t -> string
+(** Aligned plain-text rendering with the title and a header rule. *)
+
+val to_csv : t -> string
+val print : t -> unit
+(** [render] to stdout. *)
+
+val cell_f : ?decimals:int -> float -> string
+(** Float cell with fixed decimals (default 2). *)
+
+val cell_pct : float -> string
+(** [cell_pct 0.42] is ["42.0%"]. *)
+
+val cell_i : int -> string

@@ -1,0 +1,1 @@
+test/test_adversary.ml: Alcotest Bounds Budget Engine Jammer List Printf Rng String Table

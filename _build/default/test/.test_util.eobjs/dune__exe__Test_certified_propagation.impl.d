@@ -1,0 +1,1 @@
+test/test_certified_propagation.ml: Alcotest Array Bitvec Certified_propagation Deployment List Node Point Propagation Topology

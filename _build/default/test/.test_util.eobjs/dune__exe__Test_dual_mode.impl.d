@@ -1,0 +1,1 @@
+test/test_dual_mode.ml: Alcotest Bitvec Dual_mode Engine Rng Scenario

@@ -1,0 +1,1 @@
+test/test_epidemic.ml: Alcotest Array Bitvec Deployment Engine Epidemic List Printf Propagation Scenario Topology

@@ -1,0 +1,1 @@
+test/test_frame.ml: Alcotest Bitvec Format Frame List Point QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_geometry.ml: Alcotest Box List Point QCheck QCheck_alcotest Rng Squares

@@ -1,0 +1,1 @@
+test/test_invariants.ml: Alcotest Array Bitvec Engine List QCheck QCheck_alcotest Scenario

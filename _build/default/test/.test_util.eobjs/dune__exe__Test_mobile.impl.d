@@ -1,0 +1,1 @@
+test/test_mobile.ml: Alcotest Array Deployment Mobile Mobility Node Point Rng String Table

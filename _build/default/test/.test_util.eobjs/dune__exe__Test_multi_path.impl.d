@@ -1,0 +1,1 @@
+test/test_multi_path.ml: Alcotest Array Bitvec Deployment Engine List Multi_path Point Printf Propagation Scenario Topology

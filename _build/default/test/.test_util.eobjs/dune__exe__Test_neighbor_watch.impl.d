@@ -1,0 +1,1 @@
+test/test_neighbor_watch.ml: Alcotest Array Bitvec Budget Channel Deployment Engine Jammer List Neighbor_watch Printf Propagation Rng Scenario Squares Topology

@@ -1,0 +1,1 @@
+test/test_one_hop.ml: Alcotest Bitvec List One_hop QCheck QCheck_alcotest Rng

@@ -1,0 +1,1 @@
+test/test_radio.ml: Alcotest Channel Format Int List Point Propagation QCheck QCheck_alcotest Rng

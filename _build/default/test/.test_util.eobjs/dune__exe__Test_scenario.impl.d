@@ -1,0 +1,1 @@
+test/test_scenario.ml: Alcotest Array Ascii_map Bitvec Experiment List Point Scenario String Topology

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Bitvec Channel Deployment Engine Int List Node Point Propagation QCheck QCheck_alcotest Rng Schedule Squares Stats Topology

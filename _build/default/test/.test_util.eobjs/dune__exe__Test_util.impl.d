@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bitvec List QCheck QCheck_alcotest Rng Stats String Table

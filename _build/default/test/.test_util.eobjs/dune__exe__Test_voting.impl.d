@@ -1,0 +1,1 @@
+test/test_voting.ml: Alcotest List Point QCheck QCheck_alcotest Rng Voting

@@ -1,0 +1,53 @@
+(* Tests for the dual-mode protocol: epidemic payload + authenticated
+   digest. *)
+
+let base message =
+  {
+    Scenario.default with
+    map_w = 10.0;
+    map_h = 10.0;
+    deployment = Scenario.Uniform 150;
+    radius = 3.0;
+    message;
+  }
+
+let test_clean_run_accepts () =
+  let message = Bitvec.random (Rng.create 11) 24 in
+  let result = Dual_mode.run { Dual_mode.base = base message; digest_len = 8 } in
+  Alcotest.(check bool) "nearly all accept" true (result.Dual_mode.accepted_rate >= 0.95);
+  Alcotest.(check (float 1e-9)) "accepted = accepted correct"
+    result.Dual_mode.accepted_rate result.Dual_mode.accepted_correct_rate;
+  Alcotest.(check bool) "total = sum of phases" true
+    (result.Dual_mode.total_rounds
+    = result.Dual_mode.epidemic.Scenario.engine.Engine.rounds_used
+      + result.Dual_mode.digest.Scenario.engine.Engine.rounds_used);
+  Alcotest.(check bool) "slowdown above 1" true (result.Dual_mode.slowdown > 1.0)
+
+let test_fakes_rejected_by_digest () =
+  let message = Bitvec.random (Rng.create 13) 24 in
+  let spec = { (base message) with Scenario.faults = Scenario.Lying 0.15; seed = 3 } in
+  let result = Dual_mode.run { Dual_mode.base = spec; digest_len = 12 } in
+  (* Fake flooded payloads fail digest verification (up to the 2^-12
+     collision chance of this non-cryptographic digest). *)
+  Alcotest.(check bool) "no fake accepted" true
+    (result.Dual_mode.accepted_correct_rate >= result.Dual_mode.accepted_rate -. 1e-9);
+  Alcotest.(check bool) "fakes explicitly rejected" true
+    (result.Dual_mode.rejected_fake_rate >= 0.99)
+
+let test_bigger_digest_costs_more () =
+  let message = Bitvec.random (Rng.create 17) 24 in
+  let small = Dual_mode.run { Dual_mode.base = base message; digest_len = 2 } in
+  let large = Dual_mode.run { Dual_mode.base = base message; digest_len = 16 } in
+  Alcotest.(check bool) "digest size drives the authenticated phase" true
+    (large.Dual_mode.total_rounds > small.Dual_mode.total_rounds)
+
+let () =
+  Alcotest.run "dual_mode"
+    [
+      ( "dual-mode",
+        [
+          Alcotest.test_case "clean run accepts" `Quick test_clean_run_accepts;
+          Alcotest.test_case "fakes rejected by digest" `Quick test_fakes_rejected_by_digest;
+          Alcotest.test_case "bigger digest costs more" `Quick test_bigger_digest_costs_more;
+        ] );
+    ]

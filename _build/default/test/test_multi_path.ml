@@ -1,0 +1,165 @@
+(* End-to-end tests for MultiPathRB: authenticated dissemination via
+   SOURCE/COMMIT/HEARD voting, tolerance tuning, liar behaviour, and the
+   HEARD relay cap. *)
+
+let message = Bitvec.of_string "101"
+
+let run ?(seed = 1) ?(tolerance = 1) ?(faults = Scenario.No_faults) ?(n = 80) ?(map = 8.0)
+    ?(radius = 2.0) ?(relay_limit = Some 4) ?(radio = Scenario.Friis) () =
+  let spec =
+    {
+      Scenario.default with
+      map_w = map;
+      map_h = map;
+      deployment = Scenario.Uniform n;
+      radio;
+      radius;
+      message;
+      protocol = Scenario.Multi_path { tolerance };
+      faults;
+      heard_relay_limit = relay_limit;
+      seed;
+    }
+  in
+  (spec, Scenario.run spec)
+
+let test_completes_and_correct () =
+  let _, result = run () in
+  let s = Scenario.summarize result in
+  Alcotest.(check bool) "completes" true (s.Scenario.completion_rate >= 0.95);
+  Alcotest.(check (float 1e-9)) "all correct" 1.0 s.Scenario.correct_of_delivered
+
+let test_grid_exact () =
+  let spec =
+    {
+      Scenario.default with
+      map_w = 8.0;
+      map_h = 8.0;
+      deployment = Scenario.Grid;
+      radio = Scenario.Disk_linf;
+      radius = 2.0;
+      message;
+      protocol = Scenario.Multi_path { tolerance = 1 };
+      heard_relay_limit = Some 4;
+    }
+  in
+  let s = Scenario.summarize (Scenario.run spec) in
+  Alcotest.(check bool) "grid completes" true (s.Scenario.completion_rate >= 0.99);
+  Alcotest.(check (float 1e-9)) "grid correct" 1.0 s.Scenario.correct_of_delivered
+
+let test_multiple_seeds_all_correct () =
+  List.iter
+    (fun seed ->
+      let _, result = run ~seed () in
+      let s = Scenario.summarize result in
+      Alcotest.(check int)
+        (Printf.sprintf "seed %d: delivered = correct" seed)
+        s.Scenario.delivered_any s.Scenario.delivered_correct)
+    [ 2; 3; 4 ]
+
+let test_higher_tolerance_harder_completion () =
+  let _, low = run ~tolerance:1 ~n:60 () in
+  let _, high = run ~tolerance:6 ~relay_limit:(Some 9) ~n:60 () in
+  let sl = Scenario.summarize low and sh = Scenario.summarize high in
+  Alcotest.(check bool) "t=6 completes no more than t=1" true
+    (sh.Scenario.completion_rate <= sl.Scenario.completion_rate +. 1e-9)
+
+let test_tolerance_zero_is_fragile () =
+  (* With t = 0 a single COMMIT suffices, so a lying neighbour corrupts
+     immediately: the attack machinery works. *)
+  let corrupted =
+    List.exists
+      (fun seed ->
+        let _, result = run ~tolerance:0 ~faults:(Scenario.Lying 0.15) ~seed () in
+        let s = Scenario.summarize result in
+        s.Scenario.delivered_correct < s.Scenario.delivered_any)
+      [ 1; 2; 3; 4 ]
+  in
+  Alcotest.(check bool) "t=0 gets corrupted by liars" true corrupted
+
+let test_tolerance_resists_light_lying () =
+  let _, result = run ~tolerance:2 ~relay_limit:(Some 5) ~faults:(Scenario.Lying 0.04) ~seed:2 () in
+  let s = Scenario.summarize result in
+  Alcotest.(check bool) "mostly correct under 4% liars" true
+    (s.Scenario.correct_of_delivered >= 0.9)
+
+let test_relay_cap_reduces_traffic () =
+  let _, capped = run ~relay_limit:(Some 2) () in
+  let _, generous = run ~relay_limit:(Some 12) () in
+  let sc = Scenario.summarize capped and sg = Scenario.summarize generous in
+  Alcotest.(check bool) "cap saves broadcasts" true
+    (sc.Scenario.total_broadcasts < sg.Scenario.total_broadcasts)
+
+let test_progress_and_committed_bits () =
+  let deployment = Deployment.grid ~width:7 ~height:7 in
+  let topology = Topology.build deployment (Propagation.disk_linf 2.0) in
+  let source = Deployment.center_node deployment in
+  let config =
+    {
+      (Multi_path.default_config ~radius:2.0 ~tolerance:1 ~msg_len:2) with
+      Multi_path.heard_relay_limit = Some 3;
+    }
+  in
+  let ctx = Multi_path.make_ctx config ~topology ~source in
+  let msg = Bitvec.of_string "10" in
+  let n = Topology.size topology in
+  let machines =
+    Array.init n (fun i ->
+        if i = source then Multi_path.machine ctx i (Multi_path.Source msg)
+        else Multi_path.machine ctx i Multi_path.Relay)
+  in
+  let before = Multi_path.progress ctx in
+  let waiters = Array.init n (fun i -> i <> source) in
+  let result = Engine.run ~idle_stop:50_000 ~topology ~machines ~waiters ~cap:3_000_000 () in
+  Alcotest.(check bool) "progress grew" true (Multi_path.progress ctx > before);
+  Alcotest.(check bool) "no cap" false result.Engine.hit_cap;
+  for i = 0 to n - 1 do
+    Alcotest.(check string)
+      (Printf.sprintf "node %d committed" i)
+      "10"
+      (Bitvec.to_string (Multi_path.committed_bits ctx i))
+  done
+
+let test_sources_beyond_range_need_votes () =
+  (* Sanity on the voting path: nodes outside the source's sense range can
+     only commit through COMMIT/HEARD quorums, and they do. *)
+  let _, result = run ~map:12.0 ~n:180 ~seed:5 () in
+  let sense = Propagation.sense_range (Propagation.friis 2.0) in
+  let far_delivered = ref 0 and far_total = ref 0 in
+  let source_pos = Topology.position result.Scenario.topology result.Scenario.source in
+  Array.iteri
+    (fun i delivered ->
+      if i <> result.Scenario.source then begin
+        let pos = Topology.position result.Scenario.topology i in
+        if Point.dist_l2 pos source_pos > sense then begin
+          incr far_total;
+          if delivered <> None then incr far_delivered
+        end
+      end)
+    result.Scenario.engine.Engine.delivered;
+  Alcotest.(check bool) "there are far nodes" true (!far_total > 0);
+  Alcotest.(check bool) "most far nodes committed via voting" true
+    (float_of_int !far_delivered >= 0.9 *. float_of_int !far_total)
+
+let () =
+  Alcotest.run "multi_path"
+    [
+      ( "dissemination",
+        [
+          Alcotest.test_case "completes and correct" `Quick test_completes_and_correct;
+          Alcotest.test_case "grid exact" `Quick test_grid_exact;
+          Alcotest.test_case "multiple seeds correct" `Quick test_multiple_seeds_all_correct;
+          Alcotest.test_case "voting beyond source range" `Quick
+            test_sources_beyond_range_need_votes;
+          Alcotest.test_case "progress and committed bits" `Quick
+            test_progress_and_committed_bits;
+        ] );
+      ( "tolerance",
+        [
+          Alcotest.test_case "higher t, harder completion" `Quick
+            test_higher_tolerance_harder_completion;
+          Alcotest.test_case "t=0 fragile" `Quick test_tolerance_zero_is_fragile;
+          Alcotest.test_case "t=2 resists light lying" `Quick test_tolerance_resists_light_lying;
+          Alcotest.test_case "relay cap reduces traffic" `Quick test_relay_cap_reduces_traffic;
+        ] );
+    ]

@@ -1,0 +1,328 @@
+(* End-to-end tests for NeighborWatchRB: correct dissemination on the
+   analytic grid and on random Euclidean deployments, fault containment
+   (liars, jammers), the square catch-up rule, and the pipelining claim. *)
+
+let message = Bitvec.of_string "1011"
+
+let run_scenario ?(seed = 1) ?(votes = 1) ?(faults = Scenario.No_faults) ?(msg = message)
+    ?(n = 150) ?(map = 10.0) ?(radius = 3.0) ?(radio = Scenario.Friis) ?square_side
+    ?(pipelined = true) () =
+  let spec =
+    {
+      Scenario.default with
+      map_w = map;
+      map_h = map;
+      deployment = Scenario.Uniform n;
+      radio;
+      radius;
+      message = msg;
+      protocol = Scenario.Neighbor_watch { votes };
+      faults;
+      square_side;
+      pipelined;
+      seed;
+    }
+  in
+  (spec, Scenario.run spec)
+
+let test_grid_broadcast_completes () =
+  let spec =
+    {
+      Scenario.default with
+      map_w = 12.0;
+      map_h = 12.0;
+      deployment = Scenario.Grid;
+      radio = Scenario.Disk_linf;
+      radius = 2.0;
+      square_side = Some (Squares.analytic_side ~radius:2.0);
+      message;
+    }
+  in
+  let s = Scenario.summarize (Scenario.run spec) in
+  Alcotest.(check (float 1e-9)) "everyone completes" 1.0 s.Scenario.completion_rate;
+  Alcotest.(check (float 1e-9)) "everyone correct" 1.0 s.Scenario.correct_rate;
+  Alcotest.(check bool) "no cap" false s.Scenario.hit_cap
+
+let test_uniform_broadcast_completes () =
+  let _, result = run_scenario () in
+  let s = Scenario.summarize result in
+  Alcotest.(check bool) "completion >= 99%" true (s.Scenario.completion_rate >= 0.99);
+  Alcotest.(check (float 1e-9)) "all delivered are correct" 1.0 s.Scenario.correct_of_delivered
+
+let test_deliveries_never_fake_without_liars () =
+  (* Across several seeds, honest runs deliver only the authentic message. *)
+  List.iter
+    (fun seed ->
+      let _, result = run_scenario ~seed () in
+      let s = Scenario.summarize result in
+      Alcotest.(check int)
+        (Printf.sprintf "seed %d" seed)
+        s.Scenario.delivered_any s.Scenario.delivered_correct)
+    [ 2; 3; 4; 5; 6 ]
+
+let test_two_voting_requires_two_providers () =
+  (* A three-node line: source, then two relays in consecutive squares.
+     The last relay hears only one square, so with votes = 2 it can commit
+     only... from the source if in range; place it out of source range. *)
+  let _, result1 = run_scenario ~votes:1 ~n:60 ~map:8.0 () in
+  let _, result2 = run_scenario ~votes:2 ~n:60 ~map:8.0 () in
+  let s1 = Scenario.summarize result1 and s2 = Scenario.summarize result2 in
+  Alcotest.(check bool) "2-voting never beats 1-voting completion" true
+    (s2.Scenario.completion_rate <= s1.Scenario.completion_rate +. 1e-9);
+  Alcotest.(check (float 1e-9)) "2-voting stays correct" 1.0 s2.Scenario.correct_of_delivered
+
+let test_crash_reduces_completion_gracefully () =
+  let _, result = run_scenario ~faults:(Scenario.Crash 0.5) ~n:120 () in
+  let s = Scenario.summarize result in
+  (* Whatever completes must still be correct. *)
+  Alcotest.(check (float 1e-9)) "correct" 1.0 s.Scenario.correct_of_delivered
+
+let test_jamming_delays_but_completes () =
+  let _, no_jam = run_scenario ~n:120 () in
+  let _, jam =
+    run_scenario ~n:120
+      ~faults:(Scenario.Jamming { fraction = 0.1; budget = 40; probability = 0.2 })
+      ()
+  in
+  let s0 = Scenario.summarize no_jam and s1 = Scenario.summarize jam in
+  Alcotest.(check bool) "jamming still completes" true (s1.Scenario.completion_rate >= 0.99);
+  Alcotest.(check bool) "jamming costs time" true (s1.Scenario.rounds > s0.Scenario.rounds);
+  Alcotest.(check (float 1e-9)) "jamming cannot corrupt" 1.0 s1.Scenario.correct_of_delivered
+
+let test_lying_contained_at_low_fraction () =
+  let _, result = run_scenario ~faults:(Scenario.Lying 0.03) ~seed:3 () in
+  let s = Scenario.summarize result in
+  Alcotest.(check bool) "most deliveries correct" true (s.Scenario.correct_of_delivered >= 0.9)
+
+let test_lying_wins_eventually () =
+  (* With enough liars, fake messages do spread (the steep drop-off of
+     Figure 6); at 35% some honest nodes must have adopted the fake. *)
+  let corrupted =
+    List.exists
+      (fun seed ->
+        let _, result = run_scenario ~faults:(Scenario.Lying 0.35) ~seed () in
+        let s = Scenario.summarize result in
+        s.Scenario.delivered_correct < s.Scenario.delivered_any)
+      [ 1; 2; 3 ]
+  in
+  Alcotest.(check bool) "heavy lying corrupts some node" true corrupted
+
+let test_stalled_run_terminates_early () =
+  let spec, result = run_scenario ~faults:(Scenario.Lying 0.35) ~seed:1 () in
+  Alcotest.(check bool) "wedged run cut before cap" true
+    (result.Scenario.engine.Engine.rounds_used < spec.Scenario.cap)
+
+let test_liars_count_as_delivered_fake () =
+  let _, result = run_scenario ~faults:(Scenario.Lying 0.10) ~seed:2 () in
+  (* Liars are excluded from the honest set and hence from the metrics. *)
+  let s = Scenario.summarize result in
+  Alcotest.(check bool) "honest set shrank" true (s.Scenario.honest_nodes < 150 - 1)
+
+(* --- direct-API tests (no Scenario) --------------------------------- *)
+
+let grid_ctx_and_machines ~side ~radius ~msg ~liars =
+  let deployment = Deployment.grid ~width:side ~height:side in
+  let topology = Topology.build deployment (Propagation.disk_linf radius) in
+  let source = Deployment.center_node deployment in
+  let config =
+    {
+      (Neighbor_watch.analytic_config ~radius ~msg_len:(Bitvec.length msg)) with
+      Neighbor_watch.catchup_failures = 10;
+    }
+  in
+  let ctx = Neighbor_watch.make_ctx config ~topology ~source in
+  let fake = Bitvec.init (Bitvec.length msg) (fun i -> not (Bitvec.get msg i)) in
+  let machines =
+    Array.init (Deployment.size deployment) (fun i ->
+        if i = source then Neighbor_watch.machine ctx i (Neighbor_watch.Source msg)
+        else if List.mem i liars then Neighbor_watch.machine ctx i (Neighbor_watch.Liar fake)
+        else Neighbor_watch.machine ctx i Neighbor_watch.Relay)
+  in
+  (ctx, topology, source, machines)
+
+let test_committed_bits_and_progress () =
+  let msg = Bitvec.of_string "110" in
+  let ctx, topology, source, machines =
+    grid_ctx_and_machines ~side:7 ~radius:2.0 ~msg ~liars:[]
+  in
+  let n = Topology.size topology in
+  let before = Neighbor_watch.progress ctx in
+  let waiters = Array.init n (fun i -> i <> source) in
+  let result = Engine.run ~topology ~machines ~waiters ~cap:200_000 () in
+  Alcotest.(check bool) "progress grew" true (Neighbor_watch.progress ctx > before);
+  for i = 0 to n - 1 do
+    Alcotest.(check string)
+      (Printf.sprintf "node %d committed the message" i)
+      (Bitvec.to_string msg)
+      (Bitvec.to_string (Neighbor_watch.committed_bits ctx i));
+    match result.Engine.delivered.(i) with
+    | Some bits -> Alcotest.(check bool) "delivered = message" true (Bitvec.equal bits msg)
+    | None -> Alcotest.fail "grid node did not deliver"
+  done
+
+let test_liar_vetoed_when_square_has_honest_node () =
+  (* R = 4 on the grid gives analytic squares of side 2 holding 4 nodes
+     each; a single liar per square is always vetoed, so no honest node
+     ever delivers the fake message (Theorem 3's guarantee). *)
+  let msg = Bitvec.of_string "1010" in
+  let ctx, topology, source, machines =
+    grid_ctx_and_machines ~side:9 ~radius:4.0 ~msg ~liars:[ 1; 30 ]
+  in
+  ignore ctx;
+  let n = Topology.size topology in
+  let waiters = Array.init n (fun i -> i <> source && i <> 1 && i <> 30) in
+  let result = Engine.run ~idle_stop:20_000 ~topology ~machines ~waiters ~cap:500_000 () in
+  for i = 0 to n - 1 do
+    if i <> 1 && i <> 30 then begin
+      match result.Engine.delivered.(i) with
+      | Some bits ->
+        Alcotest.(check bool)
+          (Printf.sprintf "node %d not corrupted" i)
+          true (Bitvec.equal bits msg)
+      | None -> Alcotest.fail "honest node did not deliver"
+    end
+  done
+
+let test_catchup_rescues_asymmetric_jam () =
+  (* A scripted jammer sits where it can jam R6 for part of a square only;
+     without the catch-up rule the square can deadlock (DESIGN.md).  With
+     it, the broadcast still completes. *)
+  let msg = Bitvec.of_string "1011" in
+  let side = 9 in
+  let radius = 4.0 in
+  let deployment = Deployment.grid ~width:side ~height:side in
+  let topology = Topology.build deployment (Propagation.disk_linf radius) in
+  let source = Deployment.center_node deployment in
+  let config =
+    {
+      (Neighbor_watch.analytic_config ~radius ~msg_len:(Bitvec.length msg)) with
+      Neighbor_watch.catchup_failures = 8;
+    }
+  in
+  let ctx = Neighbor_watch.make_ctx config ~topology ~source in
+  let n = Deployment.size deployment in
+  let jammer_id = (side * side) - 1 (* a corner: in range of some square members only *) in
+  let budget = Budget.create 400 in
+  let machines =
+    Array.init n (fun i ->
+        if i = source then Neighbor_watch.machine ctx i (Neighbor_watch.Source msg)
+        else if i = jammer_id then
+          Jammer.scripted (fun ~round:_ ~phase -> phase = 5) ~budget
+        else Neighbor_watch.machine ctx i Neighbor_watch.Relay)
+  in
+  let waiters = Array.init n (fun i -> i <> source && i <> jammer_id) in
+  let result = Engine.run ~idle_stop:30_000 ~topology ~machines ~waiters ~cap:2_000_000 () in
+  let delivered_all =
+    Array.for_all (fun x -> x) (Array.mapi (fun i w -> (not w) || result.Engine.delivered.(i) <> None) waiters)
+  in
+  Alcotest.(check bool) "all honest delivered despite R6 jamming" true delivered_all;
+  Array.iteri
+    (fun i d ->
+      match d with
+      | Some bits when waiters.(i) ->
+        Alcotest.(check bool) "authentic" true (Bitvec.equal bits msg)
+      | Some _ | None -> ())
+    result.Engine.delivered
+
+let test_pipelining_beats_store_and_forward () =
+  let long = Bitvec.random (Rng.create 9) 12 in
+  let _, piped = run_scenario ~msg:long ~n:120 ~map:12.0 () in
+  let _, naive = run_scenario ~msg:long ~n:120 ~map:12.0 ~pipelined:false () in
+  let sp = Scenario.summarize piped and sn = Scenario.summarize naive in
+  Alcotest.(check bool) "both complete" true
+    (sp.Scenario.completion_rate >= 0.99 && sn.Scenario.completion_rate >= 0.99);
+  Alcotest.(check bool) "pipelining is materially faster" true
+    (float_of_int sn.Scenario.rounds >= 1.5 *. float_of_int sp.Scenario.rounds)
+
+let test_realistic_channel () =
+  (* Capture effect plus 1% packet loss (the WSNet-like channel): the
+     protocol still completes — lost packets only look like collisions,
+     which the 2Bit layer already treats as activity and retries. *)
+  let spec =
+    {
+      Scenario.default with
+      map_w = 10.0;
+      map_h = 10.0;
+      deployment = Scenario.Uniform 150;
+      radius = 3.0;
+      channel = Channel.realistic;
+      seed = 4;
+    }
+  in
+  let s = Scenario.summarize (Scenario.run spec) in
+  Alcotest.(check bool) "completes under loss and capture" true
+    (s.Scenario.completion_rate >= 0.99);
+  Alcotest.(check (float 1e-9)) "still authenticated" 1.0 s.Scenario.correct_of_delivered
+
+let test_liar_yields_in_mixed_square () =
+  (* A liar alone among honest square-mates gets vetoed, gives up, and ends
+     up relaying — and even delivering — the true message itself. *)
+  let msg = Bitvec.of_string "1010" in
+  let ctx, topology, source, machines =
+    grid_ctx_and_machines ~side:9 ~radius:4.0 ~msg ~liars:[ 5 ]
+  in
+  ignore ctx;
+  let n = Topology.size topology in
+  let waiters = Array.init n (fun i -> i <> source && i <> 5) in
+  let result = Engine.run ~idle_stop:20_000 ~topology ~machines ~waiters ~cap:500_000 () in
+  (match result.Engine.delivered.(5) with
+  | Some bits ->
+    Alcotest.(check bool) "the liar itself converges to the truth" true (Bitvec.equal bits msg)
+  | None -> Alcotest.fail "yielded liar never delivered");
+  Array.iteri
+    (fun i delivered ->
+      if waiters.(i) then begin
+        match delivered with
+        | Some bits -> Alcotest.(check bool) "honest unaffected" true (Bitvec.equal bits msg)
+        | None -> Alcotest.fail (Printf.sprintf "node %d missed the broadcast" i)
+      end)
+    result.Engine.delivered
+
+let test_square_side_must_reach_neighbors () =
+  (* Squares must be small enough that members hear each other and every
+     node of an adjacent square; with side 2R the meta-node abstraction
+     breaks down on a Euclidean radio and the broadcast no longer blankets
+     the map. *)
+  let _, good = run_scenario ~n:200 ~radius:3.0 () in
+  let _, bad = run_scenario ~n:200 ~radius:3.0 ~square_side:6.0 () in
+  let sg = Scenario.summarize good and sb = Scenario.summarize bad in
+  Alcotest.(check bool) "R/3 side blankets the map" true (sg.Scenario.completion_rate >= 0.99);
+  Alcotest.(check bool) "2R side degrades" true
+    (sb.Scenario.completion_rate < sg.Scenario.completion_rate)
+
+let () =
+  Alcotest.run "neighbor_watch"
+    [
+      ( "dissemination",
+        [
+          Alcotest.test_case "grid broadcast completes" `Quick test_grid_broadcast_completes;
+          Alcotest.test_case "uniform broadcast completes" `Quick
+            test_uniform_broadcast_completes;
+          Alcotest.test_case "no fake deliveries without liars" `Quick
+            test_deliveries_never_fake_without_liars;
+          Alcotest.test_case "2-voting conservative" `Quick test_two_voting_requires_two_providers;
+          Alcotest.test_case "committed bits and progress" `Quick test_committed_bits_and_progress;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "crash graceful" `Quick test_crash_reduces_completion_gracefully;
+          Alcotest.test_case "jamming delays, completes" `Quick test_jamming_delays_but_completes;
+          Alcotest.test_case "lying contained at 3%" `Quick test_lying_contained_at_low_fraction;
+          Alcotest.test_case "heavy lying corrupts" `Quick test_lying_wins_eventually;
+          Alcotest.test_case "wedged run cut early" `Quick test_stalled_run_terminates_early;
+          Alcotest.test_case "liar bookkeeping" `Quick test_liars_count_as_delivered_fake;
+          Alcotest.test_case "liar vetoed inside square" `Quick
+            test_liar_vetoed_when_square_has_honest_node;
+          Alcotest.test_case "catch-up under asymmetric jam" `Quick
+            test_catchup_rescues_asymmetric_jam;
+          Alcotest.test_case "realistic channel" `Quick test_realistic_channel;
+          Alcotest.test_case "liar yields in mixed square" `Quick
+            test_liar_yields_in_mixed_square;
+        ] );
+      ( "design",
+        [
+          Alcotest.test_case "pipelining beats store-and-forward" `Quick
+            test_pipelining_beats_store_and_forward;
+          Alcotest.test_case "square side sizing" `Quick test_square_side_must_reach_neighbors;
+        ] );
+    ]

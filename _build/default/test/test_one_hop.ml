@@ -1,0 +1,137 @@
+(* Tests for the 1Hop-Protocol stream layer: alternating parity, lossless
+   in-order delivery, retransmission handling, and the catch-up pointer. *)
+
+let test_parity_alternates () =
+  Alcotest.(check bool) "first parity is 1" true (One_hop.parity_of_index 0);
+  Alcotest.(check bool) "second is 0" false (One_hop.parity_of_index 1);
+  for i = 0 to 20 do
+    Alcotest.(check bool) "alternation" true
+      (One_hop.parity_of_index i = not (One_hop.parity_of_index (i + 1)))
+  done
+
+let test_sender_basics () =
+  let s = One_hop.Sender.create () in
+  Alcotest.(check bool) "empty stream" false (One_hop.Sender.has_current s);
+  Alcotest.(check int) "nothing sent" 0 (One_hop.Sender.sent s);
+  One_hop.Sender.push s true;
+  One_hop.Sender.push s false;
+  Alcotest.(check int) "two queued" 2 (One_hop.Sender.total s);
+  Alcotest.(check bool) "has current" true (One_hop.Sender.has_current s);
+  let parity, data = One_hop.Sender.current s in
+  Alcotest.(check (pair bool bool)) "first bit with parity 1" (true, true) (parity, data);
+  One_hop.Sender.advance s;
+  let parity, data = One_hop.Sender.current s in
+  Alcotest.(check (pair bool bool)) "second bit with parity 0" (false, false) (parity, data);
+  One_hop.Sender.advance s;
+  Alcotest.(check bool) "drained" false (One_hop.Sender.has_current s);
+  One_hop.Sender.advance s;
+  Alcotest.(check int) "advance past end is a no-op" 2 (One_hop.Sender.sent s)
+
+let test_sender_skip_to () =
+  let s = One_hop.Sender.create () in
+  List.iter (One_hop.Sender.push s) [ true; true; false; true ];
+  One_hop.Sender.skip_to s 2;
+  Alcotest.(check int) "skipped forward" 2 (One_hop.Sender.sent s);
+  One_hop.Sender.skip_to s 1;
+  Alcotest.(check int) "never backwards" 2 (One_hop.Sender.sent s);
+  One_hop.Sender.skip_to s 99;
+  Alcotest.(check int) "clamped to total" 4 (One_hop.Sender.sent s)
+
+let test_receiver_assembles_stream () =
+  let r = One_hop.Receiver.create () in
+  One_hop.Receiver.push_two_bit r ~parity:true ~data:true;
+  One_hop.Receiver.push_two_bit r ~parity:false ~data:false;
+  One_hop.Receiver.push_two_bit r ~parity:true ~data:true;
+  Alcotest.(check int) "three bits" 3 (One_hop.Receiver.received r);
+  Alcotest.(check string) "stream content" "101" (Bitvec.to_string (One_hop.Receiver.bits r));
+  Alcotest.(check bool) "get" true (One_hop.Receiver.get r 0);
+  Alcotest.(check string) "prefix" "10" (Bitvec.to_string (One_hop.Receiver.prefix r 2))
+
+let test_receiver_ignores_retransmission () =
+  let r = One_hop.Receiver.create () in
+  One_hop.Receiver.push_two_bit r ~parity:true ~data:true;
+  (* The sender retries bit 0 (same parity): receivers must not take it as
+     a new bit — even with different data (a garbled retry). *)
+  One_hop.Receiver.push_two_bit r ~parity:true ~data:true;
+  One_hop.Receiver.push_two_bit r ~parity:true ~data:false;
+  Alcotest.(check int) "duplicates dropped" 1 (One_hop.Receiver.received r);
+  Alcotest.(check string) "original value kept" "1" (Bitvec.to_string (One_hop.Receiver.bits r))
+
+let test_silence_is_not_a_bit () =
+  (* Before anything is sent the expected parity is 1, so a (0, x) pattern
+     — which is what pure silence would decode to — is not accepted as the
+     first bit. *)
+  let r = One_hop.Receiver.create () in
+  One_hop.Receiver.push_two_bit r ~parity:false ~data:false;
+  Alcotest.(check int) "silence rejected" 0 (One_hop.Receiver.received r)
+
+let prop_lossless_transfer =
+  QCheck.Test.make ~name:"sender-to-receiver transfer is lossless and ordered" ~count:200
+    QCheck.(small_list bool)
+    (fun bits ->
+      let s = One_hop.Sender.create () in
+      let r = One_hop.Receiver.create () in
+      List.iter (One_hop.Sender.push s) bits;
+      while One_hop.Sender.has_current s do
+        let parity, data = One_hop.Sender.current s in
+        One_hop.Receiver.push_two_bit r ~parity ~data;
+        One_hop.Sender.advance s
+      done;
+      Bitvec.to_list (One_hop.Receiver.bits r) = bits)
+
+let prop_retries_are_harmless =
+  QCheck.Test.make ~name:"arbitrary per-bit retry counts do not corrupt the stream" ~count:200
+    QCheck.(pair (small_list bool) (int_bound 10_000))
+    (fun (bits, seed) ->
+      let rng = Rng.create seed in
+      let s = One_hop.Sender.create () in
+      let r = One_hop.Receiver.create () in
+      List.iter (One_hop.Sender.push s) bits;
+      while One_hop.Sender.has_current s do
+        let parity, data = One_hop.Sender.current s in
+        (* The 2Bit exchange may fail for the sender but succeed for the
+           receiver (or vice versa): deliver 1 + k copies. *)
+        for _ = 0 to Rng.int rng 3 do
+          One_hop.Receiver.push_two_bit r ~parity ~data
+        done;
+        One_hop.Sender.advance s
+      done;
+      Bitvec.to_list (One_hop.Receiver.bits r) = bits)
+
+let prop_interleaved_push =
+  QCheck.Test.make ~name:"bits pushed while transferring still arrive in order" ~count:100
+    QCheck.(pair (small_list bool) (small_list bool))
+    (fun (first, second) ->
+      let s = One_hop.Sender.create () in
+      let r = One_hop.Receiver.create () in
+      List.iter (One_hop.Sender.push s) first;
+      let step () =
+        if One_hop.Sender.has_current s then begin
+          let parity, data = One_hop.Sender.current s in
+          One_hop.Receiver.push_two_bit r ~parity ~data;
+          One_hop.Sender.advance s
+        end
+      in
+      step ();
+      List.iter (One_hop.Sender.push s) second;
+      while One_hop.Sender.has_current s do
+        step ()
+      done;
+      Bitvec.to_list (One_hop.Receiver.bits r) = first @ second)
+
+let qtests = [ prop_lossless_transfer; prop_retries_are_harmless; prop_interleaved_push ]
+
+let () =
+  Alcotest.run "one_hop"
+    [
+      ( "stream",
+        [
+          Alcotest.test_case "parity alternates" `Quick test_parity_alternates;
+          Alcotest.test_case "sender basics" `Quick test_sender_basics;
+          Alcotest.test_case "skip_to" `Quick test_sender_skip_to;
+          Alcotest.test_case "receiver assembles" `Quick test_receiver_assembles_stream;
+          Alcotest.test_case "retransmissions ignored" `Quick test_receiver_ignores_retransmission;
+          Alcotest.test_case "silence is not a bit" `Quick test_silence_is_not_a_bit;
+        ] );
+      ("properties", List.map (QCheck_alcotest.to_alcotest ~long:false) qtests);
+    ]

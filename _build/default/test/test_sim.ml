@@ -1,0 +1,397 @@
+(* Tests for the simulator substrate: deployments, topology, schedules and
+   the round engine (including its equivalence with the reference channel
+   resolution). *)
+
+let point = Point.make
+
+(* --- Deployment --------------------------------------------------------- *)
+
+let test_grid_deployment () =
+  let d = Deployment.grid ~width:4 ~height:3 in
+  Alcotest.(check int) "size" 12 (Deployment.size d);
+  let n5 = d.Deployment.nodes.(5) in
+  Alcotest.(check bool) "row-major positions" true (Point.equal n5.Node.pos (point 1.0 1.0));
+  Alcotest.(check (option int)) "node_at" (Some 5) (Deployment.node_at d (point 1.0 1.0));
+  Alcotest.(check (option int)) "node_at miss" None (Deployment.node_at d (point 0.5 0.5))
+
+let test_uniform_deployment () =
+  let rng = Rng.create 1 in
+  let d = Deployment.uniform rng ~n:200 ~width:10.0 ~height:5.0 in
+  Alcotest.(check int) "size" 200 (Deployment.size d);
+  Array.iter
+    (fun (node : Node.t) ->
+      Alcotest.(check bool) "inside map" true
+        (node.Node.pos.Point.x >= 0.0 && node.Node.pos.Point.x <= 10.0
+        && node.Node.pos.Point.y >= 0.0 && node.Node.pos.Point.y <= 5.0))
+    d.Deployment.nodes;
+  Alcotest.(check (float 1e-9)) "density" 4.0 (Deployment.density d)
+
+let test_clustered_deployment () =
+  let rng = Rng.create 2 in
+  let d = Deployment.clustered rng ~n:300 ~clusters:4 ~stddev:1.0 ~width:20.0 ~height:20.0 in
+  Alcotest.(check int) "size" 300 (Deployment.size d);
+  Array.iter
+    (fun (node : Node.t) ->
+      Alcotest.(check bool) "clamped to map" true
+        (node.Node.pos.Point.x >= 0.0 && node.Node.pos.Point.x <= 20.0
+        && node.Node.pos.Point.y >= 0.0 && node.Node.pos.Point.y <= 20.0))
+    d.Deployment.nodes;
+  (* Clustering produces markedly higher local concentration than uniform:
+     the mean nearest-neighbour distance shrinks. *)
+  let nn_dist (dep : Deployment.t) =
+    let nodes = dep.Deployment.nodes in
+    let dists =
+      Array.to_list
+        (Array.map
+           (fun (a : Node.t) ->
+             Array.fold_left
+               (fun best (b : Node.t) ->
+                 if a.Node.id = b.Node.id then best else min best (Point.dist_l2 a.pos b.pos))
+               infinity nodes)
+           nodes)
+    in
+    Stats.mean dists
+  in
+  let u = Deployment.uniform (Rng.create 3) ~n:300 ~width:20.0 ~height:20.0 in
+  Alcotest.(check bool) "clustered is denser locally" true (nn_dist d < nn_dist u)
+
+let test_center_node () =
+  let d = Deployment.grid ~width:5 ~height:5 in
+  Alcotest.(check int) "center of 5x5 grid" 12 (Deployment.center_node d)
+
+let test_subset () =
+  let d = Deployment.grid ~width:3 ~height:1 in
+  let s = Deployment.subset d ~keep:(fun id -> id <> 1) in
+  Alcotest.(check int) "two left" 2 (Deployment.size s);
+  Alcotest.(check bool) "ids reassigned densely" true
+    (s.Deployment.nodes.(1).Node.id = 1
+    && Point.equal s.Deployment.nodes.(1).Node.pos (point 2.0 0.0))
+
+(* --- Topology ------------------------------------------------------------ *)
+
+let grid_topology ~side ~radius =
+  Topology.build (Deployment.grid ~width:side ~height:side) (Propagation.disk_linf radius)
+
+let test_topology_grid_neighbors () =
+  let t = grid_topology ~side:7 ~radius:2.0 in
+  let center = 24 (* (3,3) *) in
+  Alcotest.(check int) "interior degree (2R+1)^2-1" 24 (Array.length t.Topology.rx.(center));
+  Alcotest.(check int) "corner degree" 8 (Array.length t.Topology.rx.(0));
+  Alcotest.(check bool) "disk: rx = sensed" true
+    (Array.length t.Topology.sensed.(center) = Array.length t.Topology.rx.(center))
+
+let test_topology_friis_sense_superset () =
+  let d = Deployment.grid ~width:9 ~height:9 in
+  let t = Topology.build d (Propagation.friis 2.0) in
+  Array.iteri
+    (fun i rx ->
+      Alcotest.(check bool) "sensed includes rx" true
+        (Array.length t.Topology.sensed.(i) >= Array.length rx))
+    t.Topology.rx
+
+let test_topology_hops () =
+  let t = grid_topology ~side:9 ~radius:2.0 in
+  let hops = Topology.hops_from t 0 in
+  Alcotest.(check int) "self" 0 hops.(0);
+  Alcotest.(check int) "one hop" 1 hops.(2 + (9 * 2));
+  (* corner to corner: L-inf distance 8, radius 2 -> 4 hops *)
+  Alcotest.(check int) "far corner" 4 hops.((9 * 9) - 1);
+  Alcotest.(check int) "diameter" 4 (Topology.hop_diameter_from t 0);
+  Alcotest.(check int) "all reachable" 81 (Topology.reachable_from t 0)
+
+let test_topology_disconnected () =
+  (* Two nodes far beyond range. *)
+  let d =
+    {
+      Deployment.width = 100.0;
+      height = 1.0;
+      nodes = [| Node.make 0 (point 0.0 0.0); Node.make 1 (point 99.0 0.0) |];
+    }
+  in
+  let t = Topology.build d (Propagation.disk_l2 2.0) in
+  let hops = Topology.hops_from t 0 in
+  Alcotest.(check int) "unreachable marked" (-1) hops.(1);
+  Alcotest.(check int) "reachable count" 1 (Topology.reachable_from t 0)
+
+let test_topology_can_decode () =
+  let t = grid_topology ~side:5 ~radius:1.0 in
+  Alcotest.(check bool) "adjacent" true (Topology.can_decode t ~rx:0 ~tx:1);
+  Alcotest.(check bool) "far" false (Topology.can_decode t ~rx:0 ~tx:4)
+
+(* --- Schedule ------------------------------------------------------------- *)
+
+let test_schedule_phases () =
+  Alcotest.(check int) "rounds per interval" 6 Schedule.rounds_per_interval;
+  Alcotest.(check int) "interval" 2 (Schedule.interval_of_round 13);
+  Alcotest.(check int) "phase" 1 (Schedule.phase_of_round 13)
+
+let test_schedule_squares () =
+  let squares = Squares.make ~side:1.0 ~width:12.0 ~height:12.0 in
+  let s = Schedule.for_squares squares ~radius:2.0 in
+  Alcotest.(check bool) "cycle is k^2+1" true (Schedule.cycle s > 1);
+  (* Slot 0 is reserved for the source. *)
+  for id = 0 to Squares.count squares - 1 do
+    Alcotest.(check bool) "squares never use slot 0" true (Schedule.slot_of s id > 0)
+  done;
+  (* Adjacent squares never share a slot. *)
+  for id = 0 to Squares.count squares - 1 do
+    List.iter
+      (fun nb ->
+        Alcotest.(check bool) "adjacent differ" true
+          (Schedule.slot_of s nb <> Schedule.slot_of s id))
+      (Squares.neighbors squares id)
+  done
+
+let test_schedule_squares_reuse_distance () =
+  let radius = 2.0 in
+  let side = 1.0 in
+  let squares = Squares.make ~side ~width:20.0 ~height:20.0 in
+  let s = Schedule.for_squares squares ~radius in
+  (* Same-slot squares must be farther apart than 3R at their closest. *)
+  let n = Squares.count squares in
+  for a = 0 to n - 1 do
+    for b = a + 1 to n - 1 do
+      if Schedule.slot_of s a = Schedule.slot_of s b then begin
+        let ax, ay = Squares.coords squares a and bx, by = Squares.coords squares b in
+        let gap_cells = max (abs (ax - bx)) (abs (ay - by)) - 1 in
+        Alcotest.(check bool) "closest points beyond 3R" true
+          (float_of_int gap_cells *. side >= 3.0 *. radius)
+      end
+    done
+  done
+
+let test_schedule_nodes () =
+  let d = Deployment.grid ~width:8 ~height:8 in
+  let t = Topology.build d (Propagation.disk_l2 2.0) in
+  let s = Schedule.for_nodes t ~conflict_range:4.0 ~source:10 in
+  Alcotest.(check int) "source owns slot 0" 0 (Schedule.slot_of s 10);
+  let n = Deployment.size d in
+  for i = 0 to n - 1 do
+    Alcotest.(check bool) "slots within cycle" true (Schedule.slot_of s i < Schedule.cycle s);
+    if i <> 10 then Alcotest.(check bool) "others never slot 0" true (Schedule.slot_of s i > 0)
+  done;
+  (* Conflicting nodes (within the conflict range) get distinct slots. *)
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let pi = d.Deployment.nodes.(i).Node.pos and pj = d.Deployment.nodes.(j).Node.pos in
+      if Point.dist_l2 pi pj <= 4.0 && i <> 10 && j <> 10 then
+        Alcotest.(check bool) "conflicts differ" true (Schedule.slot_of s i <> Schedule.slot_of s j)
+    done
+  done
+
+let test_schedule_active_slot () =
+  let squares = Squares.make ~side:1.0 ~width:4.0 ~height:4.0 in
+  let s = Schedule.for_squares squares ~radius:1.0 in
+  Alcotest.(check int) "wraps" (Schedule.active_slot s ~interval:0)
+    (Schedule.active_slot s ~interval:(Schedule.cycle s))
+
+(* --- Engine ----------------------------------------------------------------- *)
+
+let line_topology n spacing radius =
+  let nodes = Array.init n (fun i -> Node.make i (point (float_of_int i *. spacing) 0.0)) in
+  let d = { Deployment.width = float_of_int (n - 1) *. spacing; height = 1.0; nodes } in
+  Topology.build d (Propagation.disk_l2 radius)
+
+let tx_once_machine payload =
+  {
+    Engine.act = (fun round -> if round = 0 then Engine.Transmit payload else Engine.Silent);
+    observe = (fun _ _ -> ());
+    delivered = (fun () -> None);
+  }
+
+let recorder () =
+  let log = ref [] in
+  let machine =
+    {
+      Engine.act = (fun _ -> Engine.Silent);
+      observe = (fun round obs -> log := (round, obs) :: !log);
+      delivered = (fun () -> None);
+    }
+  in
+  (machine, log)
+
+let obs_at log round =
+  match List.assoc_opt round !log with Some o -> o | None -> Alcotest.fail "round not observed"
+
+let test_engine_single_tx () =
+  let topology = line_topology 3 1.0 1.5 in
+  let rx0, log0 = recorder () in
+  let rx2, log2 = recorder () in
+  let machines = [| rx0; tx_once_machine 42; rx2 |] in
+  (* Nobody delivers, so the run executes exactly [cap] rounds. *)
+  let waiters = Array.make 3 true in
+  let result = Engine.run ~topology ~machines ~waiters ~cap:1 () in
+  Alcotest.(check bool) "neighbour hears it" true (obs_at log0 0 = Channel.Clear 42);
+  Alcotest.(check bool) "other side hears it" true (obs_at log2 0 = Channel.Clear 42);
+  Alcotest.(check (array int)) "broadcast counted" [| 0; 1; 0 |] result.Engine.broadcasts
+
+let test_engine_collision () =
+  let topology = line_topology 3 1.0 1.5 in
+  let rx, log = recorder () in
+  let machines = [| tx_once_machine 1; rx; tx_once_machine 2 |] in
+  let waiters = Array.make 3 true in
+  ignore (Engine.run ~topology ~machines ~waiters ~cap:1 ());
+  Alcotest.(check bool) "middle observes collision" true (obs_at log 0 = Channel.Busy)
+
+let test_engine_out_of_range_silence () =
+  let topology = line_topology 3 2.0 1.5 in
+  (* spacing 2.0 > radius: nobody hears anybody *)
+  let rx, log = recorder () in
+  let machines = [| tx_once_machine 1; rx; Engine.silent_machine |] in
+  let waiters = Array.make 3 true in
+  ignore (Engine.run ~topology ~machines ~waiters ~cap:1 ());
+  Alcotest.(check bool) "silence" true (obs_at log 0 = Channel.Silence)
+
+let test_engine_waiters_stop () =
+  let topology = line_topology 2 1.0 1.5 in
+  let delivered = ref None in
+  let receiver =
+    {
+      Engine.act = (fun _ -> Engine.Silent);
+      observe =
+        (fun _ obs ->
+          match obs with
+          | Channel.Clear _ -> delivered := Some (Bitvec.of_string "1")
+          | Channel.Silence | Channel.Busy -> ());
+      delivered = (fun () -> !delivered);
+    }
+  in
+  let sender =
+    {
+      Engine.act = (fun _ -> Engine.Transmit 0);
+      observe = (fun _ _ -> ());
+      delivered = (fun () -> Some (Bitvec.of_string "1"));
+    }
+  in
+  let result =
+    Engine.run ~topology ~machines:[| sender; receiver |] ~waiters:[| false; true |] ~cap:1000 ()
+  in
+  Alcotest.(check int) "stops right after delivery" 1 result.Engine.rounds_used;
+  Alcotest.(check bool) "no cap hit" false result.Engine.hit_cap;
+  Alcotest.(check int) "completion round recorded" 0 result.Engine.completion_round.(1)
+
+let test_engine_idle_stop () =
+  let topology = line_topology 2 1.0 1.5 in
+  let machines = [| Engine.silent_machine; Engine.silent_machine |] in
+  let result =
+    Engine.run ~idle_stop:50 ~topology ~machines ~waiters:[| true; true |] ~cap:100000 ()
+  in
+  Alcotest.(check int) "stopped by idleness" 50 result.Engine.rounds_used
+
+let test_engine_cap () =
+  let topology = line_topology 2 1.0 1.5 in
+  let chatty =
+    {
+      Engine.act = (fun _ -> Engine.Transmit 0);
+      observe = (fun _ _ -> ());
+      delivered = (fun () -> None);
+    }
+  in
+  let result =
+    Engine.run ~topology ~machines:[| chatty; Engine.silent_machine |] ~waiters:[| true; true |]
+      ~cap:77 ()
+  in
+  Alcotest.(check int) "capped" 77 result.Engine.rounds_used;
+  Alcotest.(check bool) "hit_cap" true result.Engine.hit_cap
+
+let test_engine_stop_when () =
+  let topology = line_topology 2 1.0 1.5 in
+  let machines = [| Engine.silent_machine; Engine.silent_machine |] in
+  let calls = ref 0 in
+  let stop_when () =
+    incr calls;
+    !calls >= 3
+  in
+  let result =
+    Engine.run ~stop_when ~topology ~machines ~waiters:[| true; true |] ~cap:100000 ()
+  in
+  (* stop_when is polled every 96 rounds. *)
+  Alcotest.(check int) "stopped at third poll" 192 result.Engine.rounds_used
+
+(* The engine's flat-aggregate channel resolution must agree with the
+   reference Channel.resolve on arbitrary receiver configurations. *)
+let prop_engine_matches_reference =
+  QCheck.Test.make ~name:"engine resolution = Channel.resolve" ~count:300
+    QCheck.(pair (int_bound 10_000) (int_range 0 6))
+    (fun (seed, k) ->
+      let rng = Rng.create seed in
+      let prop = Propagation.friis 4.0 in
+      (* Receiver at the origin, k transmitters at random distances. *)
+      let nodes =
+        Array.init (k + 1) (fun i ->
+            if i = 0 then Node.make 0 (point 0.0 0.0)
+            else begin
+              let d = 0.5 +. Rng.float rng 9.0 in
+              let angle = Rng.float rng 6.28318 in
+              Node.make i (point (d *. cos angle) (d *. sin angle))
+            end)
+      in
+      (* Positions may be negative; shift into a positive frame. *)
+      let nodes =
+        Array.map
+          (fun (n : Node.t) ->
+            Node.make n.Node.id (point (n.Node.pos.Point.x +. 20.0) (n.Node.pos.Point.y +. 20.0)))
+          nodes
+      in
+      let d = { Deployment.width = 40.0; height = 40.0; nodes } in
+      let topology = Topology.build d prop in
+      let observed = ref None in
+      let rx =
+        {
+          Engine.act = (fun _ -> Engine.Silent);
+          observe = (fun _ obs -> observed := Some obs);
+          delivered = (fun () -> None);
+        }
+      in
+      let machines = Array.init (k + 1) (fun i -> if i = 0 then rx else tx_once_machine i) in
+      ignore (Engine.run ~topology ~machines ~waiters:(Array.make (k + 1) true) ~cap:1 ());
+      let txs =
+        Array.to_list topology.Topology.sensed.(0)
+        |> List.map (fun { Topology.peer; power } -> { Channel.power; payload = peer })
+      in
+      let expected = Channel.resolve Channel.ideal ~sense_threshold:(Propagation.sense_threshold prop) txs in
+      match (!observed, expected) with
+      | Some got, want -> Channel.equal Int.equal got want
+      | None, _ -> false)
+
+let qtests = [ prop_engine_matches_reference ]
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "deployment",
+        [
+          Alcotest.test_case "grid" `Quick test_grid_deployment;
+          Alcotest.test_case "uniform" `Quick test_uniform_deployment;
+          Alcotest.test_case "clustered" `Quick test_clustered_deployment;
+          Alcotest.test_case "center node" `Quick test_center_node;
+          Alcotest.test_case "subset" `Quick test_subset;
+        ] );
+      ( "topology",
+        [
+          Alcotest.test_case "grid neighbours" `Quick test_topology_grid_neighbors;
+          Alcotest.test_case "friis sense superset" `Quick test_topology_friis_sense_superset;
+          Alcotest.test_case "hops and diameter" `Quick test_topology_hops;
+          Alcotest.test_case "disconnected" `Quick test_topology_disconnected;
+          Alcotest.test_case "can_decode" `Quick test_topology_can_decode;
+        ] );
+      ( "schedule",
+        [
+          Alcotest.test_case "phases" `Quick test_schedule_phases;
+          Alcotest.test_case "squares" `Quick test_schedule_squares;
+          Alcotest.test_case "square reuse distance" `Quick test_schedule_squares_reuse_distance;
+          Alcotest.test_case "nodes" `Quick test_schedule_nodes;
+          Alcotest.test_case "active slot wraps" `Quick test_schedule_active_slot;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "single tx" `Quick test_engine_single_tx;
+          Alcotest.test_case "collision" `Quick test_engine_collision;
+          Alcotest.test_case "out of range" `Quick test_engine_out_of_range_silence;
+          Alcotest.test_case "waiters stop" `Quick test_engine_waiters_stop;
+          Alcotest.test_case "idle stop" `Quick test_engine_idle_stop;
+          Alcotest.test_case "round cap" `Quick test_engine_cap;
+          Alcotest.test_case "stop_when polling" `Quick test_engine_stop_when;
+        ] );
+      ("properties", List.map (QCheck_alcotest.to_alcotest ~long:false) qtests);
+    ]

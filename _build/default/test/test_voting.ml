@@ -1,0 +1,125 @@
+(* Tests for the MultiPathRB voting rule: distinct-origin counting and the
+   common-neighbourhood (2R-window) quorum test. *)
+
+let item ?(value = true) origin points = { Voting.origin; value; points }
+let p = Point.make
+
+let test_distinct_origins () =
+  let items =
+    [
+      item (0, 0) [ p 0.0 0.0 ];
+      item (0, 0) [ p 0.1 0.1 ];
+      item (1, 0) [ p 1.0 0.0 ];
+      item ~value:false (2, 0) [ p 2.0 0.0 ];
+    ]
+  in
+  Alcotest.(check int) "duplicates merge" 2 (Voting.distinct_origins ~value:true items);
+  Alcotest.(check int) "per value" 1 (Voting.distinct_origins ~value:false items)
+
+let test_quorum_needs_distinct_origins () =
+  let same_origin = List.init 5 (fun i -> item (7, 7) [ p (float_of_int i /. 10.0) 0.0 ]) in
+  Alcotest.(check bool) "five copies of one origin are one vote" false
+    (Voting.quorum ~radius:4.0 ~need:2 ~value:true same_origin);
+  Alcotest.(check bool) "but satisfy need 1" true
+    (Voting.quorum ~radius:4.0 ~need:1 ~value:true same_origin)
+
+let test_quorum_within_ball () =
+  let items = List.init 4 (fun i -> item (i, 0) [ p (float_of_int i) 0.0 ]) in
+  Alcotest.(check bool) "four origins in a tight cluster" true
+    (Voting.quorum ~radius:2.0 ~need:4 ~value:true items);
+  Alcotest.(check bool) "need more than available" false
+    (Voting.quorum ~radius:2.0 ~need:5 ~value:true items)
+
+let test_quorum_spread_too_wide () =
+  (* Three origins, pairwise closer than 2R, but no single 2R window holds
+     all three. *)
+  let items =
+    [ item (0, 0) [ p 0.0 0.0 ]; item (1, 0) [ p 3.5 0.0 ]; item (2, 0) [ p 7.0 0.0 ] ]
+  in
+  Alcotest.(check bool) "any two fit" true (Voting.quorum ~radius:2.0 ~need:2 ~value:true items);
+  Alcotest.(check bool) "all three do not" false
+    (Voting.quorum ~radius:2.0 ~need:3 ~value:true items)
+
+let test_quorum_window_boundary () =
+  let items = [ item (0, 0) [ p 0.0 0.0 ]; item (1, 0) [ p 4.0 4.0 ] ] in
+  Alcotest.(check bool) "exactly 2R apart fits" true
+    (Voting.quorum ~radius:2.0 ~need:2 ~value:true items);
+  let items' = [ item (0, 0) [ p 0.0 0.0 ]; item (1, 0) [ p 4.01 0.0 ] ] in
+  Alcotest.(check bool) "just beyond does not" false
+    (Voting.quorum ~radius:2.0 ~need:2 ~value:true items')
+
+let test_quorum_values_do_not_mix () =
+  let items =
+    [
+      item ~value:true (0, 0) [ p 0.0 0.0 ];
+      item ~value:false (1, 0) [ p 1.0 0.0 ];
+      item ~value:true (2, 0) [ p 2.0 0.0 ];
+    ]
+  in
+  Alcotest.(check bool) "two for true" true (Voting.quorum ~radius:4.0 ~need:2 ~value:true items);
+  Alcotest.(check bool) "not three for true" false
+    (Voting.quorum ~radius:4.0 ~need:3 ~value:true items);
+  Alcotest.(check bool) "one for false" true
+    (Voting.quorum ~radius:4.0 ~need:1 ~value:false items)
+
+let test_quorum_heard_needs_both_points () =
+  (* HEARD evidence carries both the witness and the cause; the whole pair
+     must fit the window. *)
+  let witness_far = [ item (0, 0) [ p 0.0 0.0; p 10.0 0.0 ]; item (1, 0) [ p 1.0 0.0 ] ] in
+  Alcotest.(check bool) "distant witness disqualifies its item" false
+    (Voting.quorum ~radius:2.0 ~need:2 ~value:true witness_far);
+  let witness_near = [ item (0, 0) [ p 0.0 0.0; p 2.0 0.0 ]; item (1, 0) [ p 1.0 0.0 ] ] in
+  Alcotest.(check bool) "near witness is fine" true
+    (Voting.quorum ~radius:2.0 ~need:2 ~value:true witness_near)
+
+let test_quorum_trivial_cases () =
+  Alcotest.(check bool) "need 0 is vacuous" true (Voting.quorum ~radius:1.0 ~need:0 ~value:true []);
+  Alcotest.(check bool) "empty evidence fails need 1" false
+    (Voting.quorum ~radius:1.0 ~need:1 ~value:true [])
+
+let prop_clustered_origins_always_quorum =
+  QCheck.Test.make ~name:"n distinct origins inside one R-ball always reach quorum n" ~count:200
+    QCheck.(pair (int_range 1 10) (int_bound 10_000))
+    (fun (n, seed) ->
+      let rng = Rng.create seed in
+      let radius = 2.0 +. Rng.float rng 4.0 in
+      let cx = Rng.float rng 10.0 and cy = Rng.float rng 10.0 in
+      let items =
+        List.init n (fun i ->
+            let dx = Rng.float rng (2.0 *. radius) -. radius in
+            let dy = Rng.float rng (2.0 *. radius) -. radius in
+            item (i, i) [ p (cx +. dx) (cy +. dy) ])
+      in
+      Voting.quorum ~radius ~need:n ~value:true items)
+
+let prop_quorum_monotone_in_need =
+  QCheck.Test.make ~name:"quorum is monotone: success at need k implies success at k-1"
+    ~count:200
+    QCheck.(pair (int_range 1 8) (int_bound 10_000))
+    (fun (need, seed) ->
+      let rng = Rng.create seed in
+      let items =
+        List.init 12 (fun i ->
+            item (i mod 8, 0) [ p (Rng.float rng 15.0) (Rng.float rng 15.0) ])
+      in
+      (not (Voting.quorum ~radius:3.0 ~need ~value:true items))
+      || Voting.quorum ~radius:3.0 ~need:(need - 1) ~value:true items)
+
+let qtests = [ prop_clustered_origins_always_quorum; prop_quorum_monotone_in_need ]
+
+let () =
+  Alcotest.run "voting"
+    [
+      ( "quorum",
+        [
+          Alcotest.test_case "distinct origins" `Quick test_distinct_origins;
+          Alcotest.test_case "needs distinct origins" `Quick test_quorum_needs_distinct_origins;
+          Alcotest.test_case "within ball" `Quick test_quorum_within_ball;
+          Alcotest.test_case "spread too wide" `Quick test_quorum_spread_too_wide;
+          Alcotest.test_case "window boundary" `Quick test_quorum_window_boundary;
+          Alcotest.test_case "values do not mix" `Quick test_quorum_values_do_not_mix;
+          Alcotest.test_case "heard needs both points" `Quick test_quorum_heard_needs_both_points;
+          Alcotest.test_case "trivial cases" `Quick test_quorum_trivial_cases;
+        ] );
+      ("properties", List.map (QCheck_alcotest.to_alcotest ~long:false) qtests);
+    ]
