@@ -1,0 +1,172 @@
+(* securebit_lint — the static-analysis front end.
+
+   `securebit_lint lint scenario`      validate scenario specs against the
+                                       analytic bounds before simulating;
+   `securebit_lint check twobit`       bounded model checking of the 2Bit
+                                       frame and the 1Hop stream;
+   `securebit_lint check determinism`  run scenarios twice and diff the
+                                       round-by-round channel traces.
+
+   `dune build @lint` runs all three over the bundled preset scenarios. *)
+
+open Cmdliner
+
+let known_scenarios () = String.concat ", " (List.map fst Scenario.presets)
+
+let resolve_targets all names =
+  if all || names = [] then Scenario.presets
+  else
+    List.map
+      (fun name ->
+        match Scenario.preset name with
+        | Some spec -> (name, spec)
+        | None ->
+          Printf.eprintf "unknown scenario %s (known: %s)\n" name (known_scenarios ());
+          exit 2)
+      names
+
+let all_arg =
+  Arg.(value & flag & info [ "all" ] ~doc:"Run over every bundled preset scenario (the default).")
+
+let names_arg =
+  Arg.(
+    value
+    & pos_all string []
+    & info [] ~docv:"SCENARIO" ~doc:"Preset scenario names; omit for all presets.")
+
+(* --- lint scenario ----------------------------------------------------- *)
+
+let lint_scenario_cmd =
+  let strict_arg =
+    Arg.(value & flag & info [ "strict" ] ~doc:"Treat warnings as errors (exit 1).")
+  in
+  let run all strict names =
+    let targets = resolve_targets all names in
+    let failed = ref false in
+    let total_warnings = ref 0 in
+    List.iter
+      (fun (name, spec) ->
+        let diags = Lint.lint ~name spec in
+        List.iter (fun d -> print_endline (Lint.diagnostic_to_string d)) diags;
+        total_warnings := !total_warnings + Lint.count Lint.Warning diags;
+        if Lint.has_errors diags || (strict && Lint.count Lint.Warning diags > 0) then
+          failed := true
+        else if diags = [] then Printf.printf "%s: ok\n" name
+        else Printf.printf "%s: ok (%d diagnostic(s))\n" name (List.length diags))
+      targets;
+    Printf.printf "linted %d scenario(s): %s\n" (List.length targets)
+      (if !failed then "FAILED" else "ok");
+    if !failed then exit 1
+  in
+  Cmd.v
+    (Cmd.info "scenario"
+       ~doc:
+         "Validate scenario specs against the paper's resilience bounds, the square-partition \
+          geometry preconditions and parameter sanity.")
+    Term.(const run $ all_arg $ strict_arg $ names_arg)
+
+let lint_group =
+  Cmd.group
+    (Cmd.info "lint" ~doc:"Static validation of simulation configurations.")
+    [ lint_scenario_cmd ]
+
+(* --- check twobit ------------------------------------------------------ *)
+
+let report_outcome label = function
+  | Model_check.Pass { configurations } ->
+    Printf.printf "%s: ok — %d adversary configurations, all invariants hold\n" label
+      configurations;
+    true
+  | Model_check.Fail counterexample ->
+    Printf.printf "%s: VIOLATION\n%s\n" label (Model_check.counterexample_to_string counterexample);
+    false
+
+let check_twobit_cmd =
+  let budget_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "budget" ] ~docv:"N" ~doc:"Adversary broadcast budget (exhaustive for this bound).")
+  in
+  let receivers_arg =
+    Arg.(value & opt int 2 & info [ "receivers" ] ~docv:"K" ~doc:"Honest receivers in the frame.")
+  in
+  let msg_len_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "msg-len" ] ~docv:"L" ~doc:"Message length for the 1Hop stream check.")
+  in
+  let seed_violation_arg =
+    Arg.(
+      value & flag
+      & info [ "seed-violation" ]
+          ~doc:
+            "Use a deliberately broken receiver (deaf to the veto round) to demonstrate a \
+             counterexample trace.")
+  in
+  let run budget receivers msg_len seed_violation =
+    let impl = if seed_violation then Model_check.faulty_skip_veto else Model_check.reference in
+    match
+      let frame =
+        report_outcome
+          (Printf.sprintf "2Bit frame  (budget %d, %d receivers)" budget receivers)
+          (Model_check.check_two_bit ~impl ~receivers ~budget ())
+      in
+      let stream =
+        report_outcome
+          (Printf.sprintf "1Hop stream (budget %d, %d-bit messages)" budget msg_len)
+          (Model_check.check_one_hop ~impl ~msg_len ~budget ())
+      in
+      frame && stream
+    with
+    | true -> ()
+    | false -> exit 1
+    | exception Invalid_argument msg ->
+      Printf.eprintf "invalid arguments: %s\n" msg;
+      exit 2
+  in
+  Cmd.v
+    (Cmd.info "twobit"
+       ~doc:
+         "Bounded model checking: enumerate every Byzantine transmit/silence pattern within the \
+          budget over the 2Bit frame and the 1Hop stream, asserting the paper's no-forgery and \
+          agreement invariants.")
+    Term.(const run $ budget_arg $ receivers_arg $ msg_len_arg $ seed_violation_arg)
+
+(* --- check determinism ------------------------------------------------- *)
+
+let check_determinism_cmd =
+  let max_rounds_arg =
+    Arg.(
+      value & opt int 20_000
+      & info [ "max-rounds" ] ~docv:"N" ~doc:"Cap traced rounds per run (keeps the check cheap).")
+  in
+  let run all max_rounds names =
+    let targets = resolve_targets all names in
+    let failed = ref false in
+    List.iter
+      (fun (name, spec) ->
+        match Determinism.check_spec ~max_rounds spec with
+        | Determinism.Deterministic { rounds } ->
+          Printf.printf "%s: deterministic over %d rounds\n" name rounds
+        | Determinism.Diverged _ as outcome ->
+          Printf.printf "%s: %s\n" name (Determinism.outcome_to_string outcome);
+          failed := true)
+      targets;
+    if !failed then exit 1
+  in
+  Cmd.v
+    (Cmd.info "determinism"
+       ~doc:
+         "Run each scenario twice with the same seed and diff the full round-by-round channel \
+          trace; any divergence is hidden nondeterminism.")
+    Term.(const run $ all_arg $ max_rounds_arg $ names_arg)
+
+let check_group =
+  Cmd.group
+    (Cmd.info "check" ~doc:"Dynamic verifiers: model checking and determinism.")
+    [ check_twobit_cmd; check_determinism_cmd ]
+
+let () =
+  let doc = "protocol-invariant verifier and scenario linter (static checking)" in
+  let info = Cmd.info "securebit_lint" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ lint_group; check_group ]))

@@ -92,7 +92,7 @@ let pick_byzantine rng ~n ~source ~fraction =
   done;
   byz
 
-let run spec =
+let run ?tap spec =
   let rng = Rng.create spec.seed in
   let deployment_rng = Rng.split rng in
   let faults_rng = Rng.split rng in
@@ -206,10 +206,78 @@ let run spec =
       end
   in
   let engine =
-    Engine.run ~rng:channel_rng ~channel:spec.channel ~idle_stop ~stop_when ~topology ~machines
-      ~waiters ~cap:spec.cap ()
+    Engine.run ~rng:channel_rng ~channel:spec.channel ~idle_stop ~stop_when ?tap ~topology
+      ~machines ~waiters ~cap:spec.cap ()
   in
   { spec; topology; source; honest; fake; engine }
+
+(* Named specs mirroring the bundled examples (examples/<name>.ml), so the
+   static checkers ship with the exact configurations the demos run.  Keep
+   in sync when an example changes its parameters. *)
+let presets =
+  [
+    ( "quickstart",
+      {
+        default with
+        map_w = 10.0;
+        map_h = 10.0;
+        deployment = Uniform 120;
+        radius = 3.0;
+        seed = 2024;
+      } );
+    ( "lying_attack",
+      {
+        default with
+        map_w = 12.0;
+        map_h = 12.0;
+        deployment = Uniform 300;
+        radius = 2.5;
+        faults = Lying 0.05;
+        seed = 7;
+      } );
+    ( "jamming_attack",
+      {
+        default with
+        map_w = 12.0;
+        map_h = 12.0;
+        deployment = Uniform 220;
+        radius = 4.0;
+        faults = Jamming { fraction = 0.1; budget = 100; probability = 0.2 };
+        seed = 5;
+      } );
+    ( "clustered_network",
+      {
+        default with
+        map_w = 15.0;
+        map_h = 15.0;
+        deployment = Clustered { n = 400; clusters = 9; stddev = 1.2 };
+        radius = 4.0;
+        seed = 21;
+      } );
+    ( "multi_path",
+      {
+        default with
+        map_w = 8.0;
+        map_h = 8.0;
+        deployment = Uniform 80;
+        radius = 2.5;
+        protocol = Multi_path { tolerance = 1 };
+        heard_relay_limit = Some 4;
+        seed = 3;
+      } );
+    ( "epidemic_baseline",
+      {
+        default with
+        map_w = 10.0;
+        map_h = 10.0;
+        deployment = Uniform 150;
+        radius = 3.0;
+        protocol = Epidemic;
+        seed = 11;
+      } );
+  ]
+
+let preset name = List.assoc_opt name presets
 
 type summary = {
   honest_nodes : int;

@@ -60,7 +60,15 @@ type result = {
   engine : Engine.result;
 }
 
-val run : spec -> result
+val run : ?tap:(Engine.round_digest -> unit) -> spec -> result
+(** [tap] is forwarded to {!Engine.run}: one digest per executed round. *)
+
+val presets : (string * spec) list
+(** Named specs mirroring the bundled examples ([examples/<name>.ml]); the
+    [securebit_lint] checkers and the [@lint] alias run over these. *)
+
+val preset : string -> spec option
+(** Look up a preset by name. *)
 
 type summary = {
   honest_nodes : int;  (** honest nodes other than the source *)

@@ -1,0 +1,38 @@
+(** Scenario linter: static validation of a {!Scenario.spec} before any
+    simulation round runs.
+
+    Three families of checks:
+    - {b resilience}: Byzantine fractions against the per-neighbourhood
+      analytic tolerance formulas of {!Bounds} — [t < ⌈R/2⌉²] for
+      NeighborWatchRB, [t < R²/2] for the 2-voting variant, the configured
+      [t] (and Koo's impossibility bound [t < R(2R+1)/2]) for MultiPathRB;
+    - {b geometry}: the square-partition preconditions of {!Squares} —
+      adjacent watch squares must be in mutual decode range, squares should
+      be expected non-empty;
+    - {b sanity}: map dimensions, radii, message, channel parameters,
+      round caps, jammer budgets and probabilities.
+
+    Diagnostics carry a severity, a source location (scenario name +
+    offending field) and a stable short code. *)
+
+type severity = Error | Warning | Info
+
+type diagnostic = {
+  severity : severity;
+  scenario : string;  (** scenario name (the "file" of the location) *)
+  field : string;  (** offending spec field, e.g. ["faults.fraction"] *)
+  code : string;  (** stable short code, e.g. ["byz-tolerance"] *)
+  message : string;
+}
+
+val lint : name:string -> Scenario.spec -> diagnostic list
+(** All diagnostics for one spec, in field order. *)
+
+val lint_presets : unit -> (string * diagnostic list) list
+(** [lint] over every bundled {!Scenario.presets} entry. *)
+
+val has_errors : diagnostic list -> bool
+val count : severity -> diagnostic list -> int
+val severity_label : severity -> string
+val pp_diagnostic : Format.formatter -> diagnostic -> unit
+val diagnostic_to_string : diagnostic -> string

@@ -30,7 +30,6 @@ type role_state =
   | Passive  (** catch-up fired: stay silent for the rest of the interval *)
 
 type state = {
-  my_square : int;
   my_slot : int;
   is_source : bool;
   listen : (int * provider) list;  (** slot -> stream provider *)
@@ -266,7 +265,6 @@ let machine ?initial_commit ctx id role =
   let streams = List.map (fun (_, provider) -> (provider, One_hop.Receiver.create ())) listen in
   let s =
     {
-      my_square;
       my_slot = Schedule.slot_of ctx.schedule my_square;
       is_source;
       listen;

@@ -66,7 +66,7 @@ module Receiver = struct
     | 1 | 3 | 5 -> ()
     | _ -> invalid_arg "Two_bit.Receiver.observe: bad phase"
 
-  let outcome t =
+  let outcome t : (outcome * (bool * bool)) option =
     if not t.done_ then None
     else if t.veto_seen then Some (Failure, (t.act1, t.act2))
     else Some (Success, (t.act1, t.act2))

@@ -17,8 +17,15 @@ type result = {
   broadcasts : int array;
 }
 
-let run ?rng ?(channel = Channel.ideal) ?stop_when ?idle_stop ~topology ~machines ~waiters ~cap
-    () =
+type round_digest = { round : int; transmitters : int list; observations : int array }
+
+let fingerprint_observation = function
+  | Channel.Silence -> 0
+  | Channel.Busy -> 1
+  | Channel.Clear payload -> 2 + (Hashtbl.hash payload land 0x3FFFFFFF)
+
+let run ?rng ?(channel = Channel.ideal) ?stop_when ?idle_stop ?tap ~topology ~machines ~waiters
+    ~cap () =
   let n = Topology.size topology in
   if Array.length machines <> n || Array.length waiters <> n then
     invalid_arg "Engine.run: machines/waiters size mismatch";
@@ -45,6 +52,10 @@ let run ?rng ?(channel = Channel.ideal) ?stop_when ?idle_stop ~topology ~machine
   let touched = ref [] in
   let loss = channel.Channel.loss_prob in
   let capture_ratio = channel.Channel.capture_ratio in
+  (* Trace capture is allocated only when a tap is installed, so the hot
+     path of untraced runs is untouched. *)
+  let tap_fp = match tap with None -> [||] | Some _ -> Array.make n 0 in
+  let tap_tx = ref [] in
   let pending = ref 0 in
   Array.iter (fun w -> if w then incr pending) waiters;
   let round = ref 0 in
@@ -67,6 +78,7 @@ let run ?rng ?(channel = Channel.ideal) ?stop_when ?idle_stop ~topology ~machine
       | Transmit payload ->
         anyone_transmitted := true;
         broadcasts.(i) <- broadcasts.(i) + 1;
+        if tap <> None then tap_tx := i :: !tap_tx;
         let payload_opt = Some payload in
         List.iter
           (fun (receiver, power) ->
@@ -109,8 +121,16 @@ let run ?rng ?(channel = Channel.ideal) ?stop_when ?idle_stop ~topology ~machine
           else Channel.Busy
         end
       in
+      if tap <> None then tap_fp.(i) <- fingerprint_observation obs;
       machines.(i).observe r obs
     done;
+    begin
+      match tap with
+      | None -> ()
+      | Some f ->
+        f { round = r; transmitters = List.rev !tap_tx; observations = Array.copy tap_fp };
+        tap_tx := []
+    end;
     List.iter
       (fun i ->
         sum_power.(i) <- 0.0;

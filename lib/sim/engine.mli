@@ -32,11 +32,26 @@ type result = {
   broadcasts : int array;  (** transmissions made per node *)
 }
 
+type round_digest = {
+  round : int;
+  transmitters : int list;  (** ids that transmitted, ascending *)
+  observations : int array;
+      (** per-node fingerprint of what the radio resolved:
+          0 = silence, 1 = busy, >= 2 = clear (payload hash) *)
+}
+(** A compact per-round summary of all channel activity, for trace
+    comparison (see [Check.Determinism]).  Fingerprints collapse payloads
+    to a hash: equal traces are necessary for equal runs, and a fingerprint
+    mismatch pinpoints the first divergent round. *)
+
+val fingerprint_observation : 'm Channel.observation -> int
+
 val run :
   ?rng:Rng.t ->
   ?channel:Channel.params ->
   ?stop_when:(unit -> bool) ->
   ?idle_stop:int ->
+  ?tap:(round_digest -> unit) ->
   topology:Topology.t ->
   machines:'m machine array ->
   waiters:bool array ->
@@ -45,6 +60,9 @@ val run :
   result
 (** Run until every node marked in [waiters] has delivered (or [stop_when]
     returns true, checked every 96 rounds), or until [cap] rounds.
+    [tap], if given, receives one [round_digest] per executed round (after
+    all observations of that round were delivered); untraced runs pay
+    nothing for the hook.
     [idle_stop], if given, also stops the run after that many consecutive
     rounds in which nobody transmitted: all machines here are
     schedule-driven, so a silent schedule cycle (beyond the one silent

@@ -1,0 +1,139 @@
+(* Cross-checks of the closed-form resilience bounds in
+   lib/analysis/bounds.ml against brute-force lattice enumeration.  The
+   formulas all count lattice points in regions of the unit grid; here we
+   count the points one by one instead and require exact agreement. *)
+
+let radii = [ 1; 2; 3; 4; 5; 6 ]
+
+(* Lattice points of the L-inf ball of the given radius, minus the centre:
+   the analytic grid neighbourhood of Section 3. *)
+let brute_neighbourhood radius =
+  let count = ref 0 in
+  for x = -radius to radius do
+    for y = -radius to radius do
+      if not (x = 0 && y = 0) then incr count
+    done
+  done;
+  !count
+
+(* Lattice points of the open upper half of the neighbourhood (y >= 1).
+   Koo's impossibility region is half of the neighbourhood boundary strip;
+   its size R(2R+1) halves to the R(2R+1)/2 bound. *)
+let brute_half_neighbourhood radius =
+  let count = ref 0 in
+  for x = -radius to radius do
+    for y = 1 to radius do
+      if abs x <= radius && y >= 1 then incr count
+    done
+  done;
+  !count
+
+(* ⌈R/2⌉ without arithmetic tricks: the smallest s with 2s >= R. *)
+let ceil_half radius =
+  let rec go s = if 2 * s >= radius then s else go (s + 1) in
+  go 0
+
+(* Lattice points of an s x s square — the honest witnesses a watch square
+   must outnumber. *)
+let brute_square s =
+  let count = ref 0 in
+  for x = 0 to s - 1 do
+    for y = 0 to s - 1 do
+      ignore (x + y);
+      incr count
+    done
+  done;
+  !count
+
+let test_neighbourhood () =
+  List.iter
+    (fun radius ->
+      Alcotest.(check int)
+        (Printf.sprintf "neighbourhood R=%d" radius)
+        (brute_neighbourhood radius)
+        (Bounds.neighbourhood_size ~radius))
+    radii
+
+let test_koo_bound () =
+  List.iter
+    (fun radius ->
+      Alcotest.(check int)
+        (Printf.sprintf "Koo R=%d" radius)
+        (brute_half_neighbourhood radius / 2)
+        (Bounds.koo_bound ~radius);
+      Alcotest.(check int)
+        (Printf.sprintf "MultiPathRB tolerance R=%d" radius)
+        (Bounds.koo_bound ~radius - 1)
+        (Bounds.multi_path_tolerance ~radius))
+    radii
+
+(* The (radius + 1) / 2 integer rounding in neighbor_watch_tolerance must
+   be exactly the paper's ⌈R/2⌉ — the easy off-by-one to get wrong. *)
+let test_ceil_rounding () =
+  List.iter
+    (fun radius ->
+      Alcotest.(check int)
+        (Printf.sprintf "(R+1)/2 = ceil(R/2) for R=%d" radius)
+        (ceil_half radius)
+        ((radius + 1) / 2))
+    (radii @ [ 7; 8; 9; 10; 99; 100 ]);
+  (* spot values, straight from the definition *)
+  Alcotest.(check int) "ceil(1/2)" 1 (ceil_half 1);
+  Alcotest.(check int) "ceil(2/2)" 1 (ceil_half 2);
+  Alcotest.(check int) "ceil(3/2)" 2 (ceil_half 3);
+  Alcotest.(check int) "ceil(4/2)" 2 (ceil_half 4);
+  Alcotest.(check int) "ceil(5/2)" 3 (ceil_half 5);
+  Alcotest.(check int) "ceil(6/2)" 3 (ceil_half 6)
+
+let test_neighbor_watch_tolerance () =
+  List.iter
+    (fun radius ->
+      Alcotest.(check int)
+        (Printf.sprintf "NeighborWatchRB t < ceil(R/2)^2, R=%d" radius)
+        (brute_square (ceil_half radius) - 1)
+        (Bounds.neighbor_watch_tolerance ~radius))
+    radii
+
+let test_two_voting_tolerance () =
+  List.iter
+    (fun radius ->
+      Alcotest.(check int)
+        (Printf.sprintf "2-voting t < R^2/2, R=%d" radius)
+        ((brute_square radius / 2) - 1)
+        (Bounds.two_voting_tolerance ~radius))
+    radii
+
+(* Ordering sanity across the whole radius range: every protocol tolerates
+   less than Koo's impossibility bound, the optimally resilient MultiPathRB
+   never tolerates fewer faults than either watch variant, and 2-voting
+   never tolerates fewer faults than 1-voting (R^2/2 >= ceil(R/2)^2 for
+   R >= 2; R = 1 is degenerate, the 2-voting bound collapses to -1). *)
+let test_ordering () =
+  List.iter
+    (fun radius ->
+      let nw = Bounds.neighbor_watch_tolerance ~radius in
+      let tv = Bounds.two_voting_tolerance ~radius in
+      let mp = Bounds.multi_path_tolerance ~radius in
+      let koo = Bounds.koo_bound ~radius in
+      Alcotest.(check bool) (Printf.sprintf "nw < koo, R=%d" radius) true (nw < koo);
+      Alcotest.(check bool) (Printf.sprintf "2v < koo, R=%d" radius) true (tv < koo);
+      if radius >= 2 then
+        Alcotest.(check bool) (Printf.sprintf "nw <= 2v, R=%d" radius) true (nw <= tv);
+      Alcotest.(check bool) (Printf.sprintf "nw <= mp, R=%d" radius) true (nw <= mp);
+      Alcotest.(check bool) (Printf.sprintf "2v <= mp, R=%d" radius) true (tv <= mp);
+      Alcotest.(check bool) (Printf.sprintf "mp < koo, R=%d" radius) true (mp < koo))
+    radii
+
+let () =
+  Alcotest.run "bounds"
+    [
+      ( "lattice enumeration",
+        [
+          Alcotest.test_case "neighbourhood size" `Quick test_neighbourhood;
+          Alcotest.test_case "Koo impossibility bound" `Quick test_koo_bound;
+          Alcotest.test_case "ceil(R/2) rounding" `Quick test_ceil_rounding;
+          Alcotest.test_case "NeighborWatchRB tolerance" `Quick test_neighbor_watch_tolerance;
+          Alcotest.test_case "2-voting tolerance" `Quick test_two_voting_tolerance;
+          Alcotest.test_case "bound ordering" `Quick test_ordering;
+        ] );
+    ]

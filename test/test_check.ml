@@ -1,0 +1,232 @@
+(* Tests for the static-analysis subsystem (lib/check): the bounded model
+   checker, the scenario linter, and the determinism checker. *)
+
+let contains ~affix s =
+  let n = String.length affix and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+  n = 0 || go 0
+
+(* --- model checker: the reference machines satisfy every invariant ------- *)
+
+let configurations = function
+  | Model_check.Pass { configurations } -> configurations
+  | Model_check.Fail c ->
+    Alcotest.failf "unexpected counterexample:\n%s" (Model_check.counterexample_to_string c)
+
+let test_two_bit_reference () =
+  (* Exhaustive for each budget; at budget 3 the space is exactly
+     4 bit pairs x sum_{k<=3} C(6,k) = 4 * 42 jam masks. *)
+  List.iter
+    (fun budget -> ignore (configurations (Model_check.check_two_bit ~budget ())))
+    [ 0; 1; 2 ];
+  Alcotest.(check int) "4 * (1+6+15+20) configurations at budget 3" 168
+    (configurations (Model_check.check_two_bit ~budget:3 ()));
+  Alcotest.(check int) "single receiver also passes" 168
+    (configurations (Model_check.check_two_bit ~receivers:1 ~budget:3 ()))
+
+let test_one_hop_reference () =
+  List.iter
+    (fun budget -> ignore (configurations (Model_check.check_one_hop ~budget ())))
+    [ 0; 1; 2; 3 ];
+  ignore (configurations (Model_check.check_one_hop ~msg_len:3 ~budget:2 ()))
+
+(* --- model checker: the seeded violation produces a counterexample ------- *)
+
+let expect_fail = function
+  | Model_check.Fail c -> c
+  | Model_check.Pass { configurations } ->
+    Alcotest.failf "expected a counterexample, got Pass over %d configurations" configurations
+
+let test_skip_veto_frame_counterexample () =
+  let c =
+    expect_fail (Model_check.check_two_bit ~impl:Model_check.faulty_skip_veto ~budget:1 ())
+  in
+  (* A receiver deaf to the veto round accepts bits the sender cancelled:
+     one injected broadcast in a data phase is enough. *)
+  Alcotest.(check string) "violated invariant" "receiver-no-forgery" c.Model_check.invariant;
+  Alcotest.(check int) "within budget" 1 c.Model_check.budget;
+  Alcotest.(check bool) "adversary actually spent" true (c.Model_check.spent >= 1);
+  Alcotest.(check bool) "spent within budget" true (c.Model_check.spent <= c.Model_check.budget);
+  Alcotest.(check bool) "trace is non-empty" true (c.Model_check.trace <> []);
+  List.iter
+    (fun (e : Model_check.phase_event) ->
+      Alcotest.(check bool) "phases in range" true (e.phase >= 0 && e.phase <= 5))
+    c.Model_check.trace;
+  let rendered = Model_check.counterexample_to_string c in
+  Alcotest.(check bool) "rendering names the invariant" true
+    (contains ~affix:"receiver-no-forgery" rendered);
+  Alcotest.(check bool) "rendering shows the veto phase" true
+    (contains ~affix:"R5 veto" rendered)
+
+let test_skip_veto_stream_counterexample () =
+  let c =
+    expect_fail (Model_check.check_one_hop ~impl:Model_check.faulty_skip_veto ~budget:3 ())
+  in
+  Alcotest.(check bool) "trace is non-empty" true (c.Model_check.trace <> []);
+  Alcotest.(check bool) "spent within budget" true
+    (c.Model_check.spent >= 1 && c.Model_check.spent <= c.Model_check.budget)
+
+(* --- scenario linter ----------------------------------------------------- *)
+
+let has_code code diags = List.exists (fun d -> d.Lint.code = code) diags
+
+let test_lint_presets_clean () =
+  let reports = Lint.lint_presets () in
+  Alcotest.(check bool) "all presets linted" true (List.length reports >= 6);
+  List.iter
+    (fun (name, diags) ->
+      Alcotest.(check int) (name ^ " has no errors") 0 (Lint.count Lint.Error diags);
+      Alcotest.(check int) (name ^ " has no warnings") 0 (Lint.count Lint.Warning diags))
+    reports
+
+let test_lint_default_clean () =
+  Alcotest.(check bool) "default spec has no errors" false
+    (Lint.has_errors (Lint.lint ~name:"default" Scenario.default))
+
+let test_lint_catches_bad_specs () =
+  let d = Scenario.default in
+  let lint spec = Lint.lint ~name:"bad" spec in
+  Alcotest.(check bool) "zero round cap" true (has_code "cap" (lint { d with cap = 0 }));
+  Alcotest.(check bool) "negative radius" true (has_code "radius" (lint { d with radius = -1.0 }));
+  Alcotest.(check bool) "tolerance above Koo's bound" true
+    (has_code "koo-impossibility"
+       (lint { d with protocol = Scenario.Multi_path { tolerance = 999 } }));
+  Alcotest.(check bool) "fault fraction above 1" true
+    (has_code "fraction" (lint { d with faults = Scenario.Lying 1.5 }));
+  Alcotest.(check bool) "oversized watch squares" true
+    (has_code "square-geometry" (lint { d with square_side = Some 10.0 }));
+  Alcotest.(check bool) "relay cap of zero" true
+    (has_code "relay-limit"
+       (lint
+          {
+            d with
+            protocol = Scenario.Multi_path { tolerance = 1 };
+            heard_relay_limit = Some 0;
+          }));
+  (* All of the above are Errors, not mere Warnings. *)
+  Alcotest.(check bool) "cap diagnostic is an error" true
+    (Lint.has_errors (lint { d with cap = 0 }))
+
+let test_lint_byz_tolerance_warning () =
+  (* 600 nodes on a 20x20 map with R=4: ~75 devices per neighbourhood, so
+     40% liars vastly exceeds the ceil(R/2)^2 - 1 = 3 bound. *)
+  let diags = Lint.lint ~name:"overrun" { Scenario.default with faults = Scenario.Lying 0.4 } in
+  Alcotest.(check bool) "byz-tolerance warning fires" true (has_code "byz-tolerance" diags);
+  Alcotest.(check bool) "it is a warning, not an error" false (Lint.has_errors diags)
+
+let test_lint_diagnostic_rendering () =
+  match Lint.lint ~name:"render" { Scenario.default with cap = 0 } with
+  | [] -> Alcotest.fail "expected a diagnostic"
+  | d :: _ ->
+    let s = Lint.diagnostic_to_string d in
+    Alcotest.(check bool) "names the scenario" true (contains ~affix:"render" s);
+    Alcotest.(check bool) "names the field" true (contains ~affix:"cap" s);
+    Alcotest.(check bool) "states the severity" true (contains ~affix:"error" s)
+
+(* --- determinism checker ------------------------------------------------- *)
+
+let digest round transmitters observations =
+  { Engine.round; transmitters; observations }
+
+let test_fingerprints () =
+  Alcotest.(check int) "silence" 0 (Engine.fingerprint_observation Channel.Silence);
+  Alcotest.(check int) "busy" 1 (Engine.fingerprint_observation Channel.Busy);
+  Alcotest.(check bool) "clear is distinct from both" true
+    (Engine.fingerprint_observation (Channel.Clear 42) >= 2);
+  Alcotest.(check int) "equal payloads fingerprint equally"
+    (Engine.fingerprint_observation (Channel.Clear (1, true)))
+    (Engine.fingerprint_observation (Channel.Clear (1, true)))
+
+let test_diff_equal_and_divergent () =
+  let a = [| digest 0 [ 1 ] [| 0; 1 |]; digest 1 [] [| 0; 0 |] |] in
+  let b = [| digest 0 [ 1 ] [| 0; 1 |]; digest 1 [ 0 ] [| 1; 0 |] |] in
+  (match Determinism.diff a a with
+  | Determinism.Deterministic { rounds } -> Alcotest.(check int) "rounds" 2 rounds
+  | Determinism.Diverged _ -> Alcotest.fail "identical traces reported divergent");
+  (match Determinism.diff a b with
+  | Determinism.Diverged { round; first; second } ->
+    Alcotest.(check int) "first divergent round" 1 round;
+    Alcotest.(check bool) "both digests present" true (first <> None && second <> None)
+  | Determinism.Deterministic _ -> Alcotest.fail "divergence missed");
+  match Determinism.diff a [| digest 0 [ 1 ] [| 0; 1 |] |] with
+  | Determinism.Diverged { round; second; _ } ->
+    Alcotest.(check int) "truncation detected at the shorter length" 1 round;
+    Alcotest.(check bool) "second trace ended" true (second = None)
+  | Determinism.Deterministic _ -> Alcotest.fail "truncated trace reported equal"
+
+let test_check_spec_deterministic () =
+  match Scenario.preset "epidemic_baseline" with
+  | None -> Alcotest.fail "missing preset"
+  | Some spec -> begin
+    match Determinism.check_spec ~max_rounds:2_000 spec with
+    | Determinism.Deterministic { rounds } ->
+      Alcotest.(check bool) "executed some rounds" true (rounds > 0)
+    | Determinism.Diverged _ as o ->
+      Alcotest.failf "seeded run diverged: %s" (Determinism.outcome_to_string o)
+  end
+
+(* Hidden cross-run state is exactly what the checker exists to catch:
+   a machine driven by a counter that survives from the first run into the
+   second produces a different transmission schedule the second time. *)
+let test_collector_catches_shared_state () =
+  let nodes = [| Node.make 0 (Point.make 0.0 0.0); Node.make 1 (Point.make 1.0 0.0) |] in
+  let d = { Deployment.width = 1.0; height = 1.0; nodes } in
+  let topology = Topology.build d (Propagation.disk_l2 1.5) in
+  let leaked = ref 0 in
+  let run () =
+    let chatty =
+      {
+        Engine.act =
+          (fun _ ->
+            incr leaked;
+            if !leaked mod 2 = 0 then Engine.Transmit 7 else Engine.Silent);
+        observe = (fun _ _ -> ());
+        delivered = (fun () -> None);
+      }
+    in
+    let tap, finish = Determinism.collector () in
+    ignore
+      (Engine.run ~tap ~topology ~machines:[| chatty; Engine.silent_machine |]
+         ~waiters:[| true; true |] ~cap:3 ());
+    finish ()
+  in
+  let first = run () in
+  let second = run () in
+  Alcotest.(check int) "both runs traced to the cap" 3 (Array.length first);
+  match Determinism.diff first second with
+  | Determinism.Diverged { round; _ } ->
+    (* Odd counter parity flips between runs of an odd-length schedule, so
+       the very first round already differs. *)
+    Alcotest.(check int) "diverges immediately" 0 round
+  | Determinism.Deterministic _ -> Alcotest.fail "leaked state not detected"
+
+let () =
+  Alcotest.run "check"
+    [
+      ( "model checker",
+        [
+          Alcotest.test_case "2Bit reference passes (budgets 0-3)" `Quick test_two_bit_reference;
+          Alcotest.test_case "1Hop reference passes (budgets 0-3)" `Quick test_one_hop_reference;
+          Alcotest.test_case "skip-veto frame counterexample" `Quick
+            test_skip_veto_frame_counterexample;
+          Alcotest.test_case "skip-veto stream counterexample" `Quick
+            test_skip_veto_stream_counterexample;
+        ] );
+      ( "scenario linter",
+        [
+          Alcotest.test_case "presets are clean" `Quick test_lint_presets_clean;
+          Alcotest.test_case "default is clean" `Quick test_lint_default_clean;
+          Alcotest.test_case "bad specs are caught" `Quick test_lint_catches_bad_specs;
+          Alcotest.test_case "byz-tolerance warning" `Quick test_lint_byz_tolerance_warning;
+          Alcotest.test_case "diagnostic rendering" `Quick test_lint_diagnostic_rendering;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "observation fingerprints" `Quick test_fingerprints;
+          Alcotest.test_case "trace diff" `Quick test_diff_equal_and_divergent;
+          Alcotest.test_case "seeded scenario is deterministic" `Quick
+            test_check_spec_deterministic;
+          Alcotest.test_case "shared state across runs detected" `Quick
+            test_collector_catches_shared_state;
+        ] );
+    ]

@@ -130,5 +130,5 @@ let () =
           Alcotest.test_case "lattice point" `Quick test_lattice_point;
           Alcotest.test_case "index bits sizing" `Quick test_index_bits_sizing;
         ] );
-      ("properties", List.map (QCheck_alcotest.to_alcotest ~long:false) qtests);
+      ("properties", List.map (fun t -> QCheck_alcotest.to_alcotest ~long:false t) qtests);
     ]

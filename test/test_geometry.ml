@@ -181,5 +181,5 @@ let () =
           Alcotest.test_case "center" `Quick test_squares_center;
           Alcotest.test_case "paper sides" `Quick test_squares_sides;
         ] );
-      ("properties", List.map (QCheck_alcotest.to_alcotest ~long:false) qtests);
+      ("properties", List.map (fun t -> QCheck_alcotest.to_alcotest ~long:false t) qtests);
     ]

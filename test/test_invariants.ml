@@ -140,4 +140,4 @@ let qtests =
 
 let () =
   Alcotest.run "invariants"
-    [ ("end-to-end", List.map (QCheck_alcotest.to_alcotest ~long:false) qtests) ]
+    [ ("end-to-end", List.map (fun t -> QCheck_alcotest.to_alcotest ~long:false t) qtests) ]

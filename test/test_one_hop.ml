@@ -133,5 +133,5 @@ let () =
           Alcotest.test_case "retransmissions ignored" `Quick test_receiver_ignores_retransmission;
           Alcotest.test_case "silence is not a bit" `Quick test_silence_is_not_a_bit;
         ] );
-      ("properties", List.map (QCheck_alcotest.to_alcotest ~long:false) qtests);
+      ("properties", List.map (fun t -> QCheck_alcotest.to_alcotest ~long:false t) qtests);
     ]

@@ -149,5 +149,5 @@ let () =
           Alcotest.test_case "loss requires rng" `Quick test_channel_loss_requires_rng;
           Alcotest.test_case "is_activity" `Quick test_channel_is_activity;
         ] );
-      ("properties", List.map (QCheck_alcotest.to_alcotest ~long:false) qtests);
+      ("properties", List.map (fun t -> QCheck_alcotest.to_alcotest ~long:false t) qtests);
     ]

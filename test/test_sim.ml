@@ -393,5 +393,5 @@ let () =
           Alcotest.test_case "round cap" `Quick test_engine_cap;
           Alcotest.test_case "stop_when polling" `Quick test_engine_stop_when;
         ] );
-      ("properties", List.map (QCheck_alcotest.to_alcotest ~long:false) qtests);
+      ("properties", List.map (fun t -> QCheck_alcotest.to_alcotest ~long:false t) qtests);
     ]

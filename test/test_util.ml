@@ -289,5 +289,5 @@ let () =
           Alcotest.test_case "csv" `Quick test_table_csv;
           Alcotest.test_case "cells" `Quick test_table_cells;
         ] );
-      ("properties", List.map (QCheck_alcotest.to_alcotest ~long:false) qtests);
+      ("properties", List.map (fun t -> QCheck_alcotest.to_alcotest ~long:false t) qtests);
     ]

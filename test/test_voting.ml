@@ -121,5 +121,5 @@ let () =
           Alcotest.test_case "heard needs both points" `Quick test_quorum_heard_needs_both_points;
           Alcotest.test_case "trivial cases" `Quick test_quorum_trivial_cases;
         ] );
-      ("properties", List.map (QCheck_alcotest.to_alcotest ~long:false) qtests);
+      ("properties", List.map (fun t -> QCheck_alcotest.to_alcotest ~long:false t) qtests);
     ]
