@@ -2,14 +2,19 @@
 
    Running this executable:
 
-   1. regenerates every table and figure of the paper's evaluation
-      (Section 6), the Theorem 5 running-time sweeps, and the DESIGN.md
-      ablations — at Quick scale by default, or at the paper's parameters
-      with FULL=1 (MultiPathRB at paper scale is very slow, exactly as the
-      paper reports);
-   2. runs a Bechamel microbenchmark suite with one [Test.make] per
-      experiment id (a miniature instance of that table's inner simulation)
-      and one per protocol primitive. *)
+   1. executes every registered experiment — the paper's tables and
+      figures (Section 6), the Theorem 5 running-time sweeps, and the
+      DESIGN.md ablations — at Quick scale by default, or at the paper's
+      parameters with `--scale paper` (MultiPathRB at paper scale is very
+      slow, exactly as the paper reports); `--jobs N` runs the trial cells
+      on N domains with output byte-identical to `--jobs 1`;
+   2. writes the structured results (per-experiment wall time, rows,
+      aggregates, fit slopes) to BENCH_results.json (`--json PATH` to
+      move it);
+   3. runs a Bechamel microbenchmark suite with one [Test.make] per
+      experiment id (a miniature instance of that table's inner
+      simulation) and one per protocol primitive (skipped when `--only`
+      narrows the run). *)
 
 open Bechamel
 open Toolkit
@@ -176,57 +181,40 @@ let microbenchmarks () =
   Table.print table
 
 let () =
-  let scale = Figures.scale_of_env () in
-  Printf.printf "securebit benchmark harness — scale: %s\n\n%!"
-    (match scale with
-    | Figures.Quick -> "Quick (set FULL=1 for paper-scale parameters)"
-    | Figures.Paper -> "Paper");
+  let options = ref { (Bench.default_options ()) with json_path = Some "BENCH_results.json" } in
+  let set_scale s =
+    match String.lowercase_ascii s with
+    | "quick" -> options := { !options with scale = Experiment.Quick }
+    | "paper" -> options := { !options with scale = Experiment.Paper }
+    | other -> raise (Arg.Bad (Printf.sprintf "--scale %s (expected quick or paper)" other))
+  in
+  let add_only ids =
+    options :=
+      { !options with only = !options.only @ String.split_on_char ',' ids }
+  in
+  let speclist =
+    [
+      ( "--scale",
+        Arg.String set_scale,
+        "SCALE  quick (default) or paper; overrides the deprecated FULL=1 env var" );
+      ("--jobs", Arg.Int (fun n -> options := { !options with jobs = n }), "N  worker domains");
+      ( "--only",
+        Arg.String add_only,
+        "IDS  comma-separated experiment ids to run (also skips microbenchmarks)" );
+      ( "--json",
+        Arg.String (fun p -> options := { !options with json_path = Some p }),
+        "PATH  results file (default BENCH_results.json)" );
+      ("--no-json", Arg.Unit (fun () -> options := { !options with json_path = None }), " skip the results file");
+    ]
+  in
+  Arg.parse speclist
+    (fun anon -> raise (Arg.Bad (Printf.sprintf "unexpected argument %s" anon)))
+    "bench/main.exe [--scale quick|paper] [--jobs N] [--only e1,e2,...] [--json PATH]";
   let t0 = Unix.gettimeofday () in
-  let stamp () = Printf.printf "[elapsed %.1fs]\n\n%!" (Unix.gettimeofday () -. t0) in
-  let print_table t =
-    Table.print t;
-    stamp ()
-  in
-  print_table (Figures.fig5_crash scale);
-  let jam_table, jam_fit = Figures.jamming scale in
-  Table.print jam_table;
-  Printf.printf "E2 linearity: rounds = %.2f x budget + %.0f (r2 = %.3f)\n%!" jam_fit.Stats.slope
-    jam_fit.Stats.intercept jam_fit.Stats.r2;
-  stamp ();
-  print_table (Figures.fig6_lying scale);
-  print_table (Figures.fig7_density scale);
-  print_table (Figures.clustered scale);
-  let size_table, round_fit, bcast_fit = Figures.map_size scale in
-  Table.print size_table;
-  Printf.printf "E6 linearity vs hop diameter: rounds r2 = %.3f, broadcasts r2 = %.3f\n%!"
-    round_fit.Stats.r2 bcast_fit.Stats.r2;
-  stamp ();
-  let epi_table, slowdown = Figures.epidemic_comparison scale in
-  Table.print epi_table;
-  Printf.printf "E7: mean NW/epidemic slowdown = %.1fx (paper reports ~7.7x)\n%!" slowdown;
-  stamp ();
-  List.iter
-    (fun { Theory.table; fit } ->
-      Table.print table;
-      Printf.printf "fit: slope = %.2f, r2 = %.3f\n%!" fit.Stats.slope fit.Stats.r2;
-      stamp ())
-    (Theory.all scale);
-  print_table (Figures.ablation_pipeline scale);
-  print_table (Figures.ablation_square scale);
-  print_table (Figures.ablation_jamprob scale);
-  print_table (Figures.ablation_dualmode scale);
-  print_table (Figures.ablation_cpa scale);
-  print_table
-    (Bounds.summary_table ~radii:[ 2; 3; 4; 6; 8 ]);
-  (* A sparse deployment, so the table shows the interesting regime:
-     static partitions that movement ferries the message across. *)
-  let mobile_config =
-    match scale with
-    | Figures.Quick ->
-      { Mobile.default with nodes = 60; map = 16.0; epoch_rounds = 3000; max_epochs = 20 }
-    | Figures.Paper ->
-      { Mobile.default with nodes = 240; map = 32.0; epoch_rounds = 4000; max_epochs = 30 }
-  in
-  print_table (Mobile.table mobile_config ~speeds:[ 0.0; 0.003; 0.01 ]);
-  microbenchmarks ();
-  Printf.printf "\ntotal wall time: %.1fs\n%!" (Unix.gettimeofday () -. t0)
+  match Bench.run !options with
+  | Error message ->
+    prerr_endline message;
+    exit 2
+  | Ok _ ->
+    if !options.only = [] then microbenchmarks ();
+    Printf.printf "\ntotal wall time: %.1fs\n%!" (Unix.gettimeofday () -. t0)

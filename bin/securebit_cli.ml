@@ -1,10 +1,12 @@
 (* securebit — command-line front end.
 
-   `securebit run`  simulates one authenticated broadcast and prints the
-                    metrics the paper reports;
-   `securebit fig`  regenerates a table/figure of the evaluation (E1–E8,
-                    A1–A4, or `all`);
-   `securebit topo` prints topology statistics of a deployment. *)
+   `securebit run`   simulates one authenticated broadcast and prints the
+                     metrics the paper reports;
+   `securebit fig`   regenerates a table/figure of the evaluation (E1–E8,
+                     A1–A5, bounds, mobile, or `all`);
+   `securebit bench` runs the registered experiments and writes the JSON
+                     results file;
+   `securebit topo`  prints topology statistics of a deployment. *)
 
 open Cmdliner
 
@@ -156,9 +158,28 @@ let run_cmd =
 
 (* --- fig ---------------------------------------------------------------- *)
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N" ~doc:"Run trial cells on N worker domains.")
+
+let scale_conv = Arg.enum [ ("quick", Experiment.Quick); ("paper", Experiment.Paper) ]
+
+let scale_arg =
+  Arg.(
+    value
+    & opt (some scale_conv) None
+    & info [ "scale" ] ~docv:"SCALE"
+        ~doc:
+          "Experiment scale: quick or paper. Defaults to quick (or to paper when \
+           the deprecated FULL=1 environment variable is set).")
+
 let fig_cmd =
   let full_arg =
-    Arg.(value & flag & info [ "full" ] ~doc:"Use the paper-scale parameters (slow).")
+    Arg.(
+      value & flag
+      & info [ "full" ] ~doc:"Use the paper-scale parameters (slow); same as --scale paper.")
   in
   let csv_arg =
     Arg.(value & flag & info [ "csv" ] ~doc:"Emit tables as CSV instead of aligned text.")
@@ -167,57 +188,75 @@ let fig_cmd =
     Arg.(
       required
       & pos 0 (some string) None
-      & info [] ~docv:"ID" ~doc:"Experiment id: e1..e8, a1..a5, mobile or all.")
+      & info [] ~docv:"ID" ~doc:"Experiment id: e1..e8, a1..a5, bounds, mobile or all.")
   in
-  let run full csv id =
-    let scale = if full then Figures.Paper else Figures.Quick in
-    let print_table t = if csv then print_string (Table.to_csv t) else Table.print t in
-    let print_fit label (fit : Stats.fit) =
-      Printf.printf "%s: slope = %.2f, r2 = %.3f\n" label fit.Stats.slope fit.Stats.r2
+  let run full scale csv jobs id =
+    let scale =
+      match scale with
+      | Some scale -> scale
+      | None -> if full then Experiment.Paper else Figures.scale_of_env ()
     in
-    match String.lowercase_ascii id with
-    | "e1" -> print_table (Figures.fig5_crash scale)
-    | "e2" ->
-      let table, fit = Figures.jamming scale in
-      print_table table;
-      print_fit "linearity" fit
-    | "e3" -> print_table (Figures.fig6_lying scale)
-    | "e4" -> print_table (Figures.fig7_density scale)
-    | "e5" -> print_table (Figures.clustered scale)
-    | "e6" ->
-      let table, rounds_fit, bcast_fit = Figures.map_size scale in
-      print_table table;
-      print_fit "rounds vs diameter" rounds_fit;
-      print_fit "broadcasts vs diameter" bcast_fit
-    | "e7" ->
-      let table, slowdown = Figures.epidemic_comparison scale in
-      print_table table;
-      Printf.printf "mean slowdown: %.1fx (paper: ~7.7x)\n" slowdown
-    | "e8" ->
-      List.iter
-        (fun { Theory.table; fit } ->
-          print_table table;
-          print_fit "fit" fit)
-        (Theory.all scale)
-    | "a1" -> print_table (Figures.ablation_pipeline scale)
-    | "a2" -> print_table (Figures.ablation_square scale)
-    | "a3" -> print_table (Figures.ablation_jamprob scale)
-    | "a4" -> print_table (Figures.ablation_dualmode scale)
-    | "a5" -> print_table (Figures.ablation_cpa scale)
-    | "bounds" -> print_table (Bounds.summary_table ~radii:[ 2; 3; 4; 6; 8 ])
-    | "mobile" ->
-      print_table
-        (Mobile.table
-           { Mobile.default with nodes = 120; map = 10.0 }
-           ~speeds:[ 0.0; 0.002; 0.01 ])
-    | "all" ->
-      List.iter print_table (Figures.all scale);
-      List.iter (fun { Theory.table; _ } -> print_table table) (Theory.all scale)
-    | other -> Printf.eprintf "unknown experiment id %s\n" other
+    let show job =
+      let outcome = Runner.run_job ~jobs ~scale job in
+      if csv then print_string (Table.to_csv outcome.Runner.table)
+      else print_string (Runner.render outcome)
+    in
+    let selected =
+      match String.lowercase_ascii id with
+      | "all" -> Some Registry.all
+      | "e8" ->
+        (* `e8` expands to the three Theorem 5 sweeps. *)
+        Some
+          (List.filter
+             (fun job -> List.mem job.Experiment.id [ "e8a"; "e8b"; "e8c" ])
+             Registry.all)
+      | other -> Option.map (fun job -> [ job ]) (Registry.find other)
+    in
+    match selected with
+    | Some jobs_list -> List.iter show jobs_list
+    | None ->
+      Printf.eprintf "unknown experiment id %s (known: %s)\n" id
+        (String.concat " " Registry.ids);
+      exit 1
   in
   Cmd.v
     (Cmd.info "fig" ~doc:"Regenerate a table/figure of the paper's evaluation.")
-    Term.(const run $ full_arg $ csv_arg $ id_arg)
+    Term.(const run $ full_arg $ scale_arg $ csv_arg $ jobs_arg $ id_arg)
+
+(* --- bench --------------------------------------------------------------- *)
+
+let bench_cmd =
+  let only_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "only" ] ~docv:"IDS"
+          ~doc:"Run only these experiment ids (comma-separated, repeatable).")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) (Some "BENCH_results.json")
+      & info [ "json" ] ~docv:"PATH" ~doc:"Where to write the JSON results file.")
+  in
+  let no_json_arg =
+    Arg.(value & flag & info [ "no-json" ] ~doc:"Skip the JSON results file.")
+  in
+  let run scale jobs only json_path no_json =
+    let scale = match scale with Some scale -> scale | None -> Figures.scale_of_env () in
+    let only = List.concat_map (String.split_on_char ',') only in
+    let json_path = if no_json then None else json_path in
+    match Bench.run { Bench.scale; jobs; only; json_path } with
+    | Ok _ -> ()
+    | Error message ->
+      prerr_endline message;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:
+         "Run the registered experiments (optionally domain-parallel) and write \
+          the JSON results file.")
+    Term.(const run $ scale_arg $ jobs_arg $ only_arg $ json_arg $ no_json_arg)
 
 (* --- topo --------------------------------------------------------------- *)
 
@@ -241,4 +280,4 @@ let topo_cmd =
 let () =
   let doc = "authenticated broadcast in radio networks (SPAA 2010 reproduction)" in
   let info = Cmd.info "securebit" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; fig_cmd; topo_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ run_cmd; fig_cmd; bench_cmd; topo_cmd ]))

@@ -30,3 +30,69 @@ let aggregate summaries =
   }
 
 let measure config spec = aggregate (run config spec)
+
+let json_of_aggregate a =
+  Json.Obj
+    [
+      ("completion_rate", Json.Float a.completion_rate);
+      ("correct_of_delivered", Json.Float a.correct_of_delivered);
+      ("correct_rate", Json.Float a.correct_rate);
+      ("rounds", Json.Float a.rounds);
+      ("broadcasts", Json.Float a.broadcasts);
+      ("runs", Json.Int a.runs);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Declarative experiments                                            *)
+(* ------------------------------------------------------------------ *)
+
+type scale = Quick | Paper
+
+let config_of_scale = function Quick -> quick | Paper -> paper
+
+type row = {
+  cells : string list;
+  points : (string * (float * float)) list;
+  values : (string * Json.t) list;
+}
+
+let row ?(points = []) ?(values = []) cells = { cells; points; values }
+
+type cell =
+  | Grid of { specs : Scenario.spec list; render : aggregate list -> row }
+  | Thunk of (unit -> row)
+
+let grid1 spec render =
+  Grid
+    {
+      specs = [ spec ];
+      render = (function [ a ] -> render a | _ -> invalid_arg "Experiment.grid1");
+    }
+
+let grid2 spec_a spec_b render =
+  Grid
+    {
+      specs = [ spec_a; spec_b ];
+      render = (function [ a; b ] -> render a b | _ -> invalid_arg "Experiment.grid2");
+    }
+
+type job = {
+  id : string;
+  title : string;
+  columns : string list;
+  config : scale -> config;
+  cells : scale -> cell list;
+  fits : (string * string) list;
+  notes : fits:(string * Stats.fit) list -> series:(string -> (float * float) list) -> string list;
+}
+
+let job ?config ?(fits = []) ?(notes = fun ~fits:_ ~series:_ -> []) ~id ~title ~columns cells =
+  {
+    id;
+    title;
+    columns;
+    config = (match config with Some c -> c | None -> config_of_scale);
+    cells;
+    fits;
+    notes;
+  }

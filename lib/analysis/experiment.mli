@@ -1,8 +1,15 @@
-(** Repetition harness.
+(** Repetition harness and the declarative experiment model.
 
     The paper repeats each experiment 6–20 times with outliers discarded
-    (Section 6, "Methodology"); this module runs a scenario across seeds
-    and aggregates the per-run summaries the same way. *)
+    (Section 6, "Methodology"); the first half of this module runs a
+    scenario across seeds and aggregates the per-run summaries the same
+    way.
+
+    The second half defines experiments as data: a {!job} is a parameter
+    grid of {!Scenario.spec}s plus per-cell renderers, registered under a
+    stable id in {!Registry}.  Jobs are pure descriptions — {!Runner} (in
+    [lib/run]) executes their trial cells, possibly on a domain pool, and
+    merges deterministically. *)
 
 type config = { repetitions : int; base_seed : int }
 
@@ -30,3 +37,64 @@ val aggregate : Scenario.summary list -> aggregate
 
 val measure : config -> Scenario.spec -> aggregate
 (** [aggregate] of [run]. *)
+
+val json_of_aggregate : aggregate -> Json.t
+
+(** {1 Declarative experiments} *)
+
+type scale = Quick | Paper
+(** [Quick] is the scaled-down configuration sized so the whole suite
+    completes in minutes; [Paper] reproduces the paper's parameters. *)
+
+val config_of_scale : scale -> config
+
+type row = {
+  cells : string list;  (** rendered table cells, one per job column *)
+  points : (string * (float * float)) list;
+      (** contributions to named fit series, e.g. [("budget", (b, rounds))] *)
+  values : (string * Json.t) list;
+      (** extra machine-readable metrics carried into the JSON results *)
+}
+
+val row :
+  ?points:(string * (float * float)) list -> ?values:(string * Json.t) list -> string list -> row
+
+type cell =
+  | Grid of { specs : Scenario.spec list; render : aggregate list -> row }
+      (** One table row: every spec is run once per seed of the job's
+          config ([spec.seed] replaced); [render] receives one aggregate
+          per spec, in order.  Each (spec, seed) pair is an independent
+          trial the runner may execute on any worker. *)
+  | Thunk of (unit -> row)
+      (** One table row computed by arbitrary code (adaptive scans,
+          derived measurements).  A thunk is a single trial; it must
+          derive all randomness from seeds it owns. *)
+
+val grid1 : Scenario.spec -> (aggregate -> row) -> cell
+val grid2 : Scenario.spec -> Scenario.spec -> (aggregate -> aggregate -> row) -> cell
+
+type job = {
+  id : string;  (** stable experiment id, lowercase (["e1"], ["a4"], …) *)
+  title : string;  (** printed table title *)
+  columns : string list;
+  config : scale -> config;  (** repetitions for [Grid] cells *)
+  cells : scale -> cell list;  (** the parameter grid, one cell per row *)
+  fits : (string * string) list;
+      (** derived linear fits: (printed label, point-series name) *)
+  notes :
+    fits:(string * Stats.fit) list -> series:(string -> (float * float) list) -> string list;
+      (** extra printed lines, given the computed fits and point series *)
+}
+
+val job :
+  ?config:(scale -> config) ->
+  ?fits:(string * string) list ->
+  ?notes:
+    (fits:(string * Stats.fit) list -> series:(string -> (float * float) list) -> string list) ->
+  id:string ->
+  title:string ->
+  columns:string list ->
+  (scale -> cell list) ->
+  job
+(** Smart constructor; [config] defaults to {!config_of_scale}, [fits] and
+    [notes] to empty. *)

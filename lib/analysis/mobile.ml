@@ -23,6 +23,12 @@ let default =
     seed = 42;
   }
 
+(* Sparse deployments, so the benchmark shows the interesting regime:
+   static partitions that movement ferries the message across. *)
+let scaled_config = function
+  | Experiment.Quick -> { default with nodes = 60; map = 16.0; epoch_rounds = 3000; max_epochs = 20 }
+  | Experiment.Paper -> { default with nodes = 240; map = 32.0; epoch_rounds = 4000; max_epochs = 30 }
+
 type result = {
   epochs_used : int;
   rounds_total : int;

@@ -36,6 +36,11 @@ val default : config
 (** 12×12 map, 200 nodes, R = 3, 4-bit message, 3000-round epochs, speed
     0.002 units/round, no liars. *)
 
+val scaled_config : Experiment.scale -> config
+(** The benchmark configuration per scale: sparse deployments, so the
+    table shows the interesting regime (static partitions that movement
+    ferries the message across). *)
+
 type result = {
   epochs_used : int;
   rounds_total : int;

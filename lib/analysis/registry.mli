@@ -1,0 +1,21 @@
+(** The experiment registry: every table the benchmark harness prints —
+    the paper's evaluation (E1–E7), the Theorem 5 sweeps (E8a–E8c), the
+    DESIGN.md ablations (A1–A5), the analytic bounds table and the mobile
+    extension — registered as a declarative {!Experiment.job} under a
+    stable id.  The bench and CLI front ends select and execute jobs
+    through this module only. *)
+
+val bounds : Experiment.job
+(** Analytic per-neighbourhood Byzantine tolerance bounds (no simulation). *)
+
+val mobile : Experiment.job
+(** Epoch-based mobile NeighborWatchRB across waypoint speeds. *)
+
+val all : Experiment.job list
+(** Every registered job, in canonical print order.  Ids are unique. *)
+
+val ids : string list
+(** The ids of {!all}, in order. *)
+
+val find : string -> Experiment.job option
+(** Case-insensitive lookup by id. *)

@@ -92,6 +92,22 @@ let pick_byzantine rng ~n ~source ~fraction =
   done;
   byz
 
+(* Every protocol places the same four kinds of machine — source, liar,
+   other adversary, honest relay — and only the machine constructors
+   differ; one shared assignment pass keeps the three protocol arms in
+   [run] from drifting apart. *)
+type role = Role_source | Role_liar of Bitvec.t | Role_relay
+
+let assign_machines ~n ~source ~byzantine ~faults ~fake ~adversary_machine make =
+  Array.init n (fun i ->
+      if i = source then make i Role_source
+      else if byzantine.(i) then begin
+        match (faults, fake) with
+        | Lying _, Some fake_msg -> make i (Role_liar fake_msg)
+        | _ -> adversary_machine i
+      end
+      else make i Role_relay)
+
 let run ?tap spec =
   let rng = Rng.create spec.seed in
   let deployment_rng = Rng.split rng in
@@ -123,6 +139,9 @@ let run ?tap spec =
     | Lying _ -> Engine.silent_machine (* replaced below per protocol *)
   in
   let msg_len = Bitvec.length spec.message in
+  let assign make =
+    assign_machines ~n ~source ~byzantine ~faults:spec.faults ~fake ~adversary_machine make
+  in
   let machines, cycle_rounds, progress =
     match spec.protocol with
     | Neighbor_watch { votes } ->
@@ -139,15 +158,10 @@ let run ?tap spec =
         }
       in
       let ctx = Neighbor_watch.make_ctx config ~topology ~source in
-      ( Array.init n (fun i ->
-            if i = source then Neighbor_watch.machine ctx i (Neighbor_watch.Source spec.message)
-            else if byzantine.(i) then begin
-              match (spec.faults, fake) with
-              | Lying _, Some fake_msg ->
-                Neighbor_watch.machine ctx i (Neighbor_watch.Liar fake_msg)
-              | _ -> adversary_machine i
-            end
-            else Neighbor_watch.machine ctx i Neighbor_watch.Relay),
+      ( assign (fun i -> function
+          | Role_source -> Neighbor_watch.machine ctx i (Neighbor_watch.Source spec.message)
+          | Role_liar fake_msg -> Neighbor_watch.machine ctx i (Neighbor_watch.Liar fake_msg)
+          | Role_relay -> Neighbor_watch.machine ctx i Neighbor_watch.Relay),
         Schedule.cycle (Neighbor_watch.schedule ctx) * Schedule.rounds_per_interval,
         fun () -> Neighbor_watch.progress ctx )
     | Multi_path { tolerance } ->
@@ -158,26 +172,18 @@ let run ?tap spec =
         }
       in
       let ctx = Multi_path.make_ctx config ~topology ~source in
-      ( Array.init n (fun i ->
-            if i = source then Multi_path.machine ctx i (Multi_path.Source spec.message)
-            else if byzantine.(i) then begin
-              match (spec.faults, fake) with
-              | Lying _, Some fake_msg -> Multi_path.machine ctx i (Multi_path.Liar fake_msg)
-              | _ -> adversary_machine i
-            end
-            else Multi_path.machine ctx i Multi_path.Relay),
+      ( assign (fun i -> function
+          | Role_source -> Multi_path.machine ctx i (Multi_path.Source spec.message)
+          | Role_liar fake_msg -> Multi_path.machine ctx i (Multi_path.Liar fake_msg)
+          | Role_relay -> Multi_path.machine ctx i Multi_path.Relay),
         Schedule.cycle (Multi_path.schedule ctx) * Schedule.rounds_per_interval,
         fun () -> Multi_path.progress ctx )
     | Epidemic ->
       let ctx = Epidemic.make_ctx Epidemic.default_config ~topology ~source in
-      ( Array.init n (fun i ->
-            if i = source then Epidemic.machine ctx i (Epidemic.Source spec.message)
-            else if byzantine.(i) then begin
-              match (spec.faults, fake) with
-              | Lying _, Some fake_msg -> Epidemic.machine ctx i (Epidemic.Liar fake_msg)
-              | _ -> adversary_machine i
-            end
-            else Epidemic.machine ctx i Epidemic.Relay),
+      ( assign (fun i -> function
+          | Role_source -> Epidemic.machine ctx i (Epidemic.Source spec.message)
+          | Role_liar fake_msg -> Epidemic.machine ctx i (Epidemic.Liar fake_msg)
+          | Role_relay -> Epidemic.machine ctx i Epidemic.Relay),
         Epidemic.cycle_rounds ctx,
         fun () -> 0 )
   in

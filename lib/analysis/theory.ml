@@ -1,5 +1,3 @@
-type sweep = { table : Table.t; fit : Stats.fit }
-
 let grid_spec ~side ~message =
   {
     Scenario.default with
@@ -14,92 +12,93 @@ let grid_spec ~side ~message =
     message;
   }
 
-let config scale = match scale with Figures.Quick -> Experiment.quick | Figures.Paper -> Experiment.paper
-
-let budget_sweep scale =
-  let side = match scale with Figures.Quick -> 11 | Figures.Paper -> 17 in
-  let budgets =
-    match scale with
-    | Figures.Quick -> [ 0; 30; 60; 120 ]
-    | Figures.Paper -> [ 0; 50; 100; 200; 400 ]
-  in
-  let table =
-    Table.create ~title:"E8a (Theorem 5): rounds vs adversary budget (grid)"
-      ~columns:[ "budget"; "rounds"; "completed" ]
-  in
-  let points = ref [] in
-  List.iter
-    (fun budget ->
-      let spec =
-        {
-          (grid_spec ~side ~message:(Bitvec.of_string "1011")) with
-          Scenario.faults =
-            (if budget = 0 then Scenario.No_faults
-             else Scenario.Jamming { fraction = 0.05; budget; probability = 1.0 });
-        }
+let budget_sweep =
+  Experiment.job ~id:"e8a" ~title:"E8a (Theorem 5): rounds vs adversary budget (grid)"
+    ~columns:[ "budget"; "rounds"; "completed" ]
+    ~fits:[ ("fit (rounds vs budget)", "budget") ]
+    (fun scale ->
+      let side = match scale with Experiment.Quick -> 11 | Experiment.Paper -> 17 in
+      let budgets =
+        match scale with
+        | Experiment.Quick -> [ 0; 30; 60; 120 ]
+        | Experiment.Paper -> [ 0; 50; 100; 200; 400 ]
       in
-      let agg = Experiment.measure (config scale) spec in
-      points := (float_of_int budget, agg.Experiment.rounds) :: !points;
-      Table.add_row table
-        [
-          Table.cell_i budget;
-          Table.cell_f ~decimals:0 agg.Experiment.rounds;
-          Table.cell_pct agg.Experiment.completion_rate;
-        ])
-    budgets;
-  { table; fit = Stats.linear_fit (List.rev !points) }
+      List.map
+        (fun budget ->
+          let spec =
+            {
+              (grid_spec ~side ~message:(Bitvec.of_string "1011")) with
+              Scenario.faults =
+                (if budget = 0 then Scenario.No_faults
+                 else Scenario.Jamming { fraction = 0.05; budget; probability = 1.0 });
+            }
+          in
+          Experiment.grid1 spec (fun agg ->
+              Experiment.row
+                ~points:[ ("budget", (float_of_int budget, agg.Experiment.rounds)) ]
+                [
+                  Table.cell_i budget;
+                  Table.cell_f ~decimals:0 agg.Experiment.rounds;
+                  Table.cell_pct agg.Experiment.completion_rate;
+                ]))
+        budgets)
 
-let diameter_sweep scale =
-  let sides =
-    match scale with Figures.Quick -> [ 7; 11; 15; 19 ] | Figures.Paper -> [ 9; 15; 21; 27; 33 ]
-  in
-  let table =
-    Table.create ~title:"E8b (Theorem 5): rounds vs hop diameter (grids)"
-      ~columns:[ "grid"; "hop diameter"; "rounds"; "completed" ]
-  in
-  let points = ref [] in
-  List.iter
-    (fun side ->
-      let spec = grid_spec ~side ~message:(Bitvec.of_string "1011") in
-      let result = Scenario.run spec in
-      let diameter =
-        float_of_int (Topology.hop_diameter_from result.Scenario.topology result.Scenario.source)
+let diameter_sweep =
+  Experiment.job ~id:"e8b" ~title:"E8b (Theorem 5): rounds vs hop diameter (grids)"
+    ~columns:[ "grid"; "hop diameter"; "rounds"; "completed" ]
+    ~fits:[ ("fit (rounds vs diameter)", "diameter") ]
+    (fun scale ->
+      let sides =
+        match scale with
+        | Experiment.Quick -> [ 7; 11; 15; 19 ]
+        | Experiment.Paper -> [ 9; 15; 21; 27; 33 ]
       in
-      let agg = Experiment.measure (config scale) spec in
-      points := (diameter, agg.Experiment.rounds) :: !points;
-      Table.add_row table
-        [
-          Printf.sprintf "%dx%d" side side;
-          Table.cell_f ~decimals:0 diameter;
-          Table.cell_f ~decimals:0 agg.Experiment.rounds;
-          Table.cell_pct agg.Experiment.completion_rate;
-        ])
-    sides;
-  { table; fit = Stats.linear_fit (List.rev !points) }
+      let config = Experiment.config_of_scale scale in
+      List.map
+        (fun side ->
+          let spec = grid_spec ~side ~message:(Bitvec.of_string "1011") in
+          Experiment.Thunk
+            (fun () ->
+              let result = Scenario.run spec in
+              let diameter =
+                float_of_int
+                  (Topology.hop_diameter_from result.Scenario.topology result.Scenario.source)
+              in
+              let agg = Experiment.measure config spec in
+              Experiment.row
+                ~points:[ ("diameter", (diameter, agg.Experiment.rounds)) ]
+                ~values:[ ("aggregate", Experiment.json_of_aggregate agg) ]
+                [
+                  Printf.sprintf "%dx%d" side side;
+                  Table.cell_f ~decimals:0 diameter;
+                  Table.cell_f ~decimals:0 agg.Experiment.rounds;
+                  Table.cell_pct agg.Experiment.completion_rate;
+                ]))
+        sides)
 
-let length_sweep scale =
-  let side = match scale with Figures.Quick -> 11 | Figures.Paper -> 15 in
-  let lengths =
-    match scale with Figures.Quick -> [ 2; 4; 8; 16 ] | Figures.Paper -> [ 2; 4; 8; 16; 32; 64 ]
-  in
-  let table =
-    Table.create ~title:"E8c (Theorem 5): rounds vs message length (grid)"
-      ~columns:[ "message bits"; "rounds"; "completed" ]
-  in
-  let points = ref [] in
-  List.iter
-    (fun len ->
-      let message = Bitvec.random (Rng.create (50 + len)) len in
-      let spec = grid_spec ~side ~message in
-      let agg = Experiment.measure (config scale) spec in
-      points := (float_of_int len, agg.Experiment.rounds) :: !points;
-      Table.add_row table
-        [
-          Table.cell_i len;
-          Table.cell_f ~decimals:0 agg.Experiment.rounds;
-          Table.cell_pct agg.Experiment.completion_rate;
-        ])
-    lengths;
-  { table; fit = Stats.linear_fit (List.rev !points) }
+let length_sweep =
+  Experiment.job ~id:"e8c" ~title:"E8c (Theorem 5): rounds vs message length (grid)"
+    ~columns:[ "message bits"; "rounds"; "completed" ]
+    ~fits:[ ("fit (rounds vs length)", "length") ]
+    (fun scale ->
+      let side = match scale with Experiment.Quick -> 11 | Experiment.Paper -> 15 in
+      let lengths =
+        match scale with
+        | Experiment.Quick -> [ 2; 4; 8; 16 ]
+        | Experiment.Paper -> [ 2; 4; 8; 16; 32; 64 ]
+      in
+      List.map
+        (fun len ->
+          let message = Bitvec.random (Rng.create (50 + len)) len in
+          let spec = grid_spec ~side ~message in
+          Experiment.grid1 spec (fun agg ->
+              Experiment.row
+                ~points:[ ("length", (float_of_int len, agg.Experiment.rounds)) ]
+                [
+                  Table.cell_i len;
+                  Table.cell_f ~decimals:0 agg.Experiment.rounds;
+                  Table.cell_pct agg.Experiment.completion_rate;
+                ]))
+        lengths)
 
-let all scale = [ budget_sweep scale; diameter_sweep scale; length_sweep scale ]
+let jobs = [ budget_sweep; diameter_sweep; length_sweep ]

@@ -10,17 +10,21 @@
     - the message length (≈ log|Σ|) at fixed β and D,
 
     which is exactly what a tight O(βD + log|Σ|) bound predicts for
-    one-variable sweeps. *)
+    one-variable sweeps.  Each sweep is a declarative {!Experiment.job}
+    carrying the corresponding linear fit. *)
 
-type sweep = { table : Table.t; fit : Stats.fit }
+val grid_spec : side:int -> message:Bitvec.t -> Scenario.spec
+(** The analytic setting: a [side × side] unit grid under the L∞ disk
+    radio with R = 2 and the ⌈R/2⌉ square sizing. *)
 
-val budget_sweep : Figures.scale -> sweep
+val budget_sweep : Experiment.job
 (** E8a: rounds vs per-jammer budget on a grid. *)
 
-val diameter_sweep : Figures.scale -> sweep
+val diameter_sweep : Experiment.job
 (** E8b: rounds vs hop diameter across grid sizes. *)
 
-val length_sweep : Figures.scale -> sweep
+val length_sweep : Experiment.job
 (** E8c: rounds vs message length on a fixed grid. *)
 
-val all : Figures.scale -> sweep list
+val jobs : Experiment.job list
+(** [e8a; e8b; e8c]. *)

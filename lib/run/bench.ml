@@ -1,0 +1,62 @@
+type options = {
+  scale : Experiment.scale;
+  jobs : int;
+  only : string list;  (* empty = every registered job *)
+  json_path : string option;
+}
+
+let default_options () =
+  { scale = Figures.scale_of_env (); jobs = 1; only = []; json_path = None }
+
+let selection only =
+  match only with
+  | [] -> Ok Registry.all
+  | ids ->
+    let missing = List.filter (fun id -> Registry.find id = None) ids in
+    if missing <> [] then
+      Error
+        (Printf.sprintf "unknown experiment id%s: %s (known: %s)"
+           (if List.length missing > 1 then "s" else "")
+           (String.concat ", " missing)
+           (String.concat " " Registry.ids))
+    else
+      (* Keep the canonical registry order, not the order given. *)
+      Ok
+        (List.filter
+           (fun job ->
+             List.exists
+               (fun id -> String.lowercase_ascii id = job.Experiment.id)
+               ids)
+           Registry.all)
+
+let scale_name = function Experiment.Quick -> "quick" | Experiment.Paper -> "paper"
+
+let write_json path json =
+  let oc = open_out path in
+  output_string oc (Json.to_string_pretty json);
+  close_out oc
+
+let run options =
+  match selection options.only with
+  | Error message -> Error message
+  | Ok selected ->
+    Printf.printf "securebit benchmark harness — scale: %s, jobs: %d\n\n%!"
+      (scale_name options.scale) options.jobs;
+    let t0 = Unix.gettimeofday () in
+    let outcomes =
+      List.map
+        (fun job ->
+          let outcome = Runner.run_job ~jobs:options.jobs ~scale:options.scale job in
+          print_string (Runner.render outcome);
+          Printf.printf "[%s: %.1fs, elapsed %.1fs]\n\n%!" job.Experiment.id
+            outcome.Runner.wall_seconds
+            (Unix.gettimeofday () -. t0);
+          outcome)
+        selected
+    in
+    Option.iter
+      (fun path ->
+        write_json path (Runner.results_json ~scale:options.scale ~jobs:options.jobs outcomes);
+        Printf.printf "results written to %s\n%!" path)
+      options.json_path;
+    Ok outcomes

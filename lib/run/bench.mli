@@ -1,0 +1,24 @@
+(** Shared driver behind `bench/main.exe` and `securebit_cli bench`: select
+    registry jobs, execute them (possibly domain-parallel), print each
+    table as it completes, and optionally write the JSON results file. *)
+
+type options = {
+  scale : Experiment.scale;
+  jobs : int;  (** worker domains; 1 = sequential *)
+  only : string list;  (** experiment ids to run; empty = all *)
+  json_path : string option;  (** where to write the JSON results, if anywhere *)
+}
+
+val default_options : unit -> options
+(** Sequential, every job, no JSON; scale from {!Figures.scale_of_env}
+    (the deprecated [FULL] fallback). *)
+
+val selection : string list -> (Experiment.job list, string) result
+(** Resolve ids against {!Registry.all} (canonical order kept); [Error]
+    names any unknown ids. *)
+
+val scale_name : Experiment.scale -> string
+
+val run : options -> (Runner.outcome list, string) result
+(** Run the selected jobs, printing tables, fits, notes and per-job wall
+    times; write [json_path] if given.  [Error] on unknown ids. *)

@@ -1,0 +1,34 @@
+let available_cores () = Domain.recommended_domain_count ()
+
+(* Work-stealing-free static pool: workers pull task indices from a shared
+   atomic counter and write results into per-index slots, so the output
+   order is the input order no matter which domain ran which task.  On a
+   task exception the first failure is kept, the remaining tasks are
+   abandoned, and the exception is re-raised after every domain joined. *)
+let map_array ~jobs f xs =
+  let n = Array.length xs in
+  let jobs = max 1 (min jobs n) in
+  if jobs <= 1 then Array.map f xs
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let failure = Atomic.make None in
+    let rec worker () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n && Atomic.get failure = None then begin
+        (match f xs.(i) with
+        | v -> results.(i) <- Some v
+        | exception e -> ignore (Atomic.compare_and_set failure None (Some e)));
+        worker ()
+      end
+    in
+    let spawned = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join spawned;
+    match Atomic.get failure with
+    | Some e -> raise e
+    | None ->
+      Array.map (function Some v -> v | None -> invalid_arg "Pool.map_array: missing result") results
+  end
+
+let map_list ~jobs f xs = Array.to_list (map_array ~jobs f (Array.of_list xs))

@@ -1,0 +1,19 @@
+(** Deterministic domain worker pool.
+
+    [map_array ~jobs f xs] applies [f] to every element of [xs] on up to
+    [jobs] OCaml 5 domains (the calling domain included) and returns the
+    results in input order — workers race only for task indices, never for
+    result slots, so the output is independent of scheduling.  Tasks must
+    be self-contained: the simulation trials run here each carry their own
+    seed and build their own [Rng] and topology, and no module under [lib]
+    keeps global mutable state.
+
+    [jobs <= 1] runs sequentially on the calling domain with no spawns.
+    If a task raises, one such exception is re-raised after all domains
+    have joined. *)
+
+val available_cores : unit -> int
+(** [Domain.recommended_domain_count ()]. *)
+
+val map_array : jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+val map_list : jobs:int -> ('a -> 'b) -> 'a list -> 'b list

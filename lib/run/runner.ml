@@ -1,0 +1,145 @@
+type task =
+  | Run of Scenario.spec  (* one seeded trial of a Grid cell *)
+  | Eval of (unit -> Experiment.row)
+
+type task_result =
+  | Summary of Scenario.summary
+  | Row of Experiment.row
+
+type outcome = {
+  job : Experiment.job;
+  scale : Experiment.scale;
+  table : Table.t;
+  rows : (Experiment.row * Experiment.aggregate list) list;
+  fits : (string * Stats.fit) list;
+  notes : string list;
+  wall_seconds : float;
+}
+
+let run_task = function
+  | Run spec -> Summary (Scenario.summarize (Scenario.run spec))
+  | Eval f -> Row (f ())
+
+(* Flatten a job into independent trials (Grid cells contribute one trial
+   per spec per seed, thunks one trial each), execute them on the pool,
+   then merge strictly in cell order — so the rendered output is
+   byte-identical whatever [jobs] is. *)
+let run_job ?(jobs = 1) ~scale (job : Experiment.job) =
+  let t0 = Unix.gettimeofday () in
+  let cells = job.Experiment.cells scale in
+  let seeds = Experiment.seeds (job.Experiment.config scale) in
+  let tasks =
+    List.concat_map
+      (fun cell ->
+        match cell with
+        | Experiment.Grid { specs; _ } ->
+          List.concat_map
+            (fun spec -> List.map (fun seed -> Run { spec with Scenario.seed }) seeds)
+            specs
+        | Experiment.Thunk f -> [ Eval f ])
+      cells
+  in
+  let results = Pool.map_array ~jobs run_task (Array.of_list tasks) in
+  let cursor = ref 0 in
+  let take () =
+    let r = results.(!cursor) in
+    incr cursor;
+    r
+  in
+  let take_summary () =
+    match take () with Summary s -> s | Row _ -> invalid_arg "Runner: task order"
+  in
+  let rows =
+    List.map
+      (fun cell ->
+        match cell with
+        | Experiment.Grid { specs; render } ->
+          let aggs =
+            List.map
+              (fun _spec -> Experiment.aggregate (List.map (fun _seed -> take_summary ()) seeds))
+              specs
+          in
+          (render aggs, aggs)
+        | Experiment.Thunk _ -> (
+          match take () with Row r -> (r, []) | Summary _ -> invalid_arg "Runner: task order"))
+      cells
+  in
+  let table = Table.create ~title:job.Experiment.title ~columns:job.Experiment.columns in
+  List.iter
+    (fun ((row : Experiment.row), _) -> Table.add_row table row.Experiment.cells)
+    rows;
+  let all_points =
+    List.concat_map (fun ((row : Experiment.row), _) -> row.Experiment.points) rows
+  in
+  let series name =
+    List.filter_map (fun (n, point) -> if n = name then Some point else None) all_points
+  in
+  let fits =
+    List.map (fun (label, name) -> (label, Stats.linear_fit (series name))) job.Experiment.fits
+  in
+  let notes = job.Experiment.notes ~fits ~series in
+  { job; scale; table; rows; fits; notes; wall_seconds = Unix.gettimeofday () -. t0 }
+
+let render outcome =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Table.render outcome.table);
+  List.iter
+    (fun (label, fit) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s: slope = %.2f, intercept = %.1f, r2 = %.3f\n" label fit.Stats.slope
+           fit.Stats.intercept fit.Stats.r2))
+    outcome.fits;
+  List.iter (fun note -> Buffer.add_string buf (note ^ "\n")) outcome.notes;
+  Buffer.contents buf
+
+let json_of_row columns ((row : Experiment.row), aggs) =
+  let cells =
+    Json.Obj (List.map2 (fun column cell -> (column, Json.String cell)) columns row.Experiment.cells)
+  in
+  Json.Obj
+    ([ ("cells", cells) ]
+    @ (match aggs with
+      | [] -> []
+      | _ -> [ ("aggregates", Json.List (List.map Experiment.json_of_aggregate aggs)) ])
+    @ match row.Experiment.values with [] -> [] | vs -> [ ("values", Json.Obj vs) ])
+
+let json_of_fit (label, fit) =
+  Json.Obj
+    [
+      ("label", Json.String label);
+      ("slope", Json.Float fit.Stats.slope);
+      ("intercept", Json.Float fit.Stats.intercept);
+      ("r2", Json.Float fit.Stats.r2);
+    ]
+
+(* The [wall_seconds] field is the only non-deterministic part of the
+   record; [stable_json] omits it so `--jobs N` output can be compared
+   byte-for-byte against `--jobs 1`. *)
+let stable_json outcome =
+  let job = outcome.job in
+  Json.Obj
+    [
+      ("id", Json.String job.Experiment.id);
+      ("title", Json.String job.Experiment.title);
+      ("columns", Json.List (List.map (fun c -> Json.String c) job.Experiment.columns));
+      ("rows", Json.List (List.map (json_of_row job.Experiment.columns) outcome.rows));
+      ("fits", Json.List (List.map json_of_fit outcome.fits));
+      ("notes", Json.List (List.map (fun n -> Json.String n) outcome.notes));
+    ]
+
+let json_of_outcome outcome =
+  match stable_json outcome with
+  | Json.Obj fields -> Json.Obj (fields @ [ ("wall_seconds", Json.Float outcome.wall_seconds) ])
+  | other -> other
+
+let results_json ~scale ~jobs outcomes =
+  Json.Obj
+    [
+      ("schema", Json.String "securebit-bench/1");
+      ( "scale",
+        Json.String (match scale with Experiment.Quick -> "quick" | Experiment.Paper -> "paper") );
+      ("jobs", Json.Int jobs);
+      ( "total_wall_seconds",
+        Json.Float (List.fold_left (fun acc o -> acc +. o.wall_seconds) 0.0 outcomes) );
+      ("experiments", Json.List (List.map json_of_outcome outcomes));
+    ]

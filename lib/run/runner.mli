@@ -1,0 +1,35 @@
+(** Executes declarative {!Experiment.job}s, optionally on a domain pool.
+
+    A job is flattened into independent trials — one per (spec, seed) pair
+    of each [Grid] cell, one per [Thunk] — which {!Pool} distributes over
+    [jobs] domains; the merge then walks the cells in definition order, so
+    tables, fits and notes are byte-identical for every [jobs] value. *)
+
+type outcome = {
+  job : Experiment.job;
+  scale : Experiment.scale;
+  table : Table.t;
+  rows : (Experiment.row * Experiment.aggregate list) list;
+      (** per table row: the rendered row and, for [Grid] cells, one
+          aggregate per spec (empty for [Thunk] rows) *)
+  fits : (string * Stats.fit) list;
+  notes : string list;
+  wall_seconds : float;
+}
+
+val run_job : ?jobs:int -> scale:Experiment.scale -> Experiment.job -> outcome
+(** Execute every trial of the job ([jobs] defaults to 1 = sequential). *)
+
+val render : outcome -> string
+(** The ASCII table followed by one line per fit and per note. *)
+
+val stable_json : outcome -> Json.t
+(** Everything deterministic about the outcome (no wall time): id, title,
+    columns, rows (cells / aggregates / values), fits, notes. *)
+
+val json_of_outcome : outcome -> Json.t
+(** {!stable_json} plus [wall_seconds]. *)
+
+val results_json : scale:Experiment.scale -> jobs:int -> outcome list -> Json.t
+(** The top-level [BENCH_results.json] document ([securebit-bench/1]):
+    scale, worker count, total wall time, one entry per experiment. *)

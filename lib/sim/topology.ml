@@ -8,12 +8,18 @@ type t = {
 }
 
 (* Spatial hash with cells of the sense range: all neighbours of a node lie
-   in its own or the 8 surrounding cells. *)
+   in its own or the 8 surrounding cells.  The cell index must be the
+   floor of the scaled coordinate: [int_of_float] truncates toward zero,
+   which would merge (-reach, 0) with [0, reach) into one double-width
+   cell on each axis for deployments that extend into negative
+   coordinates. *)
 let build (deployment : Deployment.t) prop =
   let nodes = deployment.Deployment.nodes in
   let n = Array.length nodes in
   let reach = max 1e-6 (Propagation.sense_range prop) in
-  let cell_of (p : Point.t) = (int_of_float (p.x /. reach), int_of_float (p.y /. reach)) in
+  let cell_of (p : Point.t) =
+    (int_of_float (Float.floor (p.x /. reach)), int_of_float (Float.floor (p.y /. reach)))
+  in
   let cells = Hashtbl.create (max 16 n) in
   Array.iter
     (fun (node : Node.t) ->

@@ -1,0 +1,104 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+let add_escaped buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\b' -> Buffer.add_string buf "\\b"
+      | '\012' -> Buffer.add_string buf "\\f"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+(* JSON has no NaN/infinity; finite floats print as the shortest decimal
+   that round-trips (so output is deterministic across runs and workers). *)
+let number f =
+  match Float.classify_float f with
+  | FP_nan | FP_infinite -> "null"
+  | FP_zero | FP_subnormal | FP_normal ->
+    if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+    else begin
+      let short = Printf.sprintf "%.12g" f in
+      if float_of_string short = f then short else Printf.sprintf "%.17g" f
+    end
+
+let rec add_compact buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> Buffer.add_string buf (number f)
+  | String s -> add_escaped buf s
+  | List items ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i item ->
+        if i > 0 then Buffer.add_char buf ',';
+        add_compact buf item)
+      items;
+    Buffer.add_char buf ']'
+  | Obj fields ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (key, value) ->
+        if i > 0 then Buffer.add_char buf ',';
+        add_escaped buf key;
+        Buffer.add_char buf ':';
+        add_compact buf value)
+      fields;
+    Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  add_compact buf v;
+  Buffer.contents buf
+
+let rec add_pretty buf ~level = function
+  | (Null | Bool _ | Int _ | Float _ | String _) as atom -> add_compact buf atom
+  | List [] -> Buffer.add_string buf "[]"
+  | Obj [] -> Buffer.add_string buf "{}"
+  | List items ->
+    let indent = String.make (2 * (level + 1)) ' ' in
+    Buffer.add_string buf "[\n";
+    List.iteri
+      (fun i item ->
+        if i > 0 then Buffer.add_string buf ",\n";
+        Buffer.add_string buf indent;
+        add_pretty buf ~level:(level + 1) item)
+      items;
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf (String.make (2 * level) ' ');
+    Buffer.add_char buf ']'
+  | Obj fields ->
+    let indent = String.make (2 * (level + 1)) ' ' in
+    Buffer.add_string buf "{\n";
+    List.iteri
+      (fun i (key, value) ->
+        if i > 0 then Buffer.add_string buf ",\n";
+        Buffer.add_string buf indent;
+        add_escaped buf key;
+        Buffer.add_string buf ": ";
+        add_pretty buf ~level:(level + 1) value)
+      fields;
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf (String.make (2 * level) ' ');
+    Buffer.add_char buf '}'
+
+let to_string_pretty v =
+  let buf = Buffer.create 1024 in
+  add_pretty buf ~level:0 v;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf

@@ -1,0 +1,27 @@
+(** Minimal JSON writer (no parser, no dependencies).
+
+    Benchmark results are serialized with this module so downstream tooling
+    can consume `BENCH_results.json` without scraping the ASCII tables.
+    Output is deterministic: field order is preserved, floats print as the
+    shortest decimal that round-trips, and non-finite floats (which JSON
+    cannot represent) become [null]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact rendering (no whitespace). *)
+
+val to_string_pretty : t -> string
+(** Two-space-indented rendering with a trailing newline, for files meant
+    to be read by humans as well as machines. *)
+
+val number : float -> string
+(** The numeric token used for a float: shortest round-tripping decimal
+    (integer-valued floats keep a [.0]), ["null"] for NaN and infinities. *)

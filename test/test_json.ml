@@ -1,0 +1,85 @@
+(* Tests for the hand-rolled JSON writer: escaping, number formatting,
+   nesting, and the pretty printer. *)
+
+let compact v expected () = Alcotest.(check string) "compact" expected (Json.to_string v)
+
+let test_atoms =
+  [
+    ("null", compact Json.Null "null");
+    ("true", compact (Json.Bool true) "true");
+    ("false", compact (Json.Bool false) "false");
+    ("int", compact (Json.Int (-42)) "-42");
+    ("string", compact (Json.String "plain") "\"plain\"");
+  ]
+
+let test_escaping =
+  [
+    ("quote", compact (Json.String {|say "hi"|}) {|"say \"hi\""|});
+    ("backslash", compact (Json.String {|a\b|}) {|"a\\b"|});
+    ("newline+tab", compact (Json.String "a\n\tb") {|"a\n\tb"|});
+    ("cr, backspace, formfeed", compact (Json.String "\r\b\012") {|"\r\b\f"|});
+    ("control chars", compact (Json.String "\000\031") {|"\u0000\u001f"|});
+    ("key escaping", compact (Json.Obj [ ("a\"b", Json.Null) ]) {|{"a\"b":null}|});
+  ]
+
+let test_numbers =
+  [
+    ("integer-valued float", compact (Json.Float 3.0) "3.0");
+    ("negative zero", compact (Json.Float (-0.0)) "-0.0");
+    ("plain fraction", compact (Json.Float 1.5) "1.5");
+    ("tenth", compact (Json.Float 0.1) "0.1");
+    ("nan is null", compact (Json.Float Float.nan) "null");
+    ("infinity is null", compact (Json.Float Float.infinity) "null");
+    ("neg infinity is null", compact (Json.Float Float.neg_infinity) "null");
+  ]
+
+let test_nesting =
+  [
+    ("empty list", compact (Json.List []) "[]");
+    ("empty obj", compact (Json.Obj []) "{}");
+    ( "mixed",
+      compact
+        (Json.Obj
+           [
+             ("a", Json.List [ Json.Int 1; Json.Bool true; Json.Null ]);
+             ("b", Json.Obj [ ("c", Json.String "d") ]);
+           ])
+        {|{"a":[1,true,null],"b":{"c":"d"}}|} );
+  ]
+
+let test_pretty () =
+  let v =
+    Json.Obj
+      [
+        ("xs", Json.List [ Json.Int 1; Json.Int 2 ]);
+        ("empty", Json.List []);
+        ("sub", Json.Obj [ ("k", Json.Float 2.5) ]);
+      ]
+  in
+  let expected =
+    "{\n  \"xs\": [\n    1,\n    2\n  ],\n  \"empty\": [],\n  \"sub\": {\n    \"k\": 2.5\n  }\n}\n"
+  in
+  Alcotest.(check string) "pretty" expected (Json.to_string_pretty v)
+
+(* The shortest-decimal rule must still round-trip exactly. *)
+let prop_number_roundtrips =
+  QCheck.Test.make ~name:"Json.number round-trips finite floats" ~count:1000
+    QCheck.(pair (float_range (-1e9) 1e9) (int_range (-20) 20))
+    (fun (mantissa, exponent) ->
+      let f = mantissa *. (10.0 ** float_of_int exponent) in
+      QCheck.assume (Float.is_finite f);
+      float_of_string (Json.number f) = f)
+
+let qtests = [ prop_number_roundtrips ]
+
+let () =
+  let quick (name, f) = Alcotest.test_case name `Quick f in
+  Alcotest.run "json"
+    [
+      ("atoms", List.map quick test_atoms);
+      ("escaping", List.map quick test_escaping);
+      ("numbers", List.map quick test_numbers);
+      ("nesting", List.map quick test_nesting);
+      ("pretty", [ Alcotest.test_case "indentation" `Quick test_pretty ]);
+      ("properties", List.map (fun t -> QCheck_alcotest.to_alcotest ~long:false t) qtests);
+    ]

@@ -1,0 +1,125 @@
+(* Tests for the domain-parallel job runner: the worker pool, the
+   experiment registry, and the byte-identity of parallel vs sequential
+   execution of registry jobs. *)
+
+(* --- Pool ---------------------------------------------------------------- *)
+
+(* The pool is a drop-in parallel map: same results, same order, for any
+   worker count. *)
+let prop_pool_matches_map =
+  QCheck.Test.make ~name:"Pool.map_list = List.map (jobs 1..6)" ~count:60
+    QCheck.(pair (int_range 1 6) (list_of_size Gen.(int_bound 50) small_int))
+    (fun (jobs, xs) ->
+      let f x = (x * x) - (3 * x) + 7 in
+      Pool.map_list ~jobs f xs = List.map f xs)
+
+let test_pool_empty () =
+  Alcotest.(check (list int)) "empty input" [] (Pool.map_list ~jobs:4 (fun x -> x) [])
+
+let test_pool_order () =
+  let xs = List.init 200 (fun i -> i) in
+  Alcotest.(check (list int)) "order preserved" (List.map succ xs)
+    (Pool.map_list ~jobs:4 succ xs)
+
+exception Boom of int
+
+let test_pool_exception () =
+  let f x = if x = 137 then raise (Boom x) else x in
+  let xs = Array.init 300 (fun i -> i) in
+  Alcotest.check_raises "worker exception re-raised" (Boom 137) (fun () ->
+      ignore (Pool.map_array ~jobs:4 f xs))
+
+let test_pool_cores () =
+  Alcotest.(check bool) "at least one core" true (Pool.available_cores () >= 1)
+
+(* --- Registry ------------------------------------------------------------ *)
+
+let expected_ids =
+  [
+    "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e7"; "e8a"; "e8b"; "e8c"; "a1"; "a2"; "a3";
+    "a4"; "a5"; "bounds"; "mobile";
+  ]
+
+let test_registry_complete () =
+  Alcotest.(check (list string)) "every experiment registered" expected_ids Registry.ids
+
+let test_registry_unique () =
+  let sorted = List.sort_uniq compare Registry.ids in
+  Alcotest.(check int) "ids are unique" (List.length Registry.ids) (List.length sorted)
+
+let test_registry_find () =
+  List.iter
+    (fun id ->
+      match Registry.find id with
+      | Some job -> Alcotest.(check string) ("find " ^ id) id job.Experiment.id
+      | None -> Alcotest.failf "Registry.find %s = None" id)
+    expected_ids;
+  (match Registry.find "E8A" with
+  | Some job -> Alcotest.(check string) "case-insensitive" "e8a" job.Experiment.id
+  | None -> Alcotest.fail "Registry.find E8A = None");
+  Alcotest.(check bool) "unknown id" true (Registry.find "e99" = None)
+
+let contains ~needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let test_selection () =
+  (match Bench.selection [ "a3"; "e1" ] with
+  | Ok jobs ->
+    Alcotest.(check (list string)) "canonical order kept" [ "e1"; "a3" ]
+      (List.map (fun job -> job.Experiment.id) jobs)
+  | Error m -> Alcotest.fail m);
+  match Bench.selection [ "e1"; "nope" ] with
+  | Ok _ -> Alcotest.fail "unknown id accepted"
+  | Error message ->
+    Alcotest.(check bool) "names the unknown id" true (contains ~needle:"nope" message)
+
+(* --- Runner byte-identity ------------------------------------------------- *)
+
+(* The acceptance bar for the parallel runner: the rendered table, the fits,
+   the notes and the stable JSON of `--jobs 4` are byte-identical to
+   `--jobs 1`.  Sampled on the cheap registry jobs (an analytic table, a
+   theory sweep, a small simulation grid). *)
+let test_parallel_identity () =
+  List.iter
+    (fun id ->
+      let job =
+        match Registry.find id with
+        | Some job -> job
+        | None -> Alcotest.failf "missing job %s" id
+      in
+      let sequential = Runner.run_job ~jobs:1 ~scale:Experiment.Quick job in
+      let parallel = Runner.run_job ~jobs:4 ~scale:Experiment.Quick job in
+      Alcotest.(check string)
+        (id ^ ": rendered output identical")
+        (Runner.render sequential) (Runner.render parallel);
+      Alcotest.(check string)
+        (id ^ ": stable JSON identical")
+        (Json.to_string (Runner.stable_json sequential))
+        (Json.to_string (Runner.stable_json parallel)))
+    [ "bounds"; "e8a"; "a3" ]
+
+let qtests = [ prop_pool_matches_map ]
+
+let () =
+  Alcotest.run "run"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "empty" `Quick test_pool_empty;
+          Alcotest.test_case "order" `Quick test_pool_order;
+          Alcotest.test_case "exception propagation" `Quick test_pool_exception;
+          Alcotest.test_case "available cores" `Quick test_pool_cores;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "completeness" `Quick test_registry_complete;
+          Alcotest.test_case "unique ids" `Quick test_registry_unique;
+          Alcotest.test_case "find" `Quick test_registry_find;
+          Alcotest.test_case "bench selection" `Quick test_selection;
+        ] );
+      ( "runner",
+        [ Alcotest.test_case "jobs=4 byte-identical to jobs=1" `Quick test_parallel_identity ] );
+      ("properties", List.map (fun t -> QCheck_alcotest.to_alcotest ~long:false t) qtests);
+    ]

@@ -113,6 +113,38 @@ let test_topology_disconnected () =
   Alcotest.(check int) "unreachable marked" (-1) hops.(1);
   Alcotest.(check int) "reachable count" 1 (Topology.reachable_from t 0)
 
+(* Regression: the spatial hash must floor coordinates into cells rather
+   than truncate toward zero — truncation merges (-reach, 0) with
+   [0, reach) into one double-width cell on each axis for deployments
+   that extend into negative coordinates.  A pair straddling the y axis
+   plus a brute-force check of the whole rx relation pins the binning. *)
+let test_topology_negative_coords () =
+  let prop = Propagation.disk_l2 2.0 in
+  let rng = Rng.create 77 in
+  let nodes =
+    Array.init 40 (fun i ->
+        Node.make i (point (Rng.float rng 16.0 -. 8.0) (Rng.float rng 16.0 -. 8.0)))
+  in
+  nodes.(0) <- Node.make 0 (point (-0.5) 3.0);
+  nodes.(1) <- Node.make 1 (point 0.5 3.0);
+  let d = { Deployment.width = 16.0; height = 16.0; nodes } in
+  let t = Topology.build d prop in
+  Alcotest.(check bool) "axis-straddling pair linked" true (Topology.can_decode t ~rx:0 ~tx:1);
+  let n = Array.length nodes in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j then begin
+        let expected =
+          Propagation.received_power prop ~src:nodes.(j).Node.pos ~dst:nodes.(i).Node.pos >= 1.0
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "link %d<-%d matches brute force" i j)
+          expected
+          (Topology.can_decode t ~rx:i ~tx:j)
+      end
+    done
+  done
+
 let test_topology_can_decode () =
   let t = grid_topology ~side:5 ~radius:1.0 in
   Alcotest.(check bool) "adjacent" true (Topology.can_decode t ~rx:0 ~tx:1);
@@ -373,6 +405,7 @@ let () =
           Alcotest.test_case "friis sense superset" `Quick test_topology_friis_sense_superset;
           Alcotest.test_case "hops and diameter" `Quick test_topology_hops;
           Alcotest.test_case "disconnected" `Quick test_topology_disconnected;
+          Alcotest.test_case "negative coordinates" `Quick test_topology_negative_coords;
           Alcotest.test_case "can_decode" `Quick test_topology_can_decode;
         ] );
       ( "schedule",
