@@ -14,7 +14,18 @@
    3. runs a Bechamel microbenchmark suite with one [Test.make] per
       experiment id (a miniature instance of that table's inner
       simulation) and one per protocol primitive (skipped when `--only`
-      narrows the run). *)
+      narrows the run or `--no-micro` is given).
+
+   Perf-regression mode:
+
+     bench/main.exe compare BASE.json [CURRENT.json]
+
+   diffs two results files (CURRENT defaults to BENCH_results.json),
+   prints per-experiment speedups, and exits 1 when any experiment is
+   more than 20% slower than the baseline.  `--compare BASE.json` does
+   the same against the freshly produced results after a normal run.
+   The committed BENCH_baseline.json (quick scale, --jobs 1) is the
+   baseline the @ci alias compares against. *)
 
 open Bechamel
 open Toolkit
@@ -180,8 +191,20 @@ let microbenchmarks () =
     tests;
   Table.print table
 
+(* Print a comparison report and turn regressions into exit code 1. *)
+let finish_compare = function
+  | Error message ->
+    prerr_endline message;
+    exit 2
+  | Ok (report, any_regression) ->
+    print_string report;
+    if any_regression then exit 1
+
 let () =
   let options = ref { (Bench.default_options ()) with json_path = Some "BENCH_results.json" } in
+  let compare_base = ref None in
+  let no_micro = ref false in
+  let anons = ref [] in
   let set_scale s =
     match String.lowercase_ascii s with
     | "quick" -> options := { !options with scale = Experiment.Quick }
@@ -205,16 +228,36 @@ let () =
         Arg.String (fun p -> options := { !options with json_path = Some p }),
         "PATH  results file (default BENCH_results.json)" );
       ("--no-json", Arg.Unit (fun () -> options := { !options with json_path = None }), " skip the results file");
+      ("--no-micro", Arg.Set no_micro, " skip the Bechamel microbenchmark suite");
+      ( "--compare",
+        Arg.String (fun p -> compare_base := Some p),
+        "BASE.json  after the run, diff wall times against this baseline; exit 1 on a >20% \
+         regression" );
     ]
   in
   Arg.parse speclist
-    (fun anon -> raise (Arg.Bad (Printf.sprintf "unexpected argument %s" anon)))
-    "bench/main.exe [--scale quick|paper] [--jobs N] [--only e1,e2,...] [--json PATH]";
-  let t0 = Unix.gettimeofday () in
-  match Bench.run !options with
-  | Error message ->
-    prerr_endline message;
+    (fun anon -> anons := !anons @ [ anon ])
+    "bench/main.exe [--scale quick|paper] [--jobs N] [--only e1,e2,...] [--json PATH]\n\
+     bench/main.exe compare BASE.json [CURRENT.json]";
+  match !anons with
+  | [ "compare"; base ] ->
+    finish_compare (Bench.compare_files ~base ~current:"BENCH_results.json" ())
+  | [ "compare"; base; current ] -> finish_compare (Bench.compare_files ~base ~current ())
+  | "compare" :: _ ->
+    prerr_endline "compare takes a baseline file and an optional current file";
     exit 2
-  | Ok _ ->
-    if !options.only = [] then microbenchmarks ();
-    Printf.printf "\ntotal wall time: %.1fs\n%!" (Unix.gettimeofday () -. t0)
+  | anon :: _ ->
+    prerr_endline (Printf.sprintf "unexpected argument %s" anon);
+    exit 2
+  | [] -> (
+    let t0 = Unix.gettimeofday () in
+    match Bench.run !options with
+    | Error message ->
+      prerr_endline message;
+      exit 2
+    | Ok outcomes ->
+      if !options.only = [] && not !no_micro then microbenchmarks ();
+      Printf.printf "\ntotal wall time: %.1fs\n%!" (Unix.gettimeofday () -. t0);
+      Option.iter
+        (fun base -> finish_compare (Bench.compare_outcomes ~base outcomes))
+        !compare_base)

@@ -241,12 +241,31 @@ let bench_cmd =
   let no_json_arg =
     Arg.(value & flag & info [ "no-json" ] ~doc:"Skip the JSON results file.")
   in
-  let run scale jobs only json_path no_json =
+  let compare_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "compare" ] ~docv:"BASE.json"
+          ~doc:
+            "After the run, diff per-experiment wall times against this baseline results \
+             file and exit non-zero if any experiment regressed by more than 20%.")
+  in
+  let run scale jobs only json_path no_json compare_base =
     let scale = match scale with Some scale -> scale | None -> Figures.scale_of_env () in
     let only = List.concat_map (String.split_on_char ',') only in
     let json_path = if no_json then None else json_path in
     match Bench.run { Bench.scale; jobs; only; json_path } with
-    | Ok _ -> ()
+    | Ok outcomes ->
+      Option.iter
+        (fun base ->
+          match Bench.compare_outcomes ~base outcomes with
+          | Error message ->
+            prerr_endline message;
+            exit 2
+          | Ok (report, any_regression) ->
+            print_string report;
+            if any_regression then exit 1)
+        compare_base
     | Error message ->
       prerr_endline message;
       exit 1
@@ -256,7 +275,7 @@ let bench_cmd =
        ~doc:
          "Run the registered experiments (optionally domain-parallel) and write \
           the JSON results file.")
-    Term.(const run $ scale_arg $ jobs_arg $ only_arg $ json_arg $ no_json_arg)
+    Term.(const run $ scale_arg $ jobs_arg $ only_arg $ json_arg $ no_json_arg $ compare_arg)
 
 (* --- topo --------------------------------------------------------------- *)
 

@@ -9,12 +9,6 @@ type config = {
 let default_config ~radius ~tolerance ~msg_len =
   { radius; tolerance; msg_len; coord_step = 0.5; heard_relay_limit = None }
 
-type role_state =
-  | Idle
-  | Sending of Two_bit.Sender.t
-  | Blocking of Two_bit.Blocker.t
-  | Receiving of Node.id * Two_bit.Receiver.t
-
 type peer = {
   peer_id : Node.id;
   peer_pos : Point.t;
@@ -23,14 +17,21 @@ type peer = {
   mutable poisoned : bool;  (** an invalid frame appeared: stop parsing *)
 }
 
+type role_state =
+  | Idle
+  | Sending of Two_bit.Sender.t
+  | Blocking of Two_bit.Blocker.t
+  | Receiving of peer * Two_bit.Receiver.t
+
 type state = {
   pos : Point.t;
   my_slot : int;
   relay_heard : bool;
   committed : Buffer.t;
   sender : One_hop.Sender.t;
-  peers : (int * peer) list;  (** listening slot -> peer *)
-  evidence : Voting.item list ref array;
+  peers : peer array;  (** every sensed peer, in sensed order *)
+  peer_by_slot : peer option array;  (** listening slot -> peer, O(1) *)
+  evidence : Voting.Index.t array;
   source_bits : Buffer.t;  (** bits received directly from the source *)
   heard_relayed : int array;
   enqueue_commits : bool;  (** sources stream SOURCE frames instead *)
@@ -83,26 +84,26 @@ let rec try_commit ctx s =
       try_commit ctx s
     end
     else begin
-      let items = !(s.evidence.(c)) in
-      let need = ctx.config.tolerance + 1 in
-      let decide value =
-        if Voting.quorum ~radius:ctx.config.radius ~need ~value items then Some value else None
-      in
-      match
-        (match decide true with Some v -> Some v | None -> decide false)
-      with
-      | Some v ->
-        commit_bit ctx s v;
-        try_commit ctx s
-      | None -> ()
+      let index = s.evidence.(c) in
+      (* The quorum answer is a pure function of the evidence set: a clean
+         index cannot have changed its mind since the last scan. *)
+      if Voting.Index.dirty index then begin
+        Voting.Index.clear_dirty index;
+        let need = ctx.config.tolerance + 1 in
+        let decide value =
+          if Voting.Index.decide index ~radius:ctx.config.radius ~need ~value then Some value
+          else None
+        in
+        match (match decide true with Some v -> Some v | None -> decide false) with
+        | Some v ->
+          commit_bit ctx s v;
+          try_commit ctx s
+        | None -> ()
+      end
     end
   end
 
-let add_evidence s index item =
-  let items = s.evidence.(index) in
-  (* Duplicates (a Byzantine peer can replay frames) would only bloat the
-     quorum scan; origins are deduplicated there anyway. *)
-  if not (List.mem item !items) then items := item :: !items
+let add_evidence s index item = Voting.Index.add s.evidence.(index) item
 
 let handle_frame ctx s peer frame =
   match frame with
@@ -172,8 +173,8 @@ let setup_interval ctx s interval =
        else Blocking (Two_bit.Blocker.create ())
      end
      else begin
-       match List.assoc_opt slot s.peers with
-       | Some peer -> Receiving (peer.peer_id, Two_bit.Receiver.create ())
+       match s.peer_by_slot.(slot) with
+       | Some peer -> Receiving (peer, Two_bit.Receiver.create ())
        | None -> Idle
      end)
 
@@ -184,12 +185,9 @@ let finish_interval ctx s =
     | Some Two_bit.Success -> One_hop.Sender.advance s.sender
     | Some Two_bit.Failure | None -> ()
   end
-  | Receiving (peer_id, receiver) -> begin
+  | Receiving (peer, receiver) -> begin
     match Two_bit.Receiver.outcome receiver with
     | Some (Two_bit.Success, (parity, data)) ->
-      let peer =
-        List.find (fun (_, p) -> p.peer_id = peer_id) s.peers |> snd
-      in
       One_hop.Receiver.push_two_bit peer.stream ~parity ~data;
       parse_frames ctx s peer
     | Some (Two_bit.Failure, _) | None -> ()
@@ -234,17 +232,28 @@ let machine ctx id role =
   let config = ctx.config in
   let pos = Topology.position ctx.topology id in
   let peers =
-    Array.to_list ctx.topology.Topology.sensed.(id)
-    |> List.map (fun { Topology.peer; _ } ->
-           ( Schedule.slot_of ctx.schedule peer,
-             {
-               peer_id = peer;
-               peer_pos = Topology.position ctx.topology peer;
-               stream = One_hop.Receiver.create ();
-               parsed = 0;
-               poisoned = false;
-             } ))
+    Array.map
+      (fun { Topology.peer; _ } ->
+        {
+          peer_id = peer;
+          peer_pos = Topology.position ctx.topology peer;
+          stream = One_hop.Receiver.create ();
+          parsed = 0;
+          poisoned = false;
+        })
+      ctx.topology.Topology.sensed.(id)
   in
+  (* The schedule gives conflicting (hence mutually sensed) nodes distinct
+     slots, so this map is injective; first-wins mirrors the defunct assoc
+     list all the same. *)
+  let peer_by_slot = Array.make (Schedule.cycle ctx.schedule) None in
+  Array.iter
+    (fun p ->
+      let slot = Schedule.slot_of ctx.schedule p.peer_id in
+      match peer_by_slot.(slot) with
+      | None -> peer_by_slot.(slot) <- Some p
+      | Some _ -> ())
+    peers;
   let s =
     {
       pos;
@@ -253,7 +262,8 @@ let machine ctx id role =
       committed = Buffer.create 16;
       sender = One_hop.Sender.create ();
       peers;
-      evidence = Array.init config.msg_len (fun _ -> ref []);
+      peer_by_slot;
+      evidence = Array.init config.msg_len (fun _ -> Voting.Index.create ());
       source_bits = Buffer.create 16;
       heard_relayed = Array.make config.msg_len 0;
       enqueue_commits = (match role with Source _ -> false | Relay | Liar _ -> true);
@@ -290,7 +300,7 @@ let committed_bits ctx id =
 let progress ctx =
   Hashtbl.fold
     (fun _ s acc ->
-      List.fold_left
-        (fun acc (_, peer) -> acc + One_hop.Receiver.received peer.stream)
+      Array.fold_left
+        (fun acc peer -> acc + One_hop.Receiver.received peer.stream)
         (acc + committed_len s) s.peers)
     ctx.states 0

@@ -22,20 +22,34 @@ let analytic_config ~radius ~msg_len =
 
 type provider = Src | Sq of int
 
+type stream = {
+  provider : provider;
+  receiver : One_hop.Receiver.t;
+  mutable agreed : int;
+      (** bits verified equal to the committed prefix — both sides are
+          append-only, so agreement never needs re-checking *)
+  mutable disagrees : bool;  (** a verified bit differed: never a candidate again *)
+  mutable counted : int;
+      (** frontier index at which this stream's vote was tallied; -1 = none *)
+}
+
 type role_state =
   | Idle
   | Sending of Two_bit.Sender.t * bool  (** 2Bit sender and the parity bit *)
   | Blocking of Two_bit.Blocker.t
-  | Receiving of provider * Two_bit.Receiver.t
+  | Receiving of stream * Two_bit.Receiver.t
   | Passive  (** catch-up fired: stay silent for the rest of the interval *)
 
 type state = {
   my_slot : int;
   is_source : bool;
-  listen : (int * provider) list;  (** slot -> stream provider *)
+  listen_by_slot : stream option array;  (** slot -> provider stream, O(1) *)
   committed : Buffer.t;  (** '0'/'1' chars *)
   mutable sender : One_hop.Sender.t;
-  streams : (provider * One_hop.Receiver.t) list;
+  streams : stream list;
+  tally : Voting.Tally.t;  (** square votes at the current frontier *)
+  mutable tally_frontier : int;  (** frontier index the tally counts for *)
+  mutable src_vote : bool option;  (** the source stream's frontier bit, if heard *)
   mutable role : role_state;
   mutable cur_interval : int;
   mutable failures : int;
@@ -93,38 +107,53 @@ let commit_bit s bit =
 
 (* A provider stream can justify bit [c] only if it extends the node's own
    committed prefix: mixing prefixes of disagreeing streams would deliver a
-   message nobody sent. *)
-let stream_extends s receiver c =
-  One_hop.Receiver.received receiver > c
-  &&
-  let rec agree i = i >= c || (One_hop.Receiver.get receiver i = committed_bit s i && agree (i + 1)) in
-  agree 0
+   message nobody sent.  Both the committed prefix and the stream are
+   append-only, so the agreement pointer advances monotonically instead of
+   re-walking the whole prefix on every poll. *)
+let advance_agreement s st =
+  let c = committed_len s in
+  let received = One_hop.Receiver.received st.receiver in
+  while (not st.disagrees) && st.agreed < c && st.agreed < received do
+    if One_hop.Receiver.get st.receiver st.agreed = committed_bit s st.agreed then
+      st.agreed <- st.agreed + 1
+    else st.disagrees <- true
+  done
 
-(* Try to extend the committed prefix; repeats until no rule applies. *)
+(* Try to extend the committed prefix; repeats until no rule applies.
+   While the frontier stays at [c], a stream's candidacy is monotone (its
+   bit at [c] is immutable once received, disagreement is final), so each
+   stream's vote is tallied at most once per frontier index. *)
 let rec try_commit s =
   if committed_len s < s.msg_len then begin
     let c = committed_len s in
-    let candidates =
-      List.filter_map
-        (fun (provider, receiver) ->
-          if stream_extends s receiver c then Some (provider, One_hop.Receiver.get receiver c)
-          else None)
-        s.streams
-    in
-    let from_source = List.exists (fun (p, _) -> p = Src) candidates in
+    if s.tally_frontier <> c then begin
+      s.tally_frontier <- c;
+      Voting.Tally.reset s.tally;
+      s.src_vote <- None
+    end;
+    List.iter
+      (fun st ->
+        if st.counted <> c then begin
+          advance_agreement s st;
+          if (not st.disagrees) && st.agreed = c && One_hop.Receiver.received st.receiver > c
+          then begin
+            st.counted <- c;
+            let v = One_hop.Receiver.get st.receiver c in
+            match st.provider with
+            | Src -> s.src_vote <- Some v
+            | Sq _ -> Voting.Tally.add s.tally v
+          end
+        end)
+      s.streams;
     let committed_value =
-      if from_source then
-        (* Direct reception from the source is authenticated by Theorem 2
-           and needs no corroboration, whatever the voting threshold. *)
-        List.assoc Src candidates |> Option.some
-      else begin
-        let votes_for v =
-          List.length (List.filter (fun (_, value) -> value = v) candidates)
-        in
-        if votes_for true >= s.votes then Some true
-        else if votes_for false >= s.votes then Some false
+      match s.src_vote with
+      (* Direct reception from the source is authenticated by Theorem 2
+         and needs no corroboration, whatever the voting threshold. *)
+      | Some v -> Some v
+      | None ->
+        if Voting.Tally.count s.tally ~value:true >= s.votes then Some true
+        else if Voting.Tally.count s.tally ~value:false >= s.votes then Some false
         else None
-      end
     in
     match committed_value with
     | Some v ->
@@ -156,17 +185,26 @@ let setup_interval ctx s interval =
        else Blocking (Two_bit.Blocker.create ())
      end
      else begin
-       match List.assoc_opt slot s.listen with
-       | Some provider -> Receiving (provider, Two_bit.Receiver.create ())
+       match s.listen_by_slot.(slot) with
+       | Some stream -> Receiving (stream, Two_bit.Receiver.create ())
        | None -> Idle
      end)
 
-(* A detected liar abandons the fake and relays honestly from scratch. *)
+(* A detected liar abandons the fake and relays honestly from scratch.  The
+   committed prefix restarts, so every stream's agreement state restarts
+   with it. *)
 let liar_give_up s =
   s.liar_attempts <- None;
   Buffer.clear s.committed;
   s.sender <- One_hop.Sender.create ();
   s.failures <- 0;
+  List.iter
+    (fun st ->
+      st.agreed <- 0;
+      st.disagrees <- false;
+      st.counted <- -1)
+    s.streams;
+  s.tally_frontier <- -1;
   try_commit s
 
 let finish_interval s =
@@ -196,11 +234,10 @@ let finish_interval s =
       end
     | None -> ()
   end
-  | Receiving (provider, receiver) -> begin
+  | Receiving (stream, receiver) -> begin
     match Two_bit.Receiver.outcome receiver with
     | Some (Two_bit.Success, (parity, data)) ->
-      let stream = List.assoc provider s.streams in
-      One_hop.Receiver.push_two_bit stream ~parity ~data;
+      One_hop.Receiver.push_two_bit stream.receiver ~parity ~data;
       try_commit s
     | Some (Two_bit.Failure, _) | None -> ()
   end
@@ -262,15 +299,32 @@ let machine ?initial_commit ctx id role =
     if (not is_source) && senses_source then (Schedule.source_slot, Src) :: squares_listen
     else squares_listen
   in
-  let streams = List.map (fun (_, provider) -> (provider, One_hop.Receiver.create ())) listen in
+  let streams =
+    List.map
+      (fun (_, provider) ->
+        { provider; receiver = One_hop.Receiver.create (); agreed = 0; disagrees = false; counted = -1 })
+      listen
+  in
+  (* Adjacent squares of one 3x3 block get pairwise-distinct slots (the
+     schedule's reuse distance k >= 3), so slot -> stream is injective. *)
+  let listen_by_slot = Array.make (Schedule.cycle ctx.schedule) None in
+  List.iter2
+    (fun (slot, _) stream ->
+      match listen_by_slot.(slot) with
+      | None -> listen_by_slot.(slot) <- Some stream
+      | Some _ -> ())
+    listen streams;
   let s =
     {
       my_slot = Schedule.slot_of ctx.schedule my_square;
       is_source;
-      listen;
+      listen_by_slot;
       committed = Buffer.create 16;
       sender = One_hop.Sender.create ();
       streams;
+      tally = Voting.Tally.create ();
+      tally_frontier = -1;
+      src_vote = None;
       role = Idle;
       cur_interval = -1;
       failures = 0;
@@ -312,6 +366,6 @@ let progress ctx =
   Hashtbl.fold
     (fun _ s acc ->
       List.fold_left
-        (fun acc (_, receiver) -> acc + One_hop.Receiver.received receiver)
+        (fun acc st -> acc + One_hop.Receiver.received st.receiver)
         (acc + committed_len s) s.streams)
     ctx.states 0

@@ -21,19 +21,79 @@ let count_in_window items ~x0 ~y0 ~size =
     items;
   Hashtbl.length seen
 
+(* The window scan proper, over items already filtered to one value.  The
+   result does not depend on the order of [voting]. *)
+let window_scan ~radius ~need voting =
+  let size = 2.0 *. radius in
+  let points = List.concat_map (fun item -> item.points) voting in
+  (* A minimal window has its left edge at some point's x and its top
+     edge at some point's y, so anchoring candidates there is complete. *)
+  let xs = List.sort_uniq compare (List.map (fun (p : Point.t) -> p.x) points) in
+  let ys = List.sort_uniq compare (List.map (fun (p : Point.t) -> p.y) points) in
+  List.exists
+    (fun x0 -> List.exists (fun y0 -> count_in_window voting ~x0 ~y0 ~size >= need) ys)
+    xs
+
 let quorum ~radius ~need ~value items =
   let voting = List.filter (fun item -> item.value = value) items in
   if need <= 0 then true
   else if distinct_origins ~value voting < need then false
-  else begin
-    let size = 2.0 *. radius in
-    let points = List.concat_map (fun item -> item.points) voting in
-    (* A minimal window has its left edge at some point's x and its top
-       edge at some point's y, so anchoring candidates there is complete. *)
-    let xs = List.sort_uniq compare (List.map (fun (p : Point.t) -> p.x) points) in
-    let ys = List.sort_uniq compare (List.map (fun (p : Point.t) -> p.y) points) in
-    List.exists
-      (fun x0 ->
-        List.exists (fun y0 -> count_in_window voting ~x0 ~y0 ~size >= need) ys)
-      xs
-  end
+  else window_scan ~radius ~need voting
+
+module Tally = struct
+  type t = { mutable pro : int; mutable con : int }
+
+  let create () = { pro = 0; con = 0 }
+
+  let reset t =
+    t.pro <- 0;
+    t.con <- 0
+
+  let add t value = if value then t.pro <- t.pro + 1 else t.con <- t.con + 1
+  let count t ~value = if value then t.pro else t.con
+end
+
+module Index = struct
+  type t = {
+    seen : (item, unit) Hashtbl.t;  (* replay / duplicate suppression *)
+    origins : (bool * origin, unit) Hashtbl.t;
+    votes : Tally.t;  (* distinct origins per value, maintained on add *)
+    mutable items_for : item list;
+    mutable items_against : item list;
+    mutable dirty : bool;
+  }
+
+  let create () =
+    {
+      seen = Hashtbl.create 8;
+      origins = Hashtbl.create 8;
+      votes = Tally.create ();
+      items_for = [];
+      items_against = [];
+      dirty = false;
+    }
+
+  let add t item =
+    if not (Hashtbl.mem t.seen item) then begin
+      Hashtbl.add t.seen item ();
+      let key = (item.value, item.origin) in
+      if not (Hashtbl.mem t.origins key) then begin
+        Hashtbl.add t.origins key ();
+        Tally.add t.votes item.value
+      end;
+      if item.value then t.items_for <- item :: t.items_for
+      else t.items_against <- item :: t.items_against;
+      t.dirty <- true
+    end
+
+  let votes t ~value = Tally.count t.votes ~value
+  let items t ~value = if value then t.items_for else t.items_against
+  let all_items t = t.items_for @ t.items_against
+  let dirty t = t.dirty
+  let clear_dirty t = t.dirty <- false
+
+  let decide t ~radius ~need ~value =
+    if need <= 0 then true
+    else if votes t ~value < need then false
+    else window_scan ~radius ~need (items t ~value)
+end

@@ -17,7 +17,13 @@
     [2R × 2R] window; [quorum] scans candidate windows anchored at evidence
     coordinates.  (For the Euclidean simulation model this box test is the
     standard L-infinity approximation of the neighbourhood; the analytic
-    model is exactly L-infinity.) *)
+    model is exactly L-infinity.)
+
+    {!Index} is the incremental form used on the protocol hot path: one
+    index per message bit, with O(1) amortized evidence insertion, O(1)
+    distinct-origin counts, and a dirty bit so the window scan only re-runs
+    when new evidence actually arrived.  It is extensionally equal to
+    {!quorum} over the same evidence (property-tested). *)
 
 type origin = int * int
 (** Quantised position used as the identity of a committing node. *)
@@ -27,7 +33,54 @@ type item = { origin : origin; value : bool; points : Point.t list }
 val quorum : radius:float -> need:int -> value:bool -> item list -> bool
 (** [quorum ~radius ~need ~value items]: is there a set of at least [need]
     items with distinct origins, all carrying [value], whose point sets fit
-    together in one L-infinity ball of radius [radius]? *)
+    together in one L-infinity ball of radius [radius]?  Reference
+    implementation: filters and scans the full list on every call. *)
 
 val distinct_origins : value:bool -> item list -> int
 (** Number of distinct origins voting for [value] (the cheap pre-check). *)
+
+(** A running for/against vote count.  Shared by {!Index} (distinct-origin
+    counts per value) and NeighborWatchRB's per-bit stream voting, where
+    callers deduplicate voters before calling [add]. *)
+module Tally : sig
+  type t
+
+  val create : unit -> t
+  val reset : t -> unit
+  val add : t -> bool -> unit
+  val count : t -> value:bool -> int
+end
+
+(** Incrementally maintained evidence for one message bit. *)
+module Index : sig
+  type t
+
+  val create : unit -> t
+
+  val add : t -> item -> unit
+  (** O(1) amortized.  Structurally duplicate items (Byzantine replays) are
+      dropped, exactly like the reference list's membership check; a fresh
+      item marks the index dirty and updates the per-value origin count. *)
+
+  val votes : t -> value:bool -> int
+  (** Distinct origins voting for [value]; O(1), equals
+      [distinct_origins ~value (all_items t)]. *)
+
+  val items : t -> value:bool -> item list
+  (** The deduplicated items carrying [value], newest first. *)
+
+  val all_items : t -> item list
+  (** Every deduplicated item, for reference-scan comparison in tests. *)
+
+  val dirty : t -> bool
+  (** True iff evidence arrived since the last {!clear_dirty}.  While an
+      index is clean, [decide] cannot change its answer, so callers skip
+      the scan entirely. *)
+
+  val clear_dirty : t -> unit
+
+  val decide : t -> radius:float -> need:int -> value:bool -> bool
+  (** Same answer as [quorum ~radius ~need ~value (all_items t)], but the
+      origin-count pre-check is O(1) and the window scan runs over the
+      pre-filtered per-value items. *)
+end

@@ -36,6 +36,145 @@ let write_json path json =
   output_string oc (Json.to_string_pretty json);
   close_out oc
 
+(* --- wall-time comparison ("bench compare") ---------------------------- *)
+
+let regression_tolerance = 0.20
+(** A run counts as regressed when it is more than this fraction slower
+    than the baseline. *)
+
+let noise_floor = 0.05
+(** Experiments where both sides run faster than this (seconds) are too
+    short to time reliably; they are reported but never flagged. *)
+
+type comparison = {
+  cmp_id : string;
+  base_seconds : float option;  (** [None]: experiment absent from the baseline *)
+  current_seconds : float option;  (** [None]: experiment absent from the current run *)
+}
+
+let speedup c =
+  match (c.base_seconds, c.current_seconds) with
+  | Some b, Some cur when cur > 0.0 -> Some (b /. cur)
+  | Some _, Some _ | Some _, None | None, Some _ | None, None -> None
+
+let regressed ?(tolerance = regression_tolerance) c =
+  match (c.base_seconds, c.current_seconds) with
+  | Some b, Some cur ->
+    (b >= noise_floor || cur >= noise_floor) && cur > b *. (1.0 +. tolerance)
+  | Some _, None | None, Some _ | None, None -> false
+
+let wall_times_of_results json =
+  match Json.member "experiments" json |> Option.map Json.to_list_opt with
+  | Some (Some experiments) ->
+    let entry e =
+      match
+        ( Option.bind (Json.member "id" e) Json.to_string_opt,
+          Option.bind (Json.member "wall_seconds" e) Json.to_float_opt )
+      with
+      | Some id, Some seconds -> Ok (id, seconds)
+      | Some id, None -> Error (Printf.sprintf "experiment %s has no wall_seconds" id)
+      | None, _ -> Error "experiment entry without an id"
+    in
+    List.fold_left
+      (fun acc e ->
+        match (acc, entry e) with
+        | Ok entries, Ok entry -> Ok (entry :: entries)
+        | (Error _ as e), _ | _, (Error _ as e) -> e)
+      (Ok []) experiments
+    |> Result.map List.rev
+  | Some None | None -> Error "no \"experiments\" list (not a securebit-bench results file?)"
+
+let load_wall_times path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | contents -> (
+    match Json.of_string contents with
+    | Ok json -> wall_times_of_results json
+    | Error message -> Error (Printf.sprintf "%s: %s" path message))
+  | exception Sys_error message -> Error message
+
+(* Pair the two runs up, keeping the current run's order; baseline-only
+   experiments are appended so nothing disappears silently. *)
+let compare_wall_times ~base ~current =
+  let of_current (id, seconds) =
+    { cmp_id = id; base_seconds = List.assoc_opt id base; current_seconds = Some seconds }
+  in
+  let removed (id, seconds) =
+    if List.mem_assoc id current then None
+    else Some { cmp_id = id; base_seconds = Some seconds; current_seconds = None }
+  in
+  List.map of_current current @ List.filter_map removed base
+
+let render_comparison ?(tolerance = regression_tolerance) comparisons =
+  let table =
+    Table.create ~title:"wall-time comparison vs baseline"
+      ~columns:[ "experiment"; "base (s)"; "current (s)"; "speedup"; "verdict" ]
+  in
+  let cell = function Some seconds -> Table.cell_f ~decimals:3 seconds | None -> "-" in
+  List.iter
+    (fun c ->
+      let verdict =
+        match (c.base_seconds, c.current_seconds) with
+        | None, _ -> "new"
+        | _, None -> "removed"
+        | Some _, Some _ when regressed ~tolerance c ->
+          Printf.sprintf "REGRESSED (>%.0f%%)" (100.0 *. tolerance)
+        | Some b, Some cur when b < noise_floor && cur < noise_floor -> "below noise floor"
+        | Some _, Some _ -> "ok"
+      in
+      Table.add_row table
+        [
+          c.cmp_id;
+          cell c.base_seconds;
+          cell c.current_seconds;
+          (match speedup c with Some s -> Printf.sprintf "%.2fx" s | None -> "-");
+          verdict;
+        ])
+    comparisons;
+  let total side =
+    List.fold_left (fun acc c -> acc +. Option.value ~default:0.0 (side c)) 0.0 comparisons
+  in
+  let base_total = total (fun c -> c.base_seconds) in
+  let current_total = total (fun c -> c.current_seconds) in
+  Table.add_row table
+    [
+      "total";
+      Table.cell_f ~decimals:3 base_total;
+      Table.cell_f ~decimals:3 current_total;
+      (if current_total > 0.0 then Printf.sprintf "%.2fx" (base_total /. current_total) else "-");
+      "";
+    ];
+  Table.render table
+
+let regressions ?tolerance comparisons = List.filter (regressed ?tolerance) comparisons
+
+(* Shared driver for the two compare entry points: report text plus whether
+   anything regressed (callers turn that into a non-zero exit). *)
+let compare_against ?tolerance ~base current =
+  match load_wall_times base with
+  | Error message -> Error (Printf.sprintf "baseline %s: %s" base message)
+  | Ok base_times ->
+    let comparisons = compare_wall_times ~base:base_times ~current in
+    let regressed = regressions ?tolerance comparisons in
+    let report =
+      render_comparison ?tolerance comparisons
+      ^
+      match regressed with
+      | [] -> "no wall-time regressions\n"
+      | some ->
+        Printf.sprintf "%d experiment(s) regressed: %s\n" (List.length some)
+          (String.concat ", " (List.map (fun c -> c.cmp_id) some))
+    in
+    Ok (report, regressed <> [])
+
+let compare_files ?tolerance ~base ~current () =
+  match load_wall_times current with
+  | Error message -> Error (Printf.sprintf "current %s: %s" current message)
+  | Ok current_times -> compare_against ?tolerance ~base current_times
+
+let compare_outcomes ?tolerance ~base outcomes =
+  compare_against ?tolerance ~base
+    (List.map (fun o -> (o.Runner.job.Experiment.id, o.Runner.wall_seconds)) outcomes)
+
 let run options =
   match selection options.only with
   | Error message -> Error message

@@ -22,3 +22,50 @@ val scale_name : Experiment.scale -> string
 val run : options -> (Runner.outcome list, string) result
 (** Run the selected jobs, printing tables, fits, notes and per-job wall
     times; write [json_path] if given.  [Error] on unknown ids. *)
+
+(** {1 Wall-time comparison (["bench compare"])}
+
+    Diffs two [BENCH_results.json] files (or a fresh run against one) and
+    reports per-experiment speedups; anything more than
+    {!regression_tolerance} slower than the baseline is a regression,
+    which callers turn into a non-zero exit so perf regressions fail the
+    build. *)
+
+val regression_tolerance : float
+(** Default regression threshold: 0.20 (20% slower fails). *)
+
+val noise_floor : float
+(** Runs where both sides finish under this many seconds are never flagged
+    — too short to time reliably. *)
+
+type comparison = {
+  cmp_id : string;
+  base_seconds : float option;  (** [None]: absent from the baseline *)
+  current_seconds : float option;  (** [None]: absent from the current run *)
+}
+
+val speedup : comparison -> float option
+(** [base / current]; [None] when either side is missing. *)
+
+val regressed : ?tolerance:float -> comparison -> bool
+
+val wall_times_of_results : Json.t -> ((string * float) list, string) result
+(** Per-experiment wall seconds out of a parsed results file. *)
+
+val load_wall_times : string -> ((string * float) list, string) result
+
+val compare_wall_times :
+  base:(string * float) list -> current:(string * float) list -> comparison list
+(** Current-run order first, then baseline-only experiments. *)
+
+val render_comparison : ?tolerance:float -> comparison list -> string
+
+val regressions : ?tolerance:float -> comparison list -> comparison list
+
+val compare_files :
+  ?tolerance:float -> base:string -> current:string -> unit -> (string * bool, string) result
+(** [Ok (report, any_regression)]; [Error] on unreadable/invalid files. *)
+
+val compare_outcomes :
+  ?tolerance:float -> base:string -> Runner.outcome list -> (string * bool, string) result
+(** Compare a just-finished run against a baseline file. *)

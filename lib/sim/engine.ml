@@ -22,10 +22,13 @@ type round_digest = { round : int; transmitters : int list; observations : int a
 let fingerprint_observation = function
   | Channel.Silence -> 0
   | Channel.Busy -> 1
-  | Channel.Clear payload -> 2 + (Hashtbl.hash payload land 0x3FFFFFFF)
+  | Channel.Clear payload ->
+    (* The default Hashtbl.hash stops after 10 meaningful nodes; deep
+       payloads would alias in determinism-checker traces. *)
+    2 + (Hashtbl.hash_param 64 128 payload land 0x3FFFFFFF)
 
-let run ?rng ?(channel = Channel.ideal) ?stop_when ?idle_stop ?tap ~topology ~machines ~waiters
-    ~cap () =
+let run ?rng ?(channel = Channel.ideal) ?stop_when ?(stop_stride = 96) ?idle_stop ?tap ~topology
+    ~machines ~waiters ~cap () =
   let n = Topology.size topology in
   if Array.length machines <> n || Array.length waiters <> n then
     invalid_arg "Engine.run: machines/waiters size mismatch";
@@ -65,9 +68,13 @@ let run ?rng ?(channel = Channel.ideal) ?stop_when ?idle_stop ?tap ~topology ~ma
     || (match idle_stop with Some k -> !idle_rounds >= k | None -> false)
     ||
     match stop_when with
-    | Some f when !round mod 96 = 0 -> f ()
+    | Some f when !round mod stop_stride = 0 -> f ()
     | Some _ | None -> false
   in
+  (* Nodes still being polled for completion; completed ones are
+     swap-removed so Phase 3 stops scanning them every round. *)
+  let active = Array.init n (fun i -> i) in
+  let n_active = ref n in
   while (not (stopped ())) && !round < cap do
     let r = !round in
     let anyone_transmitted = ref false in
@@ -140,15 +147,17 @@ let run ?rng ?(channel = Channel.ideal) ?stop_when ?idle_stop ?tap ~topology ~ma
         has_rx.(i) <- false)
       !touched;
     touched := [];
-    (* Phase 3: completion bookkeeping. *)
-    for i = 0 to n - 1 do
-      if completion_round.(i) < 0 then begin
-        match machines.(i).delivered () with
-        | Some _ ->
-          completion_round.(i) <- r;
-          if waiters.(i) then decr pending
-        | None -> ()
-      end
+    (* Phase 3: completion bookkeeping over the not-yet-complete worklist. *)
+    let k = ref 0 in
+    while !k < !n_active do
+      let i = active.(!k) in
+      match machines.(i).delivered () with
+      | Some _ ->
+        completion_round.(i) <- r;
+        if waiters.(i) then decr pending;
+        decr n_active;
+        active.(!k) <- active.(!n_active)
+      | None -> incr k
     done;
     if !anyone_transmitted then idle_rounds := 0 else incr idle_rounds;
     incr round

@@ -50,6 +50,7 @@ val run :
   ?rng:Rng.t ->
   ?channel:Channel.params ->
   ?stop_when:(unit -> bool) ->
+  ?stop_stride:int ->
   ?idle_stop:int ->
   ?tap:(round_digest -> unit) ->
   topology:Topology.t ->
@@ -59,7 +60,9 @@ val run :
   unit ->
   result
 (** Run until every node marked in [waiters] has delivered (or [stop_when]
-    returns true, checked every 96 rounds), or until [cap] rounds.
+    returns true, polled every [stop_stride] rounds — default 96, chosen to
+    keep progress-based cut-offs off the per-round hot path), or until
+    [cap] rounds.
     [tap], if given, receives one [round_digest] per executed round (after
     all observations of that round were delivered); untraced runs pay
     nothing for the hook.

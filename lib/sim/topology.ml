@@ -20,25 +20,33 @@ let build (deployment : Deployment.t) prop =
   let cell_of (p : Point.t) =
     (int_of_float (Float.floor (p.x /. reach)), int_of_float (Float.floor (p.y /. reach)))
   in
-  let cells = Hashtbl.create (max 16 n) in
+  (* One lookup per node: buckets are mutated in place instead of a
+     find-then-replace pair of probes. *)
+  let cells : (int * int, Node.id list ref) Hashtbl.t = Hashtbl.create (max 16 n) in
   Array.iter
     (fun (node : Node.t) ->
       let key = cell_of node.pos in
-      Hashtbl.replace cells key (node.id :: (try Hashtbl.find cells key with Not_found -> [])))
+      match Hashtbl.find_opt cells key with
+      | Some bucket -> bucket := node.id :: !bucket
+      | None -> Hashtbl.add cells key (ref [ node.id ]))
     nodes;
   let sense_thr = Propagation.sense_threshold prop in
   let sensed = Array.make n [||] in
   let rx = Array.make n [||] in
+  (* Scratch buffers sized for the worst case (everyone in range), reused
+     across nodes so the build allocates only the final per-node arrays. *)
+  let links_buf = Array.make (max 1 (n - 1)) { peer = 0; power = 0.0 } in
+  let rx_buf = Array.make (max 1 (n - 1)) 0 in
   Array.iter
     (fun (node : Node.t) ->
       let cx, cy = cell_of node.pos in
-      let links = ref [] in
-      let decodable = ref [] in
+      let n_links = ref 0 in
+      let n_rx = ref 0 in
       for dx = -1 to 1 do
         for dy = -1 to 1 do
           match Hashtbl.find_opt cells (cx + dx, cy + dy) with
           | None -> ()
-          | Some ids ->
+          | Some bucket ->
             List.iter
               (fun j ->
                 if j <> node.id then begin
@@ -46,23 +54,42 @@ let build (deployment : Deployment.t) prop =
                     Propagation.received_power prop ~src:nodes.(j).Node.pos ~dst:node.pos
                   in
                   if power >= sense_thr then begin
-                    links := { peer = j; power } :: !links;
-                    if power >= 1.0 then decodable := j :: !decodable
+                    links_buf.(!n_links) <- { peer = j; power };
+                    incr n_links;
+                    if power >= 1.0 then begin
+                      rx_buf.(!n_rx) <- j;
+                      incr n_rx
+                    end
                   end
                 end)
-              ids
+              !bucket
         done
       done;
-      sensed.(node.id) <- Array.of_list !links;
-      rx.(node.id) <- Array.of_list !decodable)
+      (* Sorted by peer id: deterministic independent of bucket iteration
+         order, and can_decode becomes a binary search. *)
+      let links = Array.sub links_buf 0 !n_links in
+      Array.sort (fun a b -> compare a.peer b.peer) links;
+      let decodable = Array.sub rx_buf 0 !n_rx in
+      Array.sort compare decodable;
+      sensed.(node.id) <- links;
+      rx.(node.id) <- decodable)
     nodes;
   { deployment; prop; sensed; rx }
 
 let position t id = t.deployment.Deployment.nodes.(id).Node.pos
 let size t = Array.length t.deployment.Deployment.nodes
 
+(* [rx] rows are sorted ascending, so membership is a binary search. *)
 let can_decode t ~rx:receiver ~tx =
-  Array.exists (fun j -> j = tx) t.rx.(receiver)
+  let row = t.rx.(receiver) in
+  let rec search lo hi =
+    lo < hi
+    &&
+    let mid = (lo + hi) / 2 in
+    let v = row.(mid) in
+    if v = tx then true else if v < tx then search (mid + 1) hi else search lo mid
+  in
+  search 0 (Array.length row)
 
 let hops_from t src =
   let n = size t in

@@ -14,9 +14,11 @@ type t = {
   prop : Propagation.t;
   sensed : link array array;
       (** [sensed.(i)] lists every node whose transmissions put detectable
-          energy on [i]'s channel (power ≥ sense threshold), with power. *)
+          energy on [i]'s channel (power ≥ sense threshold), with power,
+          sorted by peer id. *)
   rx : Node.id array array;
-      (** [rx.(i)] lists nodes that [i] can decode (power ≥ 1.0). *)
+      (** [rx.(i)] lists nodes that [i] can decode (power ≥ 1.0), sorted
+          ascending — [can_decode] binary-searches these rows. *)
 }
 
 val build : Deployment.t -> Propagation.t -> t

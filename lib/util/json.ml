@@ -102,3 +102,223 @@ let to_string_pretty v =
   add_pretty buf ~level:0 v;
   Buffer.add_char buf '\n';
   Buffer.contents buf
+
+(* --- parsing ----------------------------------------------------------- *)
+
+exception Parse_error of string
+
+let of_string s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then s.[!pos] else '\000' in
+  let skip_ws () =
+    while !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+      incr pos
+    done
+  in
+  let expect c =
+    if !pos < n && s.[!pos] = c then incr pos
+    else fail (Printf.sprintf "expected '%c'" c)
+  in
+  let keyword word value =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin
+      pos := !pos + l;
+      value
+    end
+    else fail (Printf.sprintf "expected %s" word)
+  in
+  let hex4 () =
+    if !pos + 4 > n then fail "truncated \\u escape";
+    let v = int_of_string_opt ("0x" ^ String.sub s !pos 4) in
+    match v with
+    | Some v ->
+      pos := !pos + 4;
+      v
+    | None -> fail "invalid \\u escape"
+  in
+  let add_utf8 buf cp =
+    if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+    else if cp < 0x800 then begin
+      Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+    else if cp < 0x10000 then begin
+      Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+    else begin
+      Buffer.add_char buf (Char.chr (0xF0 lor (cp lsr 18)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string";
+      match s.[!pos] with
+      | '"' -> incr pos
+      | '\\' ->
+        incr pos;
+        if !pos >= n then fail "unterminated escape";
+        let c = s.[!pos] in
+        incr pos;
+        (match c with
+        | '"' -> Buffer.add_char buf '"'
+        | '\\' -> Buffer.add_char buf '\\'
+        | '/' -> Buffer.add_char buf '/'
+        | 'n' -> Buffer.add_char buf '\n'
+        | 'r' -> Buffer.add_char buf '\r'
+        | 't' -> Buffer.add_char buf '\t'
+        | 'b' -> Buffer.add_char buf '\b'
+        | 'f' -> Buffer.add_char buf '\012'
+        | 'u' ->
+          let cp = hex4 () in
+          let cp =
+            (* Combine a high surrogate with its pair; lone surrogates have
+               no UTF-8 encoding and are rejected. *)
+            if cp >= 0xD800 && cp <= 0xDBFF && !pos + 1 < n && s.[!pos] = '\\'
+               && s.[!pos + 1] = 'u'
+            then begin
+              pos := !pos + 2;
+              let low = hex4 () in
+              if low >= 0xDC00 && low <= 0xDFFF then
+                0x10000 + ((cp - 0xD800) lsl 10) + (low - 0xDC00)
+              else fail "unpaired surrogate"
+            end
+            else if cp >= 0xD800 && cp <= 0xDFFF then fail "unpaired surrogate"
+            else cp
+          in
+          add_utf8 buf cp
+        | _ -> fail "invalid escape");
+        go ()
+      | c ->
+        incr pos;
+        Buffer.add_char buf c;
+        go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_float = ref false in
+    let number_char c =
+      match c with
+      | '0' .. '9' | '-' | '+' -> true
+      | '.' | 'e' | 'E' ->
+        is_float := true;
+        true
+      | _ -> false
+    in
+    while !pos < n && number_char s.[!pos] do
+      incr pos
+    done;
+    let token = String.sub s start (!pos - start) in
+    if !is_float then
+      match float_of_string_opt token with
+      | Some f -> Float f
+      | None -> fail (Printf.sprintf "invalid number %s" token)
+    else begin
+      match int_of_string_opt token with
+      | Some i -> Int i
+      | None -> (
+        (* Out of int range: keep the value, degrade to float. *)
+        match float_of_string_opt token with
+        | Some f -> Float f
+        | None -> fail (Printf.sprintf "invalid number %s" token))
+    end
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | 'n' -> keyword "null" Null
+    | 't' -> keyword "true" (Bool true)
+    | 'f' -> keyword "false" (Bool false)
+    | '"' -> String (parse_string ())
+    | '[' ->
+      incr pos;
+      skip_ws ();
+      if peek () = ']' then begin
+        incr pos;
+        List []
+      end
+      else begin
+        let rec items acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | ',' ->
+            incr pos;
+            items (v :: acc)
+          | ']' ->
+            incr pos;
+            List.rev (v :: acc)
+          | _ -> fail "expected ',' or ']'"
+        in
+        List (items [])
+      end
+    | '{' ->
+      incr pos;
+      skip_ws ();
+      if peek () = '}' then begin
+        incr pos;
+        Obj []
+      end
+      else begin
+        let field () =
+          skip_ws ();
+          let key = parse_string () in
+          skip_ws ();
+          expect ':';
+          (key, parse_value ())
+        in
+        let rec fields acc =
+          let kv = field () in
+          skip_ws ();
+          match peek () with
+          | ',' ->
+            incr pos;
+            fields (kv :: acc)
+          | '}' ->
+            incr pos;
+            List.rev (kv :: acc)
+          | _ -> fail "expected ',' or '}'"
+        in
+        Obj (fields [])
+      end
+    | '-' | '0' .. '9' -> parse_number ()
+    | _ -> fail "expected a JSON value"
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos < n then fail "trailing garbage";
+    v
+  with
+  | v -> Ok v
+  | exception Parse_error msg -> Error msg
+
+(* --- accessors --------------------------------------------------------- *)
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | Null | Bool _ | Int _ | Float _ | String _ | List _ -> None
+
+let to_float_opt = function
+  | Int i -> Some (float_of_int i)
+  | Float f -> Some f
+  | Null | Bool _ | String _ | List _ | Obj _ -> None
+
+let to_string_opt = function
+  | String s -> Some s
+  | Null | Bool _ | Int _ | Float _ | List _ | Obj _ -> None
+
+let to_list_opt = function
+  | List items -> Some items
+  | Null | Bool _ | Int _ | Float _ | String _ | Obj _ -> None

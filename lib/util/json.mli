@@ -1,10 +1,11 @@
-(** Minimal JSON writer (no parser, no dependencies).
+(** Minimal JSON reader/writer (no dependencies).
 
     Benchmark results are serialized with this module so downstream tooling
-    can consume `BENCH_results.json` without scraping the ASCII tables.
-    Output is deterministic: field order is preserved, floats print as the
-    shortest decimal that round-trips, and non-finite floats (which JSON
-    cannot represent) become [null]. *)
+    can consume `BENCH_results.json` without scraping the ASCII tables, and
+    parsed back by `bench compare` to diff two result files.  Output is
+    deterministic: field order is preserved, floats print as the shortest
+    decimal that round-trips, and non-finite floats (which JSON cannot
+    represent) become [null]. *)
 
 type t =
   | Null
@@ -25,3 +26,18 @@ val to_string_pretty : t -> string
 val number : float -> string
 (** The numeric token used for a float: shortest round-tripping decimal
     (integer-valued floats keep a [.0]), ["null"] for NaN and infinities. *)
+
+val of_string : string -> (t, string) result
+(** Strict recursive-descent parser for the JSON this module writes (and
+    standard JSON generally): numbers without [.eE] parse as [Int], others
+    as [Float]; [\u] escapes decode to UTF-8, surrogate pairs combined.
+    [Error] carries a message with the byte offset of the failure. *)
+
+val member : string -> t -> t option
+(** Field lookup; [None] on non-objects and missing keys. *)
+
+val to_float_opt : t -> float option
+(** [Int] and [Float] as a float; [None] otherwise. *)
+
+val to_string_opt : t -> string option
+val to_list_opt : t -> t list option

@@ -75,6 +75,110 @@ let test_selection () =
   | Error message ->
     Alcotest.(check bool) "names the unknown id" true (contains ~needle:"nope" message)
 
+(* --- bench compare (perf-regression harness) ------------------------------ *)
+
+let results_file times =
+  Json.Obj
+    [
+      ("schema", Json.String "securebit-bench/1");
+      ( "experiments",
+        Json.List
+          (List.map
+             (fun (id, seconds) ->
+               Json.Obj [ ("id", Json.String id); ("wall_seconds", Json.Float seconds) ])
+             times) );
+    ]
+
+let with_temp_results times f =
+  let path = Filename.temp_file "securebit_bench" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Out_channel.with_open_text path (fun oc ->
+          output_string oc (Json.to_string_pretty (results_file times)));
+      f path)
+
+(* The acceptance bar for the harness: an injected >20% slowdown must come
+   back flagged (callers exit non-zero on [any_regression]). *)
+let test_compare_detects_injected_regression () =
+  with_temp_results
+    [ ("e1", 10.0); ("e2", 10.0) ]
+    (fun base ->
+      with_temp_results
+        [ ("e1", 9.0); ("e2", 13.0) ]
+        (fun current ->
+          match Bench.compare_files ~base ~current () with
+          | Error m -> Alcotest.fail m
+          | Ok (report, any_regression) ->
+            Alcotest.(check bool) "regression flagged" true any_regression;
+            Alcotest.(check bool) "report says REGRESSED" true
+              (contains ~needle:"REGRESSED" report);
+            Alcotest.(check bool) "report names e2" true (contains ~needle:"e2" report)))
+
+let test_compare_clean_run_passes () =
+  with_temp_results
+    [ ("e1", 10.0); ("e2", 4.0) ]
+    (fun base ->
+      with_temp_results
+        [ ("e1", 11.5); ("e2", 2.0) ]
+        (fun current ->
+          (* 15% slower is inside the 20% tolerance. *)
+          match Bench.compare_files ~base ~current () with
+          | Error m -> Alcotest.fail m
+          | Ok (report, any_regression) ->
+            Alcotest.(check bool) "no regression" false any_regression;
+            Alcotest.(check bool) "report says clean" true
+              (contains ~needle:"no wall-time regressions" report)))
+
+let test_compare_semantics () =
+  let cmp base_seconds current_seconds =
+    { Bench.cmp_id = "x"; base_seconds; current_seconds }
+  in
+  (* Exactly at the threshold is not a regression; just beyond is. *)
+  Alcotest.(check bool) "20% exactly passes" false
+    (Bench.regressed (cmp (Some 10.0) (Some 12.0)));
+  Alcotest.(check bool) "beyond 20% fails" true
+    (Bench.regressed (cmp (Some 10.0) (Some 12.01)));
+  Alcotest.(check bool) "custom tolerance" true
+    (Bench.regressed ~tolerance:0.05 (cmp (Some 10.0) (Some 11.0)));
+  (* Sub-noise-floor runs are never flagged, however large the ratio. *)
+  Alcotest.(check bool) "below noise floor" false
+    (Bench.regressed (cmp (Some 0.01) (Some 0.04)));
+  (* Experiments present on only one side are reported, not flagged. *)
+  Alcotest.(check bool) "missing current" false (Bench.regressed (cmp (Some 1.0) None));
+  Alcotest.(check bool) "missing base" false (Bench.regressed (cmp None (Some 1.0)));
+  match Bench.speedup (cmp (Some 10.0) (Some 4.0)) with
+  | Some s -> Alcotest.(check (float 1e-9)) "speedup" 2.5 s
+  | None -> Alcotest.fail "speedup missing"
+
+let test_compare_pairing () =
+  let comparisons =
+    Bench.compare_wall_times
+      ~base:[ ("gone", 1.0); ("e1", 2.0) ]
+      ~current:[ ("e1", 1.5); ("fresh", 0.5) ]
+  in
+  Alcotest.(check (list string)) "current order first, removed appended"
+    [ "e1"; "fresh"; "gone" ]
+    (List.map (fun c -> c.Bench.cmp_id) comparisons);
+  let find id = List.find (fun c -> c.Bench.cmp_id = id) comparisons in
+  Alcotest.(check bool) "fresh has no baseline" true ((find "fresh").Bench.base_seconds = None);
+  Alcotest.(check bool) "gone has no current" true ((find "gone").Bench.current_seconds = None)
+
+let test_compare_rejects_bad_files () =
+  (match Bench.load_wall_times "/nonexistent/results.json" with
+  | Ok _ -> Alcotest.fail "accepted a missing file"
+  | Error _ -> ());
+  let path = Filename.temp_file "securebit_bench" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Out_channel.with_open_text path (fun oc -> output_string oc "{\"not\": \"bench\"}");
+      match Bench.load_wall_times path with
+      | Ok _ -> Alcotest.fail "accepted a non-results file"
+      | Error message ->
+        Alcotest.(check bool) "diagnostic mentions experiments" true
+          (contains ~needle:"experiments" message))
+
 (* --- Runner byte-identity ------------------------------------------------- *)
 
 (* The acceptance bar for the parallel runner: the rendered table, the fits,
@@ -118,6 +222,15 @@ let () =
           Alcotest.test_case "unique ids" `Quick test_registry_unique;
           Alcotest.test_case "find" `Quick test_registry_find;
           Alcotest.test_case "bench selection" `Quick test_selection;
+        ] );
+      ( "bench compare",
+        [
+          Alcotest.test_case "injected regression detected" `Quick
+            test_compare_detects_injected_regression;
+          Alcotest.test_case "clean run passes" `Quick test_compare_clean_run_passes;
+          Alcotest.test_case "threshold and noise floor" `Quick test_compare_semantics;
+          Alcotest.test_case "pairing" `Quick test_compare_pairing;
+          Alcotest.test_case "bad files rejected" `Quick test_compare_rejects_bad_files;
         ] );
       ( "runner",
         [ Alcotest.test_case "jobs=4 byte-identical to jobs=1" `Quick test_parallel_identity ] );

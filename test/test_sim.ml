@@ -150,6 +150,45 @@ let test_topology_can_decode () =
   Alcotest.(check bool) "adjacent" true (Topology.can_decode t ~rx:0 ~tx:1);
   Alcotest.(check bool) "far" false (Topology.can_decode t ~rx:0 ~tx:4)
 
+(* Regression for the sorted link rows: [rx] and [sensed] are sorted by
+   peer id, and the binary-searching [can_decode] agrees with brute-force
+   power computation over every pair of a random deployment. *)
+let test_topology_sorted_rows_and_lookup () =
+  let prop = Propagation.friis 3.0 in
+  let d = Deployment.uniform (Rng.create 11) ~n:120 ~width:15.0 ~height:15.0 in
+  let t = Topology.build d prop in
+  let ascending len get label =
+    for k = 0 to len - 2 do
+      Alcotest.(check bool) label true (get k < get (k + 1))
+    done
+  in
+  Array.iteri
+    (fun i row ->
+      ascending (Array.length row) (fun k -> row.(k)) (Printf.sprintf "rx.(%d) sorted" i))
+    t.Topology.rx;
+  Array.iteri
+    (fun i row ->
+      ascending (Array.length row)
+        (fun k -> row.(k).Topology.peer)
+        (Printf.sprintf "sensed.(%d) sorted" i))
+    t.Topology.sensed;
+  let n = Deployment.size d in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j then begin
+        let expected =
+          Propagation.received_power prop ~src:(Topology.position t j)
+            ~dst:(Topology.position t i)
+          >= 1.0
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "can_decode %d<-%d" i j)
+          expected
+          (Topology.can_decode t ~rx:i ~tx:j)
+      end
+    done
+  done
+
 (* --- Schedule ------------------------------------------------------------- *)
 
 let test_schedule_phases () =
@@ -340,6 +379,20 @@ let test_engine_stop_when () =
   (* stop_when is polled every 96 rounds. *)
   Alcotest.(check int) "stopped at third poll" 192 result.Engine.rounds_used
 
+let test_engine_stop_stride () =
+  let topology = line_topology 2 1.0 1.5 in
+  let machines = [| Engine.silent_machine; Engine.silent_machine |] in
+  let calls = ref 0 in
+  let stop_when () =
+    incr calls;
+    !calls >= 2
+  in
+  let result =
+    Engine.run ~stop_when ~stop_stride:7 ~topology ~machines ~waiters:[| true; true |]
+      ~cap:100000 ()
+  in
+  Alcotest.(check int) "custom stride honoured" 7 result.Engine.rounds_used
+
 (* The engine's flat-aggregate channel resolution must agree with the
    reference Channel.resolve on arbitrary receiver configurations. *)
 let prop_engine_matches_reference =
@@ -407,6 +460,7 @@ let () =
           Alcotest.test_case "disconnected" `Quick test_topology_disconnected;
           Alcotest.test_case "negative coordinates" `Quick test_topology_negative_coords;
           Alcotest.test_case "can_decode" `Quick test_topology_can_decode;
+          Alcotest.test_case "sorted rows and lookup" `Quick test_topology_sorted_rows_and_lookup;
         ] );
       ( "schedule",
         [
@@ -425,6 +479,7 @@ let () =
           Alcotest.test_case "idle stop" `Quick test_engine_idle_stop;
           Alcotest.test_case "round cap" `Quick test_engine_cap;
           Alcotest.test_case "stop_when polling" `Quick test_engine_stop_when;
+          Alcotest.test_case "stop_when custom stride" `Quick test_engine_stop_stride;
         ] );
       ("properties", List.map (fun t -> QCheck_alcotest.to_alcotest ~long:false t) qtests);
     ]

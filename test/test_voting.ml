@@ -105,7 +105,98 @@ let prop_quorum_monotone_in_need =
       (not (Voting.quorum ~radius:3.0 ~need ~value:true items))
       || Voting.quorum ~radius:3.0 ~need:(need - 1) ~value:true items)
 
-let qtests = [ prop_clustered_origins_always_quorum; prop_quorum_monotone_in_need ]
+(* --- Tally and the incremental Index ------------------------------------ *)
+
+let test_tally () =
+  let t = Voting.Tally.create () in
+  Alcotest.(check int) "fresh pro" 0 (Voting.Tally.count t ~value:true);
+  Voting.Tally.add t true;
+  Voting.Tally.add t true;
+  Voting.Tally.add t false;
+  Alcotest.(check int) "pro" 2 (Voting.Tally.count t ~value:true);
+  Alcotest.(check int) "con" 1 (Voting.Tally.count t ~value:false);
+  Voting.Tally.reset t;
+  Alcotest.(check int) "reset pro" 0 (Voting.Tally.count t ~value:true);
+  Alcotest.(check int) "reset con" 0 (Voting.Tally.count t ~value:false)
+
+let test_index_dirty_and_replays () =
+  let index = Voting.Index.create () in
+  Alcotest.(check bool) "fresh index is clean" false (Voting.Index.dirty index);
+  let it = item (1, 2) [ p 1.0 2.0 ] in
+  Voting.Index.add index it;
+  Alcotest.(check bool) "fresh evidence marks dirty" true (Voting.Index.dirty index);
+  Voting.Index.clear_dirty index;
+  (* A Byzantine replay (structurally identical item) must neither re-dirty
+     the index nor add a duplicate. *)
+  Voting.Index.add index it;
+  Alcotest.(check bool) "replay leaves it clean" false (Voting.Index.dirty index);
+  Alcotest.(check int) "replay not stored twice" 1
+    (List.length (Voting.Index.all_items index));
+  (* Same origin voting the other value is genuinely new evidence. *)
+  Voting.Index.add index (item ~value:false (1, 2) [ p 1.0 2.0 ]);
+  Alcotest.(check bool) "other value is fresh" true (Voting.Index.dirty index);
+  Alcotest.(check int) "one origin for true" 1 (Voting.Index.votes index ~value:true);
+  Alcotest.(check int) "one origin for false" 1 (Voting.Index.votes index ~value:false);
+  (* A second item from a known origin is stored but adds no vote. *)
+  Voting.Index.add index (item (1, 2) [ p 3.0 2.0 ]);
+  Alcotest.(check int) "known origin adds no vote" 1 (Voting.Index.votes index ~value:true);
+  Alcotest.(check int) "but its points are kept" 2
+    (List.length (Voting.Index.items index ~value:true))
+
+(* The incremental index must be extensionally equal to the reference
+   full-scan quorum on randomized traces that include Byzantine replays,
+   duplicate origins, mixed values and multi-point (HEARD) items. *)
+let prop_index_matches_reference =
+  QCheck.Test.make ~name:"Index.decide/votes = reference quorum on Byzantine traces"
+    ~count:120
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let radius = 1.0 +. Rng.float rng 3.0 in
+      let index = Voting.Index.create () in
+      let trace = ref [] in
+      let ok = ref true in
+      for _ = 1 to 30 do
+        let next =
+          match !trace with
+          | old :: _ when Rng.bernoulli rng 0.3 ->
+            (* Byzantine replay: resend some earlier item verbatim. *)
+            ignore old;
+            List.nth !trace (Rng.int rng (List.length !trace))
+          | _ ->
+            let origin = (Rng.int rng 5, Rng.int rng 5) in
+            let value = Rng.bool rng in
+            let points =
+              List.init (1 + Rng.int rng 2) (fun _ ->
+                  p (Rng.float rng 12.0) (Rng.float rng 12.0))
+            in
+            { Voting.origin; value; points }
+        in
+        trace := next :: !trace;
+        Voting.Index.add index next;
+        List.iter
+          (fun value ->
+            if Voting.Index.votes index ~value <> Voting.distinct_origins ~value !trace then
+              ok := false;
+            List.iter
+              (fun need ->
+                let reference = Voting.quorum ~radius ~need ~value !trace in
+                if Voting.Index.decide index ~radius ~need ~value <> reference then ok := false;
+                (* While the index is clean, skipping the re-scan is sound:
+                   the last computed answer still matches the reference. *)
+                Voting.Index.clear_dirty index;
+                if Voting.Index.decide index ~radius ~need ~value <> reference then ok := false)
+              [ 0; 1; 2; 3 ])
+          [ true; false ]
+      done;
+      !ok)
+
+let qtests =
+  [
+    prop_clustered_origins_always_quorum;
+    prop_quorum_monotone_in_need;
+    prop_index_matches_reference;
+  ]
 
 let () =
   Alcotest.run "voting"
@@ -120,6 +211,11 @@ let () =
           Alcotest.test_case "values do not mix" `Quick test_quorum_values_do_not_mix;
           Alcotest.test_case "heard needs both points" `Quick test_quorum_heard_needs_both_points;
           Alcotest.test_case "trivial cases" `Quick test_quorum_trivial_cases;
+        ] );
+      ( "incremental",
+        [
+          Alcotest.test_case "tally counts" `Quick test_tally;
+          Alcotest.test_case "dirty bit and replays" `Quick test_index_dirty_and_replays;
         ] );
       ("properties", List.map (fun t -> QCheck_alcotest.to_alcotest ~long:false t) qtests);
     ]
