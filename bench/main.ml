@@ -170,8 +170,15 @@ let microbenchmarks () =
     (fun test ->
       let raw = Benchmark.all cfg instances test in
       let results = Analyze.all ols (List.hd instances) raw in
-      Hashtbl.iter
-        (fun name ols_result ->
+      (* Rows in kernel-name order, not unspecified hash order: the table
+         feeds BENCH_results.json comparisons and must be stable. *)
+      let rows =
+        List.sort
+          (fun (a, _) (b, _) -> String.compare a b)
+          (Hashtbl.fold (fun name r acc -> (name, r) :: acc) results [])
+      in
+      List.iter
+        (fun (name, ols_result) ->
           let time_cell =
             match Analyze.OLS.estimates ols_result with
             | Some (ns :: _) ->
@@ -187,7 +194,7 @@ let microbenchmarks () =
             | None -> "-"
           in
           Table.add_row table [ name; time_cell; r2_cell ])
-        results)
+        rows)
     tests;
   Table.print table
 

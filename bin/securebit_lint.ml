@@ -2,14 +2,29 @@
 
    `securebit_lint lint scenario`      validate scenario specs against the
                                        analytic bounds before simulating;
+   `securebit_lint lint source`        AST lint for determinism and
+                                       concurrency hazards in the sources;
    `securebit_lint check twobit`       bounded model checking of the 2Bit
                                        frame and the 1Hop stream;
+   `securebit_lint check vote`         exhaustive checking of the multi-hop
+                                       voting layer (MultiPathRB quorum,
+                                       NeighborWatchRB frontier vote);
    `securebit_lint check determinism`  run scenarios twice and diff the
                                        round-by-round channel traces.
 
-   `dune build @lint` runs all three over the bundled preset scenarios. *)
+   `dune build @lint` runs all five (scenario lint over the bundled
+   presets, source lint over the whole tree).  `--json` on the lint
+   subcommands emits machine-readable diagnostics for CI and editors. *)
 
 open Cmdliner
+
+let json_arg =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:
+          "Emit diagnostics as JSON on stdout instead of text.  Exit status is unchanged: \
+           non-zero iff any error-severity finding.")
 
 let known_scenarios () = String.concat ", " (List.map fst Scenario.presets)
 
@@ -36,26 +51,49 @@ let names_arg =
 
 (* --- lint scenario ----------------------------------------------------- *)
 
+let scenario_diag_json (d : Lint.diagnostic) =
+  Json.Obj
+    [
+      ("severity", Json.String (Lint.severity_label d.severity));
+      ("scenario", Json.String d.scenario);
+      ("field", Json.String d.field);
+      ("code", Json.String d.code);
+      ("message", Json.String d.message);
+    ]
+
 let lint_scenario_cmd =
   let strict_arg =
     Arg.(value & flag & info [ "strict" ] ~doc:"Treat warnings as errors (exit 1).")
   in
-  let run all strict names =
+  let run all strict json names =
     let targets = resolve_targets all names in
     let failed = ref false in
-    let total_warnings = ref 0 in
+    let all_diags = ref [] in
     List.iter
       (fun (name, spec) ->
         let diags = Lint.lint ~name spec in
-        List.iter (fun d -> print_endline (Lint.diagnostic_to_string d)) diags;
-        total_warnings := !total_warnings + Lint.count Lint.Warning diags;
+        all_diags := !all_diags @ diags;
+        if not json then List.iter (fun d -> print_endline (Lint.diagnostic_to_string d)) diags;
         if Lint.has_errors diags || (strict && Lint.count Lint.Warning diags > 0) then
           failed := true
-        else if diags = [] then Printf.printf "%s: ok\n" name
-        else Printf.printf "%s: ok (%d diagnostic(s))\n" name (List.length diags))
+        else if not json then
+          if diags = [] then Printf.printf "%s: ok\n" name
+          else Printf.printf "%s: ok (%d diagnostic(s))\n" name (List.length diags))
       targets;
-    Printf.printf "linted %d scenario(s): %s\n" (List.length targets)
-      (if !failed then "FAILED" else "ok");
+    if json then
+      print_string
+        (Json.to_string_pretty
+           (Json.Obj
+              [
+                ("analyzer", Json.String "scenario-lint");
+                ("scenarios", Json.Int (List.length targets));
+                ("errors", Json.Int (Lint.count Lint.Error !all_diags));
+                ("warnings", Json.Int (Lint.count Lint.Warning !all_diags));
+                ("diagnostics", Json.List (List.map scenario_diag_json !all_diags));
+              ]))
+    else
+      Printf.printf "linted %d scenario(s): %s\n" (List.length targets)
+        (if !failed then "FAILED" else "ok");
     if !failed then exit 1
   in
   Cmd.v
@@ -63,12 +101,62 @@ let lint_scenario_cmd =
        ~doc:
          "Validate scenario specs against the paper's resilience bounds, the square-partition \
           geometry preconditions and parameter sanity.")
-    Term.(const run $ all_arg $ strict_arg $ names_arg)
+    Term.(const run $ all_arg $ strict_arg $ json_arg $ names_arg)
+
+(* --- lint source -------------------------------------------------------- *)
+
+let source_diag_json (d : Source_lint.diagnostic) =
+  Json.Obj
+    [
+      ("severity", Json.String (Lint.severity_label d.severity));
+      ("file", Json.String d.file);
+      ("line", Json.Int d.line);
+      ("code", Json.String d.code);
+      ("message", Json.String d.message);
+    ]
+
+let lint_source_cmd =
+  let paths_arg =
+    Arg.(
+      value
+      & pos_all string [ "lib"; "bin"; "bench"; "examples" ]
+      & info [] ~docv:"PATH" ~doc:"Files or directories to lint (default: lib bin bench examples).")
+  in
+  let run json paths =
+    let files = Source_lint.source_files paths in
+    let diags = Source_lint.lint_paths paths in
+    if json then
+      print_string
+        (Json.to_string_pretty
+           (Json.Obj
+              [
+                ("analyzer", Json.String "source-lint");
+                ("files", Json.Int (List.length files));
+                ( "errors",
+                  Json.Int
+                    (List.length (List.filter (fun d -> d.Source_lint.severity = Lint.Error) diags))
+                );
+                ("diagnostics", Json.List (List.map source_diag_json diags));
+              ]))
+    else begin
+      List.iter (fun d -> print_endline (Source_lint.diagnostic_to_string d)) diags;
+      Printf.printf "linted %d file(s): %s\n" (List.length files)
+        (if Source_lint.has_errors diags then "FAILED" else "ok")
+    end;
+    if Source_lint.has_errors diags then exit 1
+  in
+  Cmd.v
+    (Cmd.info "source"
+       ~doc:
+         "AST-level lint (compiler-libs) flagging determinism and concurrency hazards: Hashtbl \
+          iteration order, polymorphic compare/hash, ambient Random, wall-clock reads and \
+          Domain/Atomic use outside the job pool.")
+    Term.(const run $ json_arg $ paths_arg)
 
 let lint_group =
   Cmd.group
-    (Cmd.info "lint" ~doc:"Static validation of simulation configurations.")
-    [ lint_scenario_cmd ]
+    (Cmd.info "lint" ~doc:"Static validation of configurations and sources.")
+    [ lint_scenario_cmd; lint_source_cmd ]
 
 (* --- check twobit ------------------------------------------------------ *)
 
@@ -132,6 +220,71 @@ let check_twobit_cmd =
           agreement invariants.")
     Term.(const run $ budget_arg $ receivers_arg $ msg_len_arg $ seed_violation_arg)
 
+(* --- check vote --------------------------------------------------------- *)
+
+let report_vote label = function
+  | Vote_check.Pass { configurations; states } ->
+    Printf.printf "%s: ok — %d Byzantine configurations, %d checked states, all invariants hold\n"
+      label configurations states;
+    true
+  | Vote_check.Fail ce ->
+    Printf.printf "%s: VIOLATION\n%s\n" label (Vote_check.counterexample_to_string ce);
+    false
+
+let check_vote_cmd =
+  let radius_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "radius" ] ~docv:"R"
+          ~doc:"Neighbourhood radius 1-3 to check (default: all three).")
+  in
+  let seed_violation_arg =
+    Arg.(
+      value & flag
+      & info [ "seed-violation" ]
+          ~doc:
+            "Plant a quorum off-by-one (MultiPathRB commits at t instead of t+1 pieces of \
+             evidence, NeighborWatchRB commits one vote early) to demonstrate a counterexample \
+             trace.")
+  in
+  let run radius seed_violation =
+    let radii =
+      match radius with
+      | 0 -> [ 1; 2; 3 ]
+      | r when r >= 1 && r <= 3 -> [ r ]
+      | r ->
+        Printf.eprintf "radius %d out of range (the checker enumerates radii 1-3)\n" r;
+        exit 2
+    in
+    let mp_impl = if seed_violation then Vote_check.mp_seeded else Vote_check.mp_reference in
+    let nw_impl = if seed_violation then Vote_check.nw_seeded else Vote_check.nw_reference in
+    let ok = ref true in
+    List.iter
+      (fun r ->
+        let tally label outcome = if not (report_vote label outcome) then ok := false in
+        tally
+          (Printf.sprintf "MultiPathRB quorum    (R=%d, t=%d)" r
+             (Bounds.multi_path_tolerance ~radius:r))
+          (Vote_check.check_multi_path ~impl:mp_impl ~radius:r ());
+        tally
+          (Printf.sprintf "NeighborWatchRB vote  (R=%d, 1-voting)" r)
+          (Vote_check.check_neighbor_watch ~impl:nw_impl ~votes:1 ~radius:r ());
+        tally
+          (Printf.sprintf "NeighborWatchRB vote  (R=%d, 2-voting)" r)
+          (Vote_check.check_neighbor_watch ~impl:nw_impl ~votes:2 ~radius:r ()))
+      radii;
+    if not !ok then exit 1
+  in
+  Cmd.v
+    (Cmd.info "vote"
+       ~doc:
+         "Exhaustive checking of the multi-hop voting layer: enumerate Byzantine evidence \
+          injection/withholding/replay patterns against MultiPathRB's t+1 common-neighbourhood \
+          quorum (incremental index, full scan and an independent reference implementation must \
+          agree) and liar stream patterns against NeighborWatchRB's frontier vote (1- and \
+          2-voting).")
+    Term.(const run $ radius_arg $ seed_violation_arg)
+
 (* --- check determinism ------------------------------------------------- *)
 
 let check_determinism_cmd =
@@ -164,7 +317,7 @@ let check_determinism_cmd =
 let check_group =
   Cmd.group
     (Cmd.info "check" ~doc:"Dynamic verifiers: model checking and determinism.")
-    [ check_twobit_cmd; check_determinism_cmd ]
+    [ check_twobit_cmd; check_vote_cmd; check_determinism_cmd ]
 
 let () =
   let doc = "protocol-invariant verifier and scenario linter (static checking)" in

@@ -8,24 +8,20 @@
 
    Run with: dune exec examples/clustered_network.exe *)
 
+(* The "clustered_network" preset carries the clustered deployment; the
+   uniform control run swaps only the deployment, everything else equal. *)
 let run deployment faults =
-  let spec =
-    {
-      Scenario.default with
-      map_w = 15.0;
-      map_h = 15.0;
-      deployment;
-      radius = 4.0;
-      faults;
-      seed = 21;
-    }
-  in
+  let spec = { (Scenario.preset_exn "clustered_network") with Scenario.deployment; faults } in
   let result = Scenario.run spec in
   (Scenario.summarize result, result)
 
 let () =
-  let uniform = Scenario.Uniform 400 in
-  let clustered = Scenario.Clustered { n = 400; clusters = 9; stddev = 1.2 } in
+  let clustered = (Scenario.preset_exn "clustered_network").Scenario.deployment in
+  let uniform =
+    match clustered with
+    | Scenario.Clustered { n; _ } -> Scenario.Uniform n
+    | _ -> assert false
+  in
   let table =
     Table.create ~title:"uniform vs clustered deployment (NeighborWatchRB)"
       ~columns:[ "deployment"; "liars"; "reached"; "delivered"; "correct of delivered" ]

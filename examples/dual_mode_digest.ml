@@ -9,19 +9,8 @@
    Run with: dune exec examples/dual_mode_digest.exe *)
 
 let () =
-  let message = Bitvec.random (Rng.create 99) 32 in
-  let base =
-    {
-      Scenario.default with
-      map_w = 12.0;
-      map_h = 12.0;
-      deployment = Scenario.Uniform 250;
-      radius = 3.0;
-      message;
-      faults = Scenario.Lying 0.12;
-      seed = 11;
-    }
-  in
+  let base = Scenario.preset_exn "dual_mode_digest" in
+  let message = base.Scenario.message in
   Printf.printf "payload: %s (32 bits)\n" (Bitvec.to_string message);
   Printf.printf "12%% of the devices flood a forged payload and lie about its digest\n\n";
   let result = Dual_mode.run { Dual_mode.base; digest_len = 8 } in

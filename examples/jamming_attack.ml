@@ -13,19 +13,17 @@ let () =
     Table.create ~title:"veto-round jamming vs completion time"
       ~columns:[ "budget per jammer"; "rounds"; "delay vs clean"; "completed" ]
   in
+  (* The "jamming_attack" preset fixes everything but the budget, which
+     the sweep below overrides point by point. *)
   let run budget =
-    let spec =
-      {
-        Scenario.default with
-        map_w = 12.0;
-        map_h = 12.0;
-        deployment = Scenario.Uniform 220;
-        radius = 4.0;
-        faults = Scenario.Jamming { fraction = 0.1; budget; probability = 0.2 };
-        seed = 5;
-      }
+    let base = Scenario.preset_exn "jamming_attack" in
+    let faults =
+      match base.Scenario.faults with
+      | Scenario.Jamming { fraction; probability; budget = _ } ->
+          Scenario.Jamming { fraction; budget; probability }
+      | _ -> assert false
     in
-    Scenario.summarize (Scenario.run spec)
+    Scenario.summarize (Scenario.run { base with Scenario.faults })
   in
   let clean = run 0 in
   let points = ref [] in

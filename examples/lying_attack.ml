@@ -7,18 +7,14 @@
 
    Run with: dune exec examples/lying_attack.exe *)
 
+(* The "lying_attack" preset fixes the map and deployment; the sweep
+   only varies the protocol and the liar fraction. *)
 let run protocol fraction =
   let spec =
     {
-      Scenario.default with
-      map_w = 12.0;
-      map_h = 12.0;
-      deployment = Scenario.Uniform 300;
-      radius = 2.5;
-      message = Bitvec.of_string "1011";
-      protocol;
+      (Scenario.preset_exn "lying_attack") with
+      Scenario.protocol;
       faults = (if fraction = 0.0 then Scenario.No_faults else Scenario.Lying fraction);
-      seed = 7;
     }
   in
   Scenario.run spec

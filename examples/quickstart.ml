@@ -3,16 +3,24 @@
 
      deployment -> radio -> topology -> protocol context -> machines -> engine
 
+   The parameters come from the "quickstart" preset, so the scenario
+   linter validates exactly this configuration.
+
    Run with: dune exec examples/quickstart.exe *)
 
 let () =
-  (* 1. Deploy 120 devices uniformly at random on a 10x10 map. *)
-  let rng = Rng.create 2024 in
-  let deployment = Deployment.uniform rng ~n:120 ~width:10.0 ~height:10.0 in
+  let spec = Scenario.preset_exn "quickstart" in
 
-  (* 2. Free-space radio with decode range 3 and carrier sensing beyond it
+  (* 1. Deploy the devices uniformly at random (120 on a 10x10 map). *)
+  let n = match spec.Scenario.deployment with Scenario.Uniform n -> n | _ -> assert false in
+  let rng = Rng.create spec.Scenario.seed in
+  let deployment =
+    Deployment.uniform rng ~n ~width:spec.Scenario.map_w ~height:spec.Scenario.map_h
+  in
+
+  (* 2. Free-space radio with decode range R and carrier sensing beyond it
         (the WSNet-like model of the paper's simulations). *)
-  let radio = Propagation.friis 3.0 in
+  let radio = Propagation.friis spec.Scenario.radius in
   let topology = Topology.build deployment radio in
   Printf.printf "deployed %d devices, average degree %.1f, hop diameter %d\n"
     (Deployment.size deployment) (Topology.avg_degree topology)
@@ -20,10 +28,12 @@ let () =
 
   (* 3. The source sits at the centre and broadcasts four bits. *)
   let source = Deployment.center_node deployment in
-  let message = Bitvec.of_string "1011" in
+  let message = spec.Scenario.message in
 
   (* 4. NeighborWatchRB context: R/3 squares, TDMA schedule, 1-voting. *)
-  let config = Neighbor_watch.default_config ~radius:3.0 ~msg_len:(Bitvec.length message) in
+  let config =
+    Neighbor_watch.default_config ~radius:spec.Scenario.radius ~msg_len:(Bitvec.length message)
+  in
   let ctx = Neighbor_watch.make_ctx config ~topology ~source in
   let machines =
     Array.init (Deployment.size deployment) (fun i ->

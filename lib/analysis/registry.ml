@@ -94,5 +94,5 @@ let find id =
 
 let () =
   (* Ids are the registry's primary key; catch duplicates at startup. *)
-  if List.length (List.sort_uniq compare ids) <> List.length ids then
+  if List.length (List.sort_uniq String.compare ids) <> List.length ids then
     invalid_arg "Registry: duplicate experiment ids"

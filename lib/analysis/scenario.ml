@@ -260,6 +260,17 @@ let presets =
         radius = 4.0;
         seed = 21;
       } );
+    ( "dual_mode_digest",
+      {
+        default with
+        map_w = 12.0;
+        map_h = 12.0;
+        deployment = Uniform 250;
+        radius = 3.0;
+        message = Bitvec.random (Rng.create 99) 32;
+        faults = Lying 0.12;
+        seed = 11;
+      } );
     ( "multi_path",
       {
         default with
@@ -284,6 +295,14 @@ let presets =
   ]
 
 let preset name = List.assoc_opt name presets
+
+let preset_exn name =
+  match preset name with
+  | Some spec -> spec
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Scenario.preset_exn: unknown preset %s (known: %s)" name
+         (String.concat ", " (List.map fst presets)))
 
 type summary = {
   honest_nodes : int;

@@ -65,10 +65,17 @@ val run : ?tap:(Engine.round_digest -> unit) -> spec -> result
 
 val presets : (string * spec) list
 (** Named specs mirroring the bundled examples ([examples/<name>.ml]); the
-    [securebit_lint] checkers and the [@lint] alias run over these. *)
+    [securebit_lint] checkers and the [@lint] alias run over these.  The
+    examples build their specs from these entries (via {!preset_exn}), so
+    the scenario linter's preset pass covers exactly what the examples
+    run. *)
 
 val preset : string -> spec option
 (** Look up a preset by name. *)
+
+val preset_exn : string -> spec
+(** Like {!preset}; raises [Invalid_argument] naming the known presets.
+    For the bundled examples, where a missing preset is a bug. *)
 
 type summary = {
   honest_nodes : int;  (** honest nodes other than the source *)

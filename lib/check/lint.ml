@@ -21,6 +21,30 @@ let pp_diagnostic fmt d =
     d.code
 
 let diagnostic_to_string d = Format.asprintf "%a" pp_diagnostic d
+
+(* Every code the linter can emit, in rough emission order.  Pinned by the
+   golden test in test/test_check.ml: renaming or dropping a code is a
+   breaking change for anything filtering [securebit_lint --json] output. *)
+let codes =
+  [
+    "map-dims";
+    "radius";
+    "message";
+    "cap";
+    "deployment";
+    "channel";
+    "votes";
+    "square-geometry";
+    "sparse-squares";
+    "unused-field";
+    "tolerance";
+    "koo-impossibility";
+    "relay-limit";
+    "fraction";
+    "budget";
+    "probability";
+    "byz-tolerance";
+  ]
 let count severity diags = List.length (List.filter (fun d -> d.severity = severity) diags)
 let has_errors diags = List.exists (fun d -> d.severity = Error) diags
 

@@ -25,6 +25,11 @@ type diagnostic = {
   message : string;
 }
 
+val codes : string list
+(** Every stable diagnostic code this linter can emit.  Part of the
+    machine-readable interface ([securebit_lint lint scenario --json]);
+    pinned by a golden test. *)
+
 val lint : name:string -> Scenario.spec -> diagnostic list
 (** All diagnostics for one spec, in field order. *)
 

@@ -1,0 +1,196 @@
+(* AST-level lint for determinism and concurrency hazards, built on
+   compiler-libs: parse each .ml file and walk the Parsetree for value and
+   module references that the byte-identical --jobs N guarantee cannot
+   tolerate.  Purely syntactic by design — no type information — so module
+   aliasing can hide a use from it; the rules target the spellings that
+   actually appear in idiomatic code. *)
+
+type diagnostic = {
+  severity : Lint.severity;
+  file : string;
+  line : int;
+  code : string;
+  message : string;
+}
+
+let codes =
+  [
+    "hashtbl-order";
+    "poly-compare";
+    "poly-hash";
+    "ambient-random";
+    "wall-clock";
+    "domain-outside-run";
+    "parse-error";
+  ]
+
+(* Audited-sound uses.  The two protocol [progress] counters fold a
+   commutative sum; the engine's fingerprint hashes an explicit canonical
+   encoding; the bench table folds into a list it immediately sorts. *)
+let allowlist =
+  [
+    ("lib/core/multi_path.ml", "hashtbl-order");
+    ("lib/core/neighbor_watch.ml", "hashtbl-order");
+    ("lib/sim/engine.ml", "poly-hash");
+    ("bench/main.ml", "hashtbl-order");
+  ]
+
+let severity_of _code = Lint.Error
+
+let pp_diagnostic fmt d =
+  Format.fprintf fmt "%s:%d: %s: %s [%s]" d.file d.line (Lint.severity_label d.severity) d.message
+    d.code
+
+let diagnostic_to_string d = Format.asprintf "%a" pp_diagnostic d
+let has_errors diags = List.exists (fun d -> d.severity = Lint.Error) diags
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix && String.sub s 0 (String.length prefix) = prefix
+
+let ends_with ~suffix s =
+  let ls = String.length suffix and l = String.length s in
+  l >= ls && String.sub s (l - ls) ls = suffix
+
+(* Is [path] inside directory [dir] (given relative to the repo root)?
+   Matches both "lib/run/pool.ml" and absolute/sandboxed spellings. *)
+let in_dir dir path =
+  starts_with ~prefix:(dir ^ "/") path
+  ||
+  let needle = "/" ^ dir ^ "/" in
+  let ln = String.length needle and lp = String.length path in
+  let rec scan i = i + ln <= lp && (String.sub path i ln = needle || scan (i + 1)) in
+  scan 0
+
+let allowlisted path code =
+  List.exists (fun (f, c) -> c = code && (path = f || ends_with ~suffix:("/" ^ f) path)) allowlist
+
+(* The rule table: a referenced value path either is clean or maps to a
+   diagnostic.  [exempt] carves out the directories where the construct is
+   the harness's business (wall time around runs, the job pool). *)
+let classify ident =
+  match ident with
+  | "Hashtbl.iter" | "Hashtbl.fold" | "Stdlib.Hashtbl.iter" | "Stdlib.Hashtbl.fold" ->
+    Some
+      ( "hashtbl-order",
+        ident
+        ^ " iterates in unspecified hash order; collect into a list and sort with a typed \
+           comparator (or prove commutativity and allowlist)" )
+  | "compare" | "Stdlib.compare" ->
+    Some
+      ( "poly-compare",
+        "polymorphic compare is order-unstable across representation changes; use \
+         Float.compare/Int.compare/String.compare or a derived comparator" )
+  | "Hashtbl.hash" | "Hashtbl.hash_param" | "Stdlib.Hashtbl.hash" ->
+    Some ("poly-hash", ident ^ " is representation-dependent; hash a canonical encoding instead")
+  | "Unix.gettimeofday" | "Unix.time" | "Sys.time" ->
+    Some
+      ( "wall-clock",
+        ident ^ " reads the wall clock; protocol logic is round-driven (timing belongs under \
+                 lib/run/ or bench/)" )
+  | _ ->
+    if starts_with ~prefix:"Random." ident then
+      Some
+        ( "ambient-random",
+          ident ^ " draws from the ambient generator; simulations must use the splittable, \
+                   explicitly seeded Rng" )
+    else if starts_with ~prefix:"Domain." ident || starts_with ~prefix:"Atomic." ident then
+      Some
+        ( "domain-outside-run",
+          ident ^ ": parallelism is confined to the deterministic job pool in lib/run/" )
+    else None
+
+let exempt code path =
+  match code with
+  | "wall-clock" -> in_dir "lib/run" path || in_dir "bench" path
+  | "domain-outside-run" -> in_dir "lib/run" path
+  | _ -> false
+
+let module_code head =
+  match head with
+  | "Random" -> Some ("ambient-random", "module Random is the ambient generator; use Rng")
+  | "Domain" | "Atomic" ->
+    Some
+      ( "domain-outside-run",
+        "module " ^ head ^ ": parallelism is confined to the deterministic job pool in lib/run/" )
+  | _ -> None
+
+let lint_string ~path contents =
+  let diags = ref [] in
+  let emit code message (loc : Location.t) =
+    if not (exempt code path || allowlisted path code) then
+      diags :=
+        {
+          severity = severity_of code;
+          file = path;
+          line = loc.Location.loc_start.Lexing.pos_lnum;
+          code;
+          message;
+        }
+        :: !diags
+  in
+  let check_ident txt loc =
+    match classify (String.concat "." (Longident.flatten txt)) with
+    | Some (code, message) -> emit code message loc
+    | None -> ()
+  in
+  let check_module txt loc =
+    match Longident.flatten txt with
+    | head :: _ -> (
+      match module_code head with Some (code, message) -> emit code message loc | None -> ())
+    | [] -> ()
+  in
+  let default = Ast_iterator.default_iterator in
+  let iterator =
+    {
+      default with
+      expr =
+        (fun it (e : Parsetree.expression) ->
+          (match e.pexp_desc with
+          | Parsetree.Pexp_ident { txt; _ } -> check_ident txt e.Parsetree.pexp_loc
+          | _ -> ());
+          default.expr it e);
+      module_expr =
+        (fun it (m : Parsetree.module_expr) ->
+          (match m.pmod_desc with
+          | Parsetree.Pmod_ident { txt; _ } -> check_module txt m.Parsetree.pmod_loc
+          | _ -> ());
+          default.module_expr it m);
+    }
+  in
+  let lexbuf = Lexing.from_string contents in
+  Location.init lexbuf path;
+  match Parse.implementation lexbuf with
+  | exception _ ->
+    [
+      {
+        severity = Lint.Error;
+        file = path;
+        line = lexbuf.Lexing.lex_curr_p.Lexing.pos_lnum;
+        code = "parse-error";
+        message = "file does not parse as an OCaml implementation";
+      };
+    ]
+  | structure ->
+    iterator.structure iterator structure;
+    List.sort (fun a b -> Int.compare a.line b.line) (List.rev !diags)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let lint_file path = lint_string ~path (read_file path)
+
+let rec collect acc path =
+  if Sys.is_directory path then
+    Array.fold_left
+      (fun acc entry ->
+        if entry = "" || entry.[0] = '_' || entry.[0] = '.' then acc
+        else collect acc (Filename.concat path entry))
+      acc (Sys.readdir path)
+  else if Filename.check_suffix path ".ml" then path :: acc
+  else acc
+
+let source_files paths = List.sort String.compare (List.fold_left collect [] paths)
+let lint_paths paths = List.concat_map lint_file (source_files paths)

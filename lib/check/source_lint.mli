@@ -1,0 +1,64 @@
+(** Source-level determinism and concurrency lint.
+
+    The repo's headline reproducibility guarantee — [--jobs N] runs are
+    byte-identical to sequential runs — is easy to break with a single
+    innocuous call: iterating a [Hashtbl] into output, comparing protocol
+    records with the polymorphic [compare], drawing from the ambient
+    [Random] state, or timestamping protocol decisions.  This pass parses
+    every [.ml] file (via compiler-libs) and flags those hazards
+    statically, so [dune build @lint] catches them before any simulation
+    diverges.
+
+    Rules and their stable codes (all [Error] severity):
+    - [hashtbl-order]: [Hashtbl.iter]/[Hashtbl.fold] — iteration order is
+      unspecified; collect and sort, or prove commutativity and allowlist;
+    - [poly-compare]: the polymorphic [compare] — silently order-unstable
+      under representation changes; use [Float.compare]/[Int.compare]/
+      [String.compare] or a derived comparator;
+    - [poly-hash]: [Hashtbl.hash]/[Hashtbl.hash_param] on protocol values;
+    - [ambient-random]: any use of [Random] — simulations must draw from
+      the splittable, explicitly seeded {!Rng};
+    - [wall-clock]: [Unix.gettimeofday]/[Unix.time]/[Sys.time] outside
+      [lib/run/] and [bench/] (timing the harness is fine; timing protocol
+      logic is not);
+    - [domain-outside-run]: [Domain]/[Atomic] outside [lib/run/] — all
+      parallelism is confined to the deterministic job pool;
+    - [parse-error]: the file failed to parse.
+
+    Findings at locations listed in {!allowlist} (file suffix, code) are
+    suppressed: those are the audited, order-insensitive uses. *)
+
+type diagnostic = {
+  severity : Lint.severity;
+  file : string;
+  line : int;
+  code : string;  (** stable short code, e.g. ["hashtbl-order"] *)
+  message : string;
+}
+
+val codes : string list
+(** Every code this pass can emit, for golden tests. *)
+
+val allowlist : (string * string) list
+(** [(file suffix, code)] pairs suppressed as audited-sound, e.g.
+    commutative [Hashtbl.fold]s and the engine's explicit fingerprint
+    hash. *)
+
+val lint_string : path:string -> string -> diagnostic list
+(** Lint source [contents] as if read from [path] (path-based exemptions
+    and allowlists apply).  Used by tests to check fixtures without
+    touching the filesystem. *)
+
+val lint_file : string -> diagnostic list
+
+val source_files : string list -> string list
+(** The [.ml] files {!lint_paths} would visit, in sorted order. *)
+
+val lint_paths : string list -> diagnostic list
+(** Lint every [.ml] file under the given files/directories (recursive,
+    skipping [_build]-style and hidden directories), in sorted path
+    order. *)
+
+val has_errors : diagnostic list -> bool
+val pp_diagnostic : Format.formatter -> diagnostic -> unit
+val diagnostic_to_string : diagnostic -> string

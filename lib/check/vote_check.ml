@@ -1,0 +1,425 @@
+(* Exhaustive checking of the multi-hop voting layer: MultiPathRB's
+   common-neighbourhood quorum and NeighborWatchRB's frontier vote.  See the
+   interface for the enumeration spaces and invariants. *)
+
+type step = { index : int; description : string }
+
+type counterexample = {
+  protocol : string;
+  radius : int;
+  invariant : string;
+  detail : string;
+  setup : string;
+  trace : step list;
+}
+
+type outcome = Pass of { configurations : int; states : int } | Fail of counterexample
+
+exception Violation of counterexample
+
+(* Event descriptions are kept as thunks (newest first) and rendered only
+   when a counterexample is actually built: the pass path runs hundreds of
+   thousands of events and must not pay for string formatting. *)
+let materialize events =
+  List.mapi (fun index render -> { index; description = render () }) (List.rev events)
+
+let pp_counterexample fmt ce =
+  Format.fprintf fmt "@[<v>%s invariant violated: %s@,  %s@,  setup: %s@,  trace:" ce.protocol
+    ce.invariant ce.detail ce.setup;
+  List.iter (fun s -> Format.fprintf fmt "@,    %2d  %s" s.index s.description) ce.trace;
+  Format.fprintf fmt "@]"
+
+let counterexample_to_string ce = Format.asprintf "%a" pp_counterexample ce
+
+(* --- MultiPathRB ------------------------------------------------------- *)
+
+type mp_impl = {
+  mp_name : string;
+  mp_decide : Voting.Index.t -> radius:float -> need:int -> value:bool -> bool;
+}
+
+let mp_reference =
+  {
+    mp_name = "Index.decide";
+    mp_decide = (fun index ~radius ~need ~value -> Voting.Index.decide index ~radius ~need ~value);
+  }
+
+let mp_seeded =
+  {
+    mp_name = "Index.decide[need-1]";
+    mp_decide =
+      (fun index ~radius ~need ~value -> Voting.Index.decide index ~radius ~need:(need - 1) ~value);
+  }
+
+(* One enumerated neighbourhood at integer radius [r]:
+
+   - honest origins on the lattice [(i mod 4, i / 4)], all inside one
+     2R-window, each contributing a COMMIT(true); origin #2 additionally
+     contributes a HEARD(true) with a nearby witness (same origin — must
+     not add a vote);
+   - Byzantine origins split into behaviour classes: in-window fakes on
+     core slots left of the cluster, double voters (COMMIT of both values
+     from one origin), verbatim replays, rim origins exactly 2R away
+     (boundary of the common window), origins just outside any common
+     window, and HEARD(false) items whose witness is far outside every
+     window (the multi-point fit must disqualify them). *)
+let check_multi_path ?(impl = mp_reference) ~radius:r () =
+  let radius = float_of_int r in
+  let tol = Bounds.multi_path_tolerance ~radius:r in
+  let need = tol + 1 in
+  let core_slots =
+    let xs = match r with 1 -> [] | 2 -> [ -1 ] | _ -> [ -1; -2; -3 ] in
+    Array.of_list
+      (List.concat_map (fun x -> List.map (fun y -> (x, y)) [ -1; 0; 1; 2 ]) xs)
+  in
+  let configurations = ref 0 and states = ref 0 in
+  let pt x y = Point.make (float_of_int x) (float_of_int y) in
+  let rec interleave a b =
+    match (a, b) with [], rest | rest, [] -> rest | x :: a', y :: b' -> x :: y :: interleave a' b'
+  in
+  let run ~h ~comp ~order =
+    incr configurations;
+    let n_core, n_both, n_replay, n_rim, n_outside, n_badw = comp in
+    let setup =
+      Printf.sprintf
+        "MultiPathRB R=%d t=%d need=%d honest=%d core=%d both=%d replay=%d rim=%d outside=%d \
+         bad-witness=%d order=%s"
+        r tol need h n_core n_both n_replay n_rim n_outside n_badw
+        (if order = 0 then "honest-first" else "interleaved")
+    in
+    let honest =
+      List.concat
+        (List.init h (fun i ->
+             let x = i mod 4 and y = i / 4 in
+             let commit = { Voting.origin = (x, y); value = true; points = [ pt x y ] } in
+             let ev =
+               (commit, fun () -> Printf.sprintf "honest COMMIT(true) from (%d,%d)" x y)
+             in
+             if i = 2 then
+               let witness = Point.make (float_of_int x +. 0.5) (float_of_int y +. 0.5) in
+               let heard =
+                 { Voting.origin = (x, y); value = true; points = [ pt x y; witness ] }
+               in
+               [
+                 ev;
+                 ( heard,
+                   fun () ->
+                     Printf.sprintf "honest HEARD(true) cause (%d,%d), near witness" x y );
+               ]
+             else [ ev ]))
+    in
+    let byz = ref [] in
+    let add ev = byz := ev :: !byz in
+    let slot = ref 0 in
+    let next_core () =
+      let s = core_slots.(!slot) in
+      incr slot;
+      s
+    in
+    let fake origin points = { Voting.origin; value = false; points } in
+    for _ = 1 to n_core do
+      let x, y = next_core () in
+      add (fake (x, y) [ pt x y ], fun () -> Printf.sprintf "byz COMMIT(false) from (%d,%d)" x y)
+    done;
+    for _ = 1 to n_both do
+      let x, y = next_core () in
+      add (fake (x, y) [ pt x y ], fun () -> Printf.sprintf "byz COMMIT(false) from (%d,%d)" x y);
+      add
+        ( { Voting.origin = (x, y); value = true; points = [ pt x y ] },
+          fun () -> Printf.sprintf "byz COMMIT(true) from (%d,%d) (double voter)" x y )
+    done;
+    for _ = 1 to n_replay do
+      let x, y = next_core () in
+      let it = fake (x, y) [ pt x y ] in
+      add (it, fun () -> Printf.sprintf "byz COMMIT(false) from (%d,%d)" x y);
+      add (it, fun () -> Printf.sprintf "byz replay of COMMIT(false) from (%d,%d)" x y)
+    done;
+    for j = 0 to n_rim - 1 do
+      let x = 2 * r and y = j in
+      add
+        ( fake (x, y) [ pt x y ],
+          fun () -> Printf.sprintf "byz COMMIT(false) from window rim (%d,%d)" x y )
+    done;
+    for j = 0 to n_outside - 1 do
+      let x = (2 * r) + 1 and y = j in
+      add
+        ( fake (x, y) [ pt x y ],
+          fun () -> Printf.sprintf "byz COMMIT(false) from outside window (%d,%d)" x y )
+    done;
+    for _ = 1 to n_badw do
+      let x, y = next_core () in
+      let far = Point.make (10.0 *. radius) (10.0 *. radius) in
+      add
+        ( { Voting.origin = (x, y); value = false; points = [ pt x y; far ] },
+          fun () -> Printf.sprintf "byz HEARD(false) cause (%d,%d), unreachable witness" x y )
+    done;
+    let byz = List.rev !byz in
+    let replay_tail =
+      match honest with
+      | (it, _) :: _ -> [ ((it : Voting.item), fun () -> "byz replay of first honest COMMIT") ]
+      | [] -> []
+    in
+    let events = (match order with 0 -> honest @ byz | _ -> interleave byz honest) @ replay_tail in
+    let index = Voting.Index.create () in
+    let trace = ref [] in
+    let seen = ref [] in
+    let fail invariant detail =
+      raise
+        (Violation
+           { protocol = "MultiPathRB"; radius = r; invariant; detail; setup;
+             trace = materialize !seen })
+    in
+    List.iter
+      (fun (item, render) ->
+        seen := render :: !seen;
+        trace := item :: !trace;
+        Voting.Index.add index item;
+        incr states;
+        List.iter
+          (fun value ->
+            let iv = Voting.Index.votes index ~value in
+            let dv = Voting.distinct_origins ~value !trace in
+            if iv <> dv then
+              fail "mp-votes"
+                (Printf.sprintf "Index.votes ~value:%B = %d but distinct_origins = %d" value iv dv);
+            let a = impl.mp_decide index ~radius ~need ~value in
+            let b = Voting.quorum ~radius ~need ~value !trace in
+            let c = Voting.Reference.quorum ~radius ~need ~value !trace in
+            if not (a = b && b = c) then
+              fail "mp-agreement"
+                (Printf.sprintf "~value:%B: %s = %B, Voting.quorum = %B, Reference.quorum = %B"
+                   value impl.mp_name a b c);
+            if (not value) && a then
+              fail "mp-no-forgery"
+                (Printf.sprintf
+                   "false-value quorum formed with only %d Byzantine origins (need %d)" dv need))
+          [ true; false ])
+      events;
+    if h >= need && not (impl.mp_decide index ~radius ~need ~value:true) then
+      fail "mp-quorum-reached"
+        (Printf.sprintf "%d co-located honest origins did not reach quorum %d" h need)
+  in
+  let cap = min 2 tol in
+  match
+    for n_both = 0 to cap do
+      for n_replay = 0 to cap do
+        for n_rim = 0 to cap do
+          for n_outside = 0 to cap do
+            for n_badw = 0 to cap do
+              let s = n_both + n_replay + n_rim + n_outside + n_badw in
+              if s <= tol then
+                for n_core = 0 to tol - s do
+                  List.iter
+                    (fun h ->
+                      List.iter
+                        (fun order ->
+                          run ~h ~comp:(n_core, n_both, n_replay, n_rim, n_outside, n_badw) ~order)
+                        [ 0; 1 ])
+                    [ tol; need ]
+                done
+            done
+          done
+        done
+      done
+    done
+  with
+  | () -> Pass { configurations = !configurations; states = !states }
+  | exception Violation ce -> Fail ce
+
+(* --- NeighborWatchRB --------------------------------------------------- *)
+
+type nw_impl = { nw_name : string; nw_create : votes:int -> Neighbor_watch.Vote.t }
+
+let nw_reference =
+  { nw_name = "Vote.poll"; nw_create = (fun ~votes -> Neighbor_watch.Vote.create ~votes) }
+
+let nw_seeded =
+  {
+    nw_name = "Vote.poll[votes-1]";
+    nw_create = (fun ~votes -> Neighbor_watch.Vote.create ~votes:(votes - 1));
+  }
+
+let show_vote = function None -> "None" | Some true -> "Some true" | Some false -> "Some false"
+let show_bits bits = String.concat "" (List.map (fun b -> if b then "1" else "0") bits)
+
+(* Drive the real {!Neighbor_watch.Vote} kernel over every assignment of
+   three adjacent-square streams to liars (arbitrary bounded bitstrings,
+   including withholding prefixes) and honest relays (prefixes of the true
+   message), with an optional direct source stream, pushing bits
+   round-robin and re-polling after every arrival.  A from-scratch
+   recomputation of the frontier rule is the oracle at every step. *)
+let check_neighbor_watch ?(impl = nw_reference) ~votes ~radius:r () =
+  let module V = Neighbor_watch.Vote in
+  let truth = [| true; false; true |] in
+  let msg_len = Array.length truth in
+  let configurations = ref 0 and states = ref 0 in
+  let tol =
+    if votes >= 2 then max 0 (Bounds.two_voting_tolerance ~radius:r)
+    else Bounds.neighbor_watch_tolerance ~radius:r
+  in
+  let run ~f ~contents ~src ~replayed =
+    incr configurations;
+    let setup =
+      Printf.sprintf "NeighborWatchRB R=%d votes=%d liars=%d squares=[%s] src=%s replay=%B" r
+        votes f
+        (String.concat "; " (List.map show_bits contents))
+        (match src with None -> "absent" | Some bits -> show_bits bits)
+        replayed
+    in
+    let vote = impl.nw_create ~votes in
+    let square_streams = List.init 3 (fun k -> V.stream (V.Sq k)) in
+    let src_stream = Option.map (fun _ -> V.stream V.Src) src in
+    let all = (match src_stream with Some st -> [ st ] | None -> []) @ square_streams in
+    let shadow =
+      (match (src_stream, src) with
+      | Some st, Some content -> [ (st, true, Array.of_list content, ref 0) ]
+      | _ -> [])
+      @ List.map2
+          (fun st content -> (st, false, Array.of_list content, ref 0))
+          square_streams contents
+    in
+    let committed = Buffer.create 4 in
+    let committed_bit i = Buffer.nth committed i = '1' in
+    let events = ref [] in
+    let fail invariant detail =
+      raise
+        (Violation
+           { protocol = "NeighborWatchRB"; radius = r; invariant; detail; setup;
+             trace = materialize !events })
+    in
+    (* The oracle: recompute the frontier decision from the pushed stream
+       contents alone, with none of the kernel's incremental state. *)
+    let reference_poll () =
+      let c = Buffer.length committed in
+      let qualifies (_, _, content, pushed) =
+        !pushed > c
+        &&
+        let ok = ref true in
+        for j = 0 to c - 1 do
+          if content.(j) <> committed_bit j then ok := false
+        done;
+        !ok
+      in
+      match List.find_opt (fun ((_, is_src, _, _) as s) -> is_src && qualifies s) shadow with
+      | Some (_, _, content, _) -> Some content.(c)
+      | None ->
+        let count v =
+          List.length
+            (List.filter
+               (fun ((_, is_src, content, _) as s) ->
+                 (not is_src) && qualifies s && content.(c) = v)
+               shadow)
+        in
+        if count true >= votes then Some true
+        else if count false >= votes then Some false
+        else None
+    in
+    let rec drain () =
+      if Buffer.length committed < msg_len then begin
+        incr states;
+        let got = V.poll vote ~committed all in
+        let want = reference_poll () in
+        if got <> want then
+          fail "nw-agreement"
+            (Printf.sprintf "%s = %s but reference recomputation = %s at frontier %d"
+               impl.nw_name (show_vote got) (show_vote want) (Buffer.length committed));
+        match got with
+        | Some v ->
+          Buffer.add_char committed (if v then '1' else '0');
+          let i = Buffer.length committed - 1 in
+          events := (fun () -> Printf.sprintf "commit bit %d = %B" i v) :: !events;
+          if f < votes && committed_bit i <> truth.(i) then
+            fail "nw-veto"
+              (Printf.sprintf
+                 "bit %d committed as %B against the true message with only %d liar streams" i v f);
+          drain ()
+        | None -> ()
+      end
+    in
+    let push ((st, _, content, pushed) as _s) =
+      let i = !pushed in
+      let parity = One_hop.parity_of_index i in
+      let data = content.(i) in
+      One_hop.Receiver.push_two_bit (V.receiver st) ~parity ~data;
+      if replayed then One_hop.Receiver.push_two_bit (V.receiver st) ~parity ~data;
+      incr pushed;
+      let name =
+        match V.provider st with V.Src -> "src" | V.Sq k -> Printf.sprintf "sq%d" k
+      in
+      events :=
+        (fun () ->
+          Printf.sprintf "push %s bit %d = %B%s" name i data
+            (if replayed then " (replayed)" else ""))
+        :: !events;
+      drain ()
+    in
+    drain ();
+    for i = 0 to msg_len - 1 do
+      List.iter
+        (fun ((_, _, content, _) as s) -> if i < Array.length content then push s)
+        shadow
+    done;
+    let full bits = List.length bits = msg_len in
+    let honest_full =
+      List.length (List.filteri (fun idx bits -> idx >= f && full bits) contents)
+    in
+    let src_full = match src with Some bits -> full bits | None -> false in
+    if f < votes && (src_full || honest_full >= votes) && Buffer.length committed < msg_len then
+      fail "nw-delivery"
+        (Printf.sprintf "only %d/%d bits committed despite sufficient honest streams"
+           (Buffer.length committed) msg_len)
+  in
+  let rec tuples options k =
+    if k = 0 then [ [] ]
+    else List.concat_map (fun rest -> List.map (fun o -> o :: rest) options) (tuples options (k - 1))
+  in
+  let prefixes =
+    List.init (msg_len + 1) (fun n -> Array.to_list (Array.sub truth 0 n))
+  in
+  let bitstrings =
+    let rec strings len =
+      if len = 0 then [ [] ]
+      else List.concat_map (fun s -> [ true :: s; false :: s ]) (strings (len - 1))
+    in
+    List.concat_map strings [ 0; 1; 2; 3 ]
+  in
+  let src_options = None :: List.map Option.some prefixes in
+  match
+    (* The paper's square veto is an arithmetic consequence of the
+       tolerance: up to t liars cannot fully corrupt [votes] squares of
+       side ⌈R/2⌉ (each square holds ⌈R/2⌉² lattice devices). *)
+    (let squares_corruptible t = t / (((r + 1) / 2) * ((r + 1) / 2)) in
+     for t = 0 to tol do
+       if squares_corruptible t >= votes then
+         raise
+           (Violation
+              {
+                protocol = "NeighborWatchRB";
+                radius = r;
+                invariant = "nw-bound-arithmetic";
+                detail =
+                  Printf.sprintf
+                    "t=%d liars can fully corrupt %d >= %d squares of side %d" t
+                    (squares_corruptible t) votes ((r + 1) / 2);
+                setup = Printf.sprintf "NeighborWatchRB R=%d votes=%d tolerance=%d" r votes tol;
+                trace = [];
+              })
+     done);
+    for f = 0 to 3 do
+      List.iter
+        (fun liars ->
+          List.iter
+            (fun honest ->
+              let contents = liars @ honest in
+              List.iter
+                (fun src ->
+                  List.iter
+                    (fun replayed -> run ~f ~contents ~src ~replayed)
+                    [ false; true ])
+                src_options)
+            (tuples prefixes (3 - f)))
+        (tuples bitstrings f)
+    done
+  with
+  | () -> Pass { configurations = !configurations; states = !states }
+  | exception Violation ce -> Fail ce

@@ -41,7 +41,7 @@ let run config ~topology ~source ~message ~roles ~max_rounds =
       (* Group the vouches by value and apply the common-neighbourhood
          quorum rule. *)
       let values =
-        List.sort_uniq compare (List.map (fun v -> Bitvec.to_string v.value) vouches.(i))
+        List.sort_uniq String.compare (List.map (fun v -> Bitvec.to_string v.value) vouches.(i))
       in
       let decide value_str =
         let items =

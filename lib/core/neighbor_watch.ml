@@ -20,36 +20,118 @@ let default_config ~radius ~msg_len =
 let analytic_config ~radius ~msg_len =
   { (default_config ~radius ~msg_len) with square_side = Squares.analytic_side ~radius }
 
-type provider = Src | Sq of int
+(* The safety-critical voting kernel, factored out so the Vote_check
+   exhaustive verifier can drive exactly the code the protocol runs (the
+   monotone agreement pointers, the once-per-frontier tally, the source
+   override) on enumerated Byzantine stream patterns. *)
+module Vote = struct
+  type provider = Src | Sq of int
 
-type stream = {
-  provider : provider;
-  receiver : One_hop.Receiver.t;
-  mutable agreed : int;
-      (** bits verified equal to the committed prefix — both sides are
-          append-only, so agreement never needs re-checking *)
-  mutable disagrees : bool;  (** a verified bit differed: never a candidate again *)
-  mutable counted : int;
-      (** frontier index at which this stream's vote was tallied; -1 = none *)
-}
+  type stream = {
+    provider : provider;
+    receiver : One_hop.Receiver.t;
+    mutable agreed : int;
+        (* bits verified equal to the committed prefix — both sides are
+           append-only, so agreement never needs re-checking *)
+    mutable disagrees : bool;  (* a verified bit differed: never a candidate again *)
+    mutable counted : int;
+        (* frontier index at which this stream's vote was tallied; -1 = none *)
+  }
+
+  let stream provider =
+    { provider; receiver = One_hop.Receiver.create (); agreed = 0; disagrees = false; counted = -1 }
+
+  let receiver st = st.receiver
+  let provider st = st.provider
+  let agreed st = st.agreed
+  let disagrees st = st.disagrees
+
+  let reset_stream st =
+    st.agreed <- 0;
+    st.disagrees <- false;
+    st.counted <- -1
+
+  type t = {
+    votes : int;
+    tally : Voting.Tally.t;  (* square votes at the current frontier *)
+    mutable frontier : int;  (* frontier index the tally counts for *)
+    mutable src_vote : bool option;  (* the source stream's frontier bit, if heard *)
+  }
+
+  let create ~votes = { votes; tally = Voting.Tally.create (); frontier = -1; src_vote = None }
+  let votes (t : t) = t.votes
+
+  let reset t =
+    t.frontier <- -1;
+    Voting.Tally.reset t.tally;
+    t.src_vote <- None
+
+  let committed_bit (committed : Buffer.t) i = Buffer.nth committed i = '1'
+
+  (* A provider stream can justify bit [c] only if it extends the node's own
+     committed prefix: mixing prefixes of disagreeing streams would deliver a
+     message nobody sent.  Both the committed prefix and the stream are
+     append-only, so the agreement pointer advances monotonically instead of
+     re-walking the whole prefix on every poll. *)
+  let advance_agreement ~committed st =
+    let c = Buffer.length committed in
+    let received = One_hop.Receiver.received st.receiver in
+    while (not st.disagrees) && st.agreed < c && st.agreed < received do
+      if One_hop.Receiver.get st.receiver st.agreed = committed_bit committed st.agreed then
+        st.agreed <- st.agreed + 1
+      else st.disagrees <- true
+    done
+
+  (* One frontier decision.  While the frontier stays at [Buffer.length
+     committed], a stream's candidacy is monotone (its bit there is
+     immutable once received, disagreement is final), so each stream's vote
+     is tallied at most once per frontier index. *)
+  let poll t ~committed streams =
+    let c = Buffer.length committed in
+    if t.frontier <> c then begin
+      t.frontier <- c;
+      Voting.Tally.reset t.tally;
+      t.src_vote <- None
+    end;
+    List.iter
+      (fun st ->
+        if st.counted <> c then begin
+          advance_agreement ~committed st;
+          if (not st.disagrees) && st.agreed = c && One_hop.Receiver.received st.receiver > c
+          then begin
+            st.counted <- c;
+            let v = One_hop.Receiver.get st.receiver c in
+            match st.provider with
+            | Src -> t.src_vote <- Some v
+            | Sq _ -> Voting.Tally.add t.tally v
+          end
+        end)
+      streams;
+    match t.src_vote with
+    (* Direct reception from the source is authenticated by Theorem 2
+       and needs no corroboration, whatever the voting threshold. *)
+    | Some v -> Some v
+    | None ->
+      if Voting.Tally.count t.tally ~value:true >= t.votes then Some true
+      else if Voting.Tally.count t.tally ~value:false >= t.votes then Some false
+      else None
+end
 
 type role_state =
   | Idle
   | Sending of Two_bit.Sender.t * bool  (** 2Bit sender and the parity bit *)
   | Blocking of Two_bit.Blocker.t
-  | Receiving of stream * Two_bit.Receiver.t
+  | Receiving of Vote.stream * Two_bit.Receiver.t
   | Passive  (** catch-up fired: stay silent for the rest of the interval *)
 
 type state = {
   my_slot : int;
   is_source : bool;
-  listen_by_slot : stream option array;  (** slot -> provider stream, O(1) *)
+  listen_by_slot : Vote.stream option array;  (** slot -> provider stream, O(1) *)
   committed : Buffer.t;  (** '0'/'1' chars *)
   mutable sender : One_hop.Sender.t;
-  streams : stream list;
-  tally : Voting.Tally.t;  (** square votes at the current frontier *)
-  mutable tally_frontier : int;  (** frontier index the tally counts for *)
-  mutable src_vote : bool option;  (** the source stream's frontier bit, if heard *)
+  streams : Vote.stream list;
+  vote : Vote.t;  (** the frontier tally (see {!Vote}) *)
   mutable role : role_state;
   mutable cur_interval : int;
   mutable failures : int;
@@ -63,7 +145,6 @@ type state = {
           success condition — only squares with no honest member spread the
           fake (Section 6.1). *)
   msg_len : int;
-  votes : int;
   catchup_failures : int;
   pipelined : bool;
 }
@@ -105,57 +186,11 @@ let commit_bit s bit =
   else if Buffer.length s.committed = s.msg_len then
     String.iter (fun c -> One_hop.Sender.push s.sender (c = '1')) (Buffer.contents s.committed)
 
-(* A provider stream can justify bit [c] only if it extends the node's own
-   committed prefix: mixing prefixes of disagreeing streams would deliver a
-   message nobody sent.  Both the committed prefix and the stream are
-   append-only, so the agreement pointer advances monotonically instead of
-   re-walking the whole prefix on every poll. *)
-let advance_agreement s st =
-  let c = committed_len s in
-  let received = One_hop.Receiver.received st.receiver in
-  while (not st.disagrees) && st.agreed < c && st.agreed < received do
-    if One_hop.Receiver.get st.receiver st.agreed = committed_bit s st.agreed then
-      st.agreed <- st.agreed + 1
-    else st.disagrees <- true
-  done
-
-(* Try to extend the committed prefix; repeats until no rule applies.
-   While the frontier stays at [c], a stream's candidacy is monotone (its
-   bit at [c] is immutable once received, disagreement is final), so each
-   stream's vote is tallied at most once per frontier index. *)
+(* Try to extend the committed prefix; repeats until no rule applies.  The
+   frontier decision proper lives in {!Vote.poll}. *)
 let rec try_commit s =
   if committed_len s < s.msg_len then begin
-    let c = committed_len s in
-    if s.tally_frontier <> c then begin
-      s.tally_frontier <- c;
-      Voting.Tally.reset s.tally;
-      s.src_vote <- None
-    end;
-    List.iter
-      (fun st ->
-        if st.counted <> c then begin
-          advance_agreement s st;
-          if (not st.disagrees) && st.agreed = c && One_hop.Receiver.received st.receiver > c
-          then begin
-            st.counted <- c;
-            let v = One_hop.Receiver.get st.receiver c in
-            match st.provider with
-            | Src -> s.src_vote <- Some v
-            | Sq _ -> Voting.Tally.add s.tally v
-          end
-        end)
-      s.streams;
-    let committed_value =
-      match s.src_vote with
-      (* Direct reception from the source is authenticated by Theorem 2
-         and needs no corroboration, whatever the voting threshold. *)
-      | Some v -> Some v
-      | None ->
-        if Voting.Tally.count s.tally ~value:true >= s.votes then Some true
-        else if Voting.Tally.count s.tally ~value:false >= s.votes then Some false
-        else None
-    in
-    match committed_value with
+    match Vote.poll s.vote ~committed:s.committed s.streams with
     | Some v ->
       commit_bit s v;
       try_commit s
@@ -198,13 +233,8 @@ let liar_give_up s =
   Buffer.clear s.committed;
   s.sender <- One_hop.Sender.create ();
   s.failures <- 0;
-  List.iter
-    (fun st ->
-      st.agreed <- 0;
-      st.disagrees <- false;
-      st.counted <- -1)
-    s.streams;
-  s.tally_frontier <- -1;
+  List.iter Vote.reset_stream s.streams;
+  Vote.reset s.vote;
   try_commit s
 
 let finish_interval s =
@@ -237,7 +267,7 @@ let finish_interval s =
   | Receiving (stream, receiver) -> begin
     match Two_bit.Receiver.outcome receiver with
     | Some (Two_bit.Success, (parity, data)) ->
-      One_hop.Receiver.push_two_bit stream.receiver ~parity ~data;
+      One_hop.Receiver.push_two_bit (Vote.receiver stream) ~parity ~data;
       try_commit s
     | Some (Two_bit.Failure, _) | None -> ()
   end
@@ -294,17 +324,12 @@ let machine ?initial_commit ctx id role =
   let adjacent = Squares.neighbors ctx.squares my_square in
   let listen =
     let squares_listen =
-      List.map (fun sq -> (Schedule.slot_of ctx.schedule sq, Sq sq)) adjacent
+      List.map (fun sq -> (Schedule.slot_of ctx.schedule sq, Vote.Sq sq)) adjacent
     in
-    if (not is_source) && senses_source then (Schedule.source_slot, Src) :: squares_listen
+    if (not is_source) && senses_source then (Schedule.source_slot, Vote.Src) :: squares_listen
     else squares_listen
   in
-  let streams =
-    List.map
-      (fun (_, provider) ->
-        { provider; receiver = One_hop.Receiver.create (); agreed = 0; disagrees = false; counted = -1 })
-      listen
-  in
+  let streams = List.map (fun (_, provider) -> Vote.stream provider) listen in
   (* Adjacent squares of one 3x3 block get pairwise-distinct slots (the
      schedule's reuse distance k >= 3), so slot -> stream is injective. *)
   let listen_by_slot = Array.make (Schedule.cycle ctx.schedule) None in
@@ -322,15 +347,12 @@ let machine ?initial_commit ctx id role =
       committed = Buffer.create 16;
       sender = One_hop.Sender.create ();
       streams;
-      tally = Voting.Tally.create ();
-      tally_frontier = -1;
-      src_vote = None;
+      vote = Vote.create ~votes:config.votes;
       role = Idle;
       cur_interval = -1;
       failures = 0;
       liar_attempts = (match role with Liar _ -> Some 3 | Source _ | Relay -> None);
       msg_len = config.msg_len;
-      votes = config.votes;
       catchup_failures = config.catchup_failures;
       pipelined = config.pipelined;
     }
@@ -366,6 +388,6 @@ let progress ctx =
   Hashtbl.fold
     (fun _ s acc ->
       List.fold_left
-        (fun acc st -> acc + One_hop.Receiver.received st.receiver)
+        (fun acc st -> acc + One_hop.Receiver.received (Vote.receiver st))
         (acc + committed_len s) s.streams)
     ctx.states 0

@@ -44,6 +44,55 @@ val default_config : radius:float -> msg_len:int -> config
 val analytic_config : radius:float -> msg_len:int -> config
 (** Analytic sizing: squares of side ⌈R/2⌉. *)
 
+(** The safety-critical voting kernel of the protocol, exposed so that the
+    {!Vote_check} exhaustive verifier can drive exactly the code the
+    protocol runs — the monotone agreement pointers, the once-per-frontier
+    tally and the source override — on enumerated Byzantine stream
+    patterns.  A {!stream} is one adjacent-square (or source) bit stream; a
+    {!t} holds the node-wide frontier vote state.  Protocol semantics: a
+    stream is a candidate for the frontier bit only while it agrees with
+    the node's entire committed prefix; the source stream alone decides
+    (Theorem 2 authenticates it); otherwise [votes] distinct square streams
+    must agree on the frontier bit. *)
+module Vote : sig
+  type provider = Src | Sq of int  (** the source, or an adjacent square *)
+
+  type stream
+
+  val stream : provider -> stream
+  (** A fresh stream with an empty receiver and clean agreement state. *)
+
+  val receiver : stream -> One_hop.Receiver.t
+  (** The underlying 1Hop receiver; push decoded bits here. *)
+
+  val provider : stream -> provider
+
+  val agreed : stream -> int
+  (** Bits verified equal to the committed prefix (monotone). *)
+
+  val disagrees : stream -> bool
+  (** A verified bit differed: the stream is never a candidate again. *)
+
+  val reset_stream : stream -> unit
+  (** Restart agreement state (liar give-up: the committed prefix is
+      cleared, so agreement must be re-established from scratch). *)
+
+  type t
+
+  val create : votes:int -> t
+  (** Frontier vote state for the 1-voting ([votes = 1]) or 2-voting
+      ([votes = 2]) protocol variant. *)
+
+  val votes : t -> int
+  val reset : t -> unit
+
+  val poll : t -> committed:Buffer.t -> stream list -> bool option
+  (** One frontier decision at [Buffer.length committed]: advance every
+      stream's agreement pointer, tally candidate streams' frontier bits
+      (each at most once per frontier), and return [Some bit] when the
+      source stream has spoken or [votes] square streams agree. *)
+end
+
 type ctx
 
 val make_ctx : config -> topology:Topology.t -> source:Node.id -> ctx

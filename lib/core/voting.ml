@@ -28,8 +28,8 @@ let window_scan ~radius ~need voting =
   let points = List.concat_map (fun item -> item.points) voting in
   (* A minimal window has its left edge at some point's x and its top
      edge at some point's y, so anchoring candidates there is complete. *)
-  let xs = List.sort_uniq compare (List.map (fun (p : Point.t) -> p.x) points) in
-  let ys = List.sort_uniq compare (List.map (fun (p : Point.t) -> p.y) points) in
+  let xs = List.sort_uniq Float.compare (List.map (fun (p : Point.t) -> p.x) points) in
+  let ys = List.sort_uniq Float.compare (List.map (fun (p : Point.t) -> p.y) points) in
   List.exists
     (fun x0 -> List.exists (fun y0 -> count_in_window voting ~x0 ~y0 ~size >= need) ys)
     xs
@@ -39,6 +39,71 @@ let quorum ~radius ~need ~value items =
   if need <= 0 then true
   else if distinct_origins ~value voting < need then false
   else window_scan ~radius ~need voting
+
+module Reference = struct
+  (* An independently derived quorum used by the Vote_check verifier to
+     cross-validate [quorum] and [Index.decide].  Instead of sliding
+     candidate windows anchored at evidence coordinates, it works in the
+     dual space: the window anchors admitting one item form an axis-aligned
+     rectangle, and a set of origins shares a window iff a common anchor
+     point lies in one rectangle per origin.  Closed rectangles intersect
+     iff the corner (max of left edges, max of bottom edges) is common, so
+     testing the pairwise corners of the rectangles is complete. *)
+
+  let eps = 1e-9
+
+  type box = { xlo : float; xhi : float; ylo : float; yhi : float }
+
+  (* Anchors (x0, y0) of the [size] x [size] windows containing every point
+     of one item; [None] when the points alone exceed the window.  An item
+     without points fits every window (mirroring [count_in_window]). *)
+  let anchor_box ~size points =
+    match points with
+    | [] -> Some { xlo = neg_infinity; xhi = infinity; ylo = neg_infinity; yhi = infinity }
+    | (first : Point.t) :: rest ->
+      let xmin = ref first.x and xmax = ref first.x in
+      let ymin = ref first.y and ymax = ref first.y in
+      List.iter
+        (fun (p : Point.t) ->
+          if p.x < !xmin then xmin := p.x;
+          if p.x > !xmax then xmax := p.x;
+          if p.y < !ymin then ymin := p.y;
+          if p.y > !ymax then ymax := p.y)
+        rest;
+      let b = { xlo = !xmax -. size; xhi = !xmin; ylo = !ymax -. size; yhi = !ymin } in
+      if b.xlo > b.xhi +. eps || b.ylo > b.yhi +. eps then None else Some b
+
+  let contains b ~x ~y =
+    x >= b.xlo -. eps && x <= b.xhi +. eps && y >= b.ylo -. eps && y <= b.yhi +. eps
+
+  let quorum ~radius ~need ~value items =
+    if need <= 0 then true
+    else begin
+      let size = 2.0 *. radius in
+      let boxed =
+        List.filter_map
+          (fun item ->
+            if item.value = value then
+              match anchor_box ~size item.points with
+              | Some b -> Some (item.origin, b)
+              | None -> None
+            else None)
+          items
+      in
+      let finite v = Float.is_finite v in
+      let corners axis = List.sort_uniq Float.compare (List.filter finite (List.map axis boxed)) in
+      let xs = match corners (fun (_, b) -> b.xlo) with [] -> [ 0.0 ] | xs -> xs in
+      let ys = match corners (fun (_, b) -> b.ylo) with [] -> [ 0.0 ] | ys -> ys in
+      let origins_at ~x ~y =
+        let seen = Hashtbl.create 16 in
+        List.iter
+          (fun (origin, b) -> if contains b ~x ~y then Hashtbl.replace seen origin ())
+          boxed;
+        Hashtbl.length seen
+      in
+      List.exists (fun x -> List.exists (fun y -> origins_at ~x ~y >= need) ys) xs
+    end
+end
 
 module Tally = struct
   type t = { mutable pro : int; mutable con : int }

@@ -39,6 +39,21 @@ val quorum : radius:float -> need:int -> value:bool -> item list -> bool
 val distinct_origins : value:bool -> item list -> int
 (** Number of distinct origins voting for [value] (the cheap pre-check). *)
 
+(** An independently derived quorum implementation for cross-validation.
+
+    Where {!quorum} slides candidate windows anchored at evidence
+    coordinates, [Reference.quorum] works in the dual space: the anchors of
+    the windows admitting one item form an axis-aligned rectangle, and a
+    quorum exists iff ≥ [need] origins own rectangles sharing a point —
+    decided by testing the pairwise corners of the rectangles.  The two
+    algorithms share no scanning code; {!Vote_check} asserts they agree on
+    every exhaustively enumerated Byzantine evidence pattern, and the
+    randomized traces of [test_voting.ml] cross-validate them as well. *)
+module Reference : sig
+  val quorum : radius:float -> need:int -> value:bool -> item list -> bool
+  (** Same contract (and, by the checkers, the same answers) as {!quorum}. *)
+end
+
 (** A running for/against vote count.  Shared by {!Index} (distinct-origin
     counts per value) and NeighborWatchRB's per-bit stream voting, where
     callers deduplicate voters before calling [add]. *)

@@ -28,7 +28,7 @@ let resolve ?rng params ~sense_threshold txs =
       || params.capture_ratio < infinity && tx.power >= params.capture_ratio *. interference
     in
     let strongest_first =
-      List.sort (fun a b -> compare b.power a.power) decodable
+      List.sort (fun a b -> Float.compare b.power a.power) decodable
     in
     begin
       match strongest_first with

@@ -68,9 +68,9 @@ let build (deployment : Deployment.t) prop =
       (* Sorted by peer id: deterministic independent of bucket iteration
          order, and can_decode becomes a binary search. *)
       let links = Array.sub links_buf 0 !n_links in
-      Array.sort (fun a b -> compare a.peer b.peer) links;
+      Array.sort (fun a b -> Int.compare a.peer b.peer) links;
       let decodable = Array.sub rx_buf 0 !n_rx in
-      Array.sort compare decodable;
+      Array.sort Int.compare decodable;
       sensed.(node.id) <- links;
       rx.(node.id) <- decodable)
     nodes;

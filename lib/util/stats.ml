@@ -19,7 +19,7 @@ let stddev xs =
     let ss = List.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs in
     sqrt (ss /. float_of_int (List.length xs - 1))
 
-let sorted xs = List.sort compare xs
+let sorted xs = List.sort Float.compare xs
 
 let percentile p xs =
   match sorted xs with

@@ -76,7 +76,17 @@ let test_lint_presets_clean () =
   List.iter
     (fun (name, diags) ->
       Alcotest.(check int) (name ^ " has no errors") 0 (Lint.count Lint.Error diags);
-      Alcotest.(check int) (name ^ " has no warnings") 0 (Lint.count Lint.Warning diags))
+      (* dual_mode_digest deliberately overruns the plain NeighborWatchRB
+         bound (the demo shows dual-mode containment beyond it), so it is
+         allowed exactly the byz-tolerance warning and nothing else. *)
+      if name = "dual_mode_digest" then
+        List.iter
+          (fun d ->
+            if d.Lint.severity = Lint.Warning then
+              Alcotest.(check string) (name ^ " warning is byz-tolerance") "byz-tolerance"
+                d.Lint.code)
+          diags
+      else Alcotest.(check int) (name ^ " has no warnings") 0 (Lint.count Lint.Warning diags))
     reports
 
 let test_lint_default_clean () =
@@ -122,6 +132,142 @@ let test_lint_diagnostic_rendering () =
     Alcotest.(check bool) "names the scenario" true (contains ~affix:"render" s);
     Alcotest.(check bool) "names the field" true (contains ~affix:"cap" s);
     Alcotest.(check bool) "states the severity" true (contains ~affix:"error" s)
+
+(* --- voting-layer checker ------------------------------------------------ *)
+
+let vote_pass name = function
+  | Vote_check.Pass { configurations; states } ->
+    Alcotest.(check bool) (name ^ ": enumerated configurations") true (configurations > 0);
+    Alcotest.(check bool) (name ^ ": states cover configurations") true (states >= configurations);
+    configurations
+  | Vote_check.Fail c ->
+    Alcotest.failf "%s: unexpected counterexample:\n%s" name (Vote_check.counterexample_to_string c)
+
+let vote_fail name = function
+  | Vote_check.Fail c -> c
+  | Vote_check.Pass { configurations; _ } ->
+    Alcotest.failf "%s: expected a counterexample, got Pass over %d configurations" name
+      configurations
+
+let test_vote_multi_path_reference () =
+  (* Radius 1 has tolerance 0: the only free choices are the two honest
+     counts x two interleavings, all zero-adversary. *)
+  Alcotest.(check int) "radius 1 is the 4-configuration degenerate space" 4
+    (vote_pass "mp r=1" (Vote_check.check_multi_path ~radius:1 ()));
+  let c2 = vote_pass "mp r=2" (Vote_check.check_multi_path ~radius:2 ()) in
+  let c3 = vote_pass "mp r=3" (Vote_check.check_multi_path ~radius:3 ()) in
+  Alcotest.(check bool) "space grows with the tolerance" true (c3 > c2 && c2 > 4)
+
+let test_vote_multi_path_seeded () =
+  let c = vote_fail "mp seeded" (Vote_check.check_multi_path ~impl:Vote_check.mp_seeded ~radius:2 ()) in
+  Alcotest.(check string) "violated invariant" "mp-agreement" c.Vote_check.invariant;
+  Alcotest.(check string) "protocol" "MultiPathRB" c.Vote_check.protocol;
+  Alcotest.(check int) "radius" 2 c.Vote_check.radius;
+  Alcotest.(check bool) "trace is non-empty" true (c.Vote_check.trace <> []);
+  let rendered = Vote_check.counterexample_to_string c in
+  Alcotest.(check bool) "rendering names the invariant" true
+    (contains ~affix:"mp-agreement" rendered)
+
+let test_vote_neighbor_watch_reference () =
+  ignore (vote_pass "nw 1-voting r=2" (Vote_check.check_neighbor_watch ~votes:1 ~radius:2 ()));
+  ignore (vote_pass "nw 2-voting r=3" (Vote_check.check_neighbor_watch ~votes:2 ~radius:3 ()))
+
+let test_vote_neighbor_watch_seeded () =
+  (* A threshold one vote short commits before the frontier has the
+     evidence; the from-scratch reference poll disagrees at the first
+     divergence.  At votes = 1 the broken threshold is 0, so the commit
+     happens at the initial poll, before any event: the trace is empty by
+     construction and only the setup line locates the failure. *)
+  let c1 =
+    vote_fail "nw seeded, 1-voting"
+      (Vote_check.check_neighbor_watch ~impl:Vote_check.nw_seeded ~votes:1 ~radius:2 ())
+  in
+  Alcotest.(check string) "violated invariant" "nw-agreement" c1.Vote_check.invariant;
+  Alcotest.(check string) "protocol" "NeighborWatchRB" c1.Vote_check.protocol;
+  Alcotest.(check bool) "setup locates the configuration" true (c1.Vote_check.setup <> "");
+  (* At votes = 2 the broken threshold is 1: the premature commit needs one
+     real stream agreement first, so the trace shows the triggering event. *)
+  let c2 =
+    vote_fail "nw seeded, 2-voting"
+      (Vote_check.check_neighbor_watch ~impl:Vote_check.nw_seeded ~votes:2 ~radius:2 ())
+  in
+  Alcotest.(check string) "violated invariant" "nw-agreement" c2.Vote_check.invariant;
+  Alcotest.(check bool) "trace shows the triggering event" true (c2.Vote_check.trace <> [])
+
+(* --- source lint ---------------------------------------------------------- *)
+
+let source_codes diags = List.map (fun d -> d.Source_lint.code) diags
+
+let test_source_lint_fixtures () =
+  let hashtbl_fixture =
+    "let report tbl =\n  Hashtbl.iter (fun k v -> Printf.printf \"%d %d\\n\" k v) tbl\n"
+  in
+  Alcotest.(check (list string)) "Hashtbl.iter into output is flagged" [ "hashtbl-order" ]
+    (source_codes (Source_lint.lint_string ~path:"lib/analysis/report.ml" hashtbl_fixture));
+  let random_fixture = "let jitter () = Random.int 10\n" in
+  (match Source_lint.lint_string ~path:"lib/core/noise.ml" random_fixture with
+  | [ d ] ->
+    Alcotest.(check string) "unseeded Random is flagged" "ambient-random" d.Source_lint.code;
+    Alcotest.(check int) "line number" 1 d.Source_lint.line;
+    Alcotest.(check bool) "it is an error" true (d.Source_lint.severity = Lint.Error)
+  | diags -> Alcotest.failf "expected one diagnostic, got %d" (List.length diags));
+  let clean_fixture =
+    "let tally tbl =\n\
+    \  List.sort (fun (a, _) (b, _) -> String.compare a b)\n\
+    \    (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])\n"
+  in
+  (* Hashtbl.fold is still flagged (sorting after does not make the fold
+     deterministic for non-commutative accumulators) unless allowlisted. *)
+  Alcotest.(check (list string)) "fold flagged outside the allowlist" [ "hashtbl-order" ]
+    (source_codes (Source_lint.lint_string ~path:"lib/analysis/tally.ml" clean_fixture));
+  Alcotest.(check (list string)) "same text allowlisted in bench/main.ml" []
+    (source_codes (Source_lint.lint_string ~path:"bench/main.ml" clean_fixture));
+  Alcotest.(check (list string)) "typed comparators are clean" []
+    (source_codes
+       (Source_lint.lint_string ~path:"lib/core/sorting.ml"
+          "let xs = List.sort Float.compare [ 1.0; 2.0 ]\n"))
+
+let test_source_lint_exemptions () =
+  let wall_clock = "let stamp () = Unix.gettimeofday ()\n" in
+  Alcotest.(check (list string)) "wall clock flagged in protocol code" [ "wall-clock" ]
+    (source_codes (Source_lint.lint_string ~path:"lib/core/clock.ml" wall_clock));
+  Alcotest.(check (list string)) "wall clock allowed under lib/run/" []
+    (source_codes (Source_lint.lint_string ~path:"lib/run/wall.ml" wall_clock));
+  Alcotest.(check (list string)) "wall clock allowed under bench/" []
+    (source_codes (Source_lint.lint_string ~path:"bench/timing.ml" wall_clock));
+  let atomics = "let counter = Atomic.make 0\n" in
+  Alcotest.(check (list string)) "atomics flagged outside lib/run/" [ "domain-outside-run" ]
+    (source_codes (Source_lint.lint_string ~path:"lib/sim/counter.ml" atomics));
+  Alcotest.(check (list string)) "atomics allowed in the job pool" []
+    (source_codes (Source_lint.lint_string ~path:"lib/run/pool.ml" atomics))
+
+let test_source_lint_parse_error () =
+  match Source_lint.lint_string ~path:"lib/broken.ml" "let let let" with
+  | [ d ] -> Alcotest.(check string) "parse error code" "parse-error" d.Source_lint.code
+  | diags -> Alcotest.failf "expected one diagnostic, got %d" (List.length diags)
+
+(* --- golden diagnostic codes ---------------------------------------------- *)
+
+(* The stable codes are the machine-readable interface of `securebit_lint
+   --json`.  Adding a code extends these lists; renaming or dropping one is
+   a breaking change and must be flagged by review. *)
+
+let test_golden_codes () =
+  Alcotest.(check (list string))
+    "scenario linter codes"
+    [
+      "map-dims"; "radius"; "message"; "cap"; "deployment"; "channel"; "votes"; "square-geometry";
+      "sparse-squares"; "unused-field"; "tolerance"; "koo-impossibility"; "relay-limit"; "fraction";
+      "budget"; "probability"; "byz-tolerance";
+    ]
+    Lint.codes;
+  Alcotest.(check (list string))
+    "source lint codes"
+    [
+      "hashtbl-order"; "poly-compare"; "poly-hash"; "ambient-random"; "wall-clock";
+      "domain-outside-run"; "parse-error";
+    ]
+    Source_lint.codes
 
 (* --- determinism checker ------------------------------------------------- *)
 
@@ -219,6 +365,26 @@ let () =
           Alcotest.test_case "bad specs are caught" `Quick test_lint_catches_bad_specs;
           Alcotest.test_case "byz-tolerance warning" `Quick test_lint_byz_tolerance_warning;
           Alcotest.test_case "diagnostic rendering" `Quick test_lint_diagnostic_rendering;
+        ] );
+      ( "vote checker",
+        [
+          Alcotest.test_case "MultiPathRB reference passes (radii 1-3)" `Quick
+            test_vote_multi_path_reference;
+          Alcotest.test_case "MultiPathRB seeded quorum off-by-one caught" `Quick
+            test_vote_multi_path_seeded;
+          Alcotest.test_case "NeighborWatchRB reference passes (1- and 2-voting)" `Quick
+            test_vote_neighbor_watch_reference;
+          Alcotest.test_case "NeighborWatchRB seeded quorum off-by-one caught" `Quick
+            test_vote_neighbor_watch_seeded;
+        ] );
+      ( "source lint",
+        [
+          Alcotest.test_case "fixtures are flagged with stable codes" `Quick
+            test_source_lint_fixtures;
+          Alcotest.test_case "directory exemptions" `Quick test_source_lint_exemptions;
+          Alcotest.test_case "parse errors surface as diagnostics" `Quick
+            test_source_lint_parse_error;
+          Alcotest.test_case "golden diagnostic codes" `Quick test_golden_codes;
         ] );
       ( "determinism",
         [

@@ -182,6 +182,11 @@ let prop_index_matches_reference =
               (fun need ->
                 let reference = Voting.quorum ~radius ~need ~value !trace in
                 if Voting.Index.decide index ~radius ~need ~value <> reference then ok := false;
+                (* The independently written dual-space quorum (anchor-box
+                   intersection, used by the vote checker as its oracle)
+                   must agree with the point-anchored window scan too. *)
+                if Voting.Reference.quorum ~radius ~need ~value !trace <> reference then
+                  ok := false;
                 (* While the index is clean, skipping the re-scan is sound:
                    the last computed answer still matches the reference. *)
                 Voting.Index.clear_dirty index;
