@@ -236,6 +236,10 @@ let () =
         "PATH  results file (default BENCH_results.json)" );
       ("--no-json", Arg.Unit (fun () -> options := { !options with json_path = None }), " skip the results file");
       ("--no-micro", Arg.Set no_micro, " skip the Bechamel microbenchmark suite");
+      ( "--profile",
+        Arg.Unit (fun () -> options := { !options with profile = true }),
+        " record per-experiment Gc allocation deltas and rounds/s into the results JSON \
+         (ignored by compare)" );
       ( "--compare",
         Arg.String (fun p -> compare_base := Some p),
         "BASE.json  after the run, diff wall times against this baseline; exit 1 on a >20% \

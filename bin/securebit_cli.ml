@@ -250,11 +250,19 @@ let bench_cmd =
             "After the run, diff per-experiment wall times against this baseline results \
              file and exit non-zero if any experiment regressed by more than 20%.")
   in
-  let run scale jobs only json_path no_json compare_base =
+  let profile_arg =
+    Arg.(
+      value & flag
+      & info [ "profile" ]
+          ~doc:
+            "Record per-experiment Gc allocation deltas and rounds-per-second into the \
+             results JSON (baseline comparisons ignore them).")
+  in
+  let run scale jobs only json_path no_json compare_base profile =
     let scale = match scale with Some scale -> scale | None -> Figures.scale_of_env () in
     let only = List.concat_map (String.split_on_char ',') only in
     let json_path = if no_json then None else json_path in
-    match Bench.run { Bench.scale; jobs; only; json_path } with
+    match Bench.run { Bench.scale; jobs; only; json_path; profile } with
     | Ok outcomes ->
       Option.iter
         (fun base ->
@@ -275,7 +283,9 @@ let bench_cmd =
        ~doc:
          "Run the registered experiments (optionally domain-parallel) and write \
           the JSON results file.")
-    Term.(const run $ scale_arg $ jobs_arg $ only_arg $ json_arg $ no_json_arg $ compare_arg)
+    Term.(
+      const run $ scale_arg $ jobs_arg $ only_arg $ json_arg $ no_json_arg $ compare_arg
+      $ profile_arg)
 
 (* --- topo --------------------------------------------------------------- *)
 

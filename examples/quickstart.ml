@@ -41,9 +41,10 @@ let () =
         else Neighbor_watch.machine ctx i Neighbor_watch.Relay)
   in
 
-  (* 5. Run the synchronous round engine until everyone delivers. *)
+  (* 5. Run the synchronous round engine until everyone delivers (the
+        sparse mode skips the rounds the TDMA schedule leaves silent). *)
   let waiters = Array.init (Deployment.size deployment) (fun i -> i <> source) in
-  let result = Engine.run ~topology ~machines ~waiters ~cap:1_000_000 () in
+  let result = Engine.run ~mode:`Sparse ~topology ~machines ~waiters ~cap:1_000_000 () in
 
   let delivered = Array.to_list result.Engine.delivered in
   let ok = List.length (List.filter (fun d -> d = Some message) delivered) in

@@ -14,6 +14,17 @@ val blanket_jammer : rng:Rng.t -> budget:Budget.t -> probability:float -> Msg.t 
 (** Jams any round with the given probability — the crude strategy, for
     ablations. *)
 
-val scripted : (round:int -> phase:int -> bool) -> budget:Budget.t -> Msg.t Engine.machine
+val scripted :
+  ?next_active:(int -> int) ->
+  (round:int -> phase:int -> bool) ->
+  budget:Budget.t ->
+  Msg.t Engine.machine
 (** Transmit exactly when the predicate says so (deterministic adversaries
-    for unit tests, e.g. spoofing attempts against single-hop exchanges). *)
+    for unit tests, e.g. spoofing attempts against single-hop exchanges).
+
+    All jammers carry a wakeup contract for the sparse engine: by default
+    they are active every round until the budget is exhausted and never
+    again after; [?next_active] narrows that further when the predicate's
+    schedule is known (it is still gated on remaining budget).  The veto
+    jammer wakes only in phases 4–5, matching where its predicate draws
+    from its private RNG stream. *)

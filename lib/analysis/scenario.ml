@@ -108,7 +108,7 @@ let assign_machines ~n ~source ~byzantine ~faults ~fake ~adversary_machine make 
       end
       else make i Role_relay)
 
-let run ?tap spec =
+let run ?tap ?(mode = (`Sparse : Engine.mode)) spec =
   let rng = Rng.create spec.seed in
   let deployment_rng = Rng.split rng in
   let faults_rng = Rng.split rng in
@@ -212,7 +212,7 @@ let run ?tap spec =
       end
   in
   let engine =
-    Engine.run ~rng:channel_rng ~channel:spec.channel ~idle_stop ~stop_when ?tap ~topology
+    Engine.run ~mode ~rng:channel_rng ~channel:spec.channel ~idle_stop ~stop_when ?tap ~topology
       ~machines ~waiters ~cap:spec.cap ()
   in
   { spec; topology; source; honest; fake; engine }

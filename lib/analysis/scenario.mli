@@ -60,8 +60,11 @@ type result = {
   engine : Engine.result;
 }
 
-val run : ?tap:(Engine.round_digest -> unit) -> spec -> result
-(** [tap] is forwarded to {!Engine.run}: one digest per executed round. *)
+val run : ?tap:(Engine.round_digest -> unit) -> ?mode:Engine.mode -> spec -> result
+(** [tap] is forwarded to {!Engine.run}: one digest per executed round.
+    [mode] selects the engine loop (default [`Sparse]; results are
+    mode-independent — the equivalence property test holds the two loops
+    byte-identical, so [`Dense] is only interesting as the reference). *)
 
 val presets : (string * spec) list
 (** Named specs mirroring the bundled examples ([examples/<name>.ml]); the

@@ -40,19 +40,19 @@ let diff (first : trace) (second : trace) =
   in
   go 0
 
-let capture_spec ?max_rounds spec =
+let capture_spec ?max_rounds ?mode spec =
   let spec =
     match max_rounds with
     | Some cap -> { spec with Scenario.cap = min spec.Scenario.cap cap }
     | None -> spec
   in
   let tap, finish = collector () in
-  let result = Scenario.run ~tap spec in
+  let result = Scenario.run ~tap ?mode spec in
   (finish (), result)
 
-let check_spec ?max_rounds spec =
-  let first, _ = capture_spec ?max_rounds spec in
-  let second, _ = capture_spec ?max_rounds spec in
+let check_spec ?max_rounds ?mode spec =
+  let first, _ = capture_spec ?max_rounds ?mode spec in
+  let second, _ = capture_spec ?max_rounds ?mode spec in
   diff first second
 
 let pp_digest fmt (d : Engine.round_digest) =

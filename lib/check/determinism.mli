@@ -24,11 +24,13 @@ type outcome = Deterministic of { rounds : int } | Diverged of divergence
 
 val diff : trace -> trace -> outcome
 
-val capture_spec : ?max_rounds:int -> Scenario.spec -> trace * Scenario.result
+val capture_spec : ?max_rounds:int -> ?mode:Engine.mode -> Scenario.spec -> trace * Scenario.result
 (** One traced run.  [max_rounds] lowers the round cap so that checking
-    stays cheap on large scenarios. *)
+    stays cheap on large scenarios.  [mode] picks the engine loop
+    (default sparse); rounds the sparse loop skips appear in the trace as
+    all-silent digests, so traces are comparable across modes. *)
 
-val check_spec : ?max_rounds:int -> Scenario.spec -> outcome
+val check_spec : ?max_rounds:int -> ?mode:Engine.mode -> Scenario.spec -> outcome
 (** Two traced runs of the same spec, diffed. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit

@@ -21,6 +21,7 @@ let codes =
     "ambient-random";
     "wall-clock";
     "domain-outside-run";
+    "engine-mode";
     "parse-error";
   ]
 
@@ -103,7 +104,26 @@ let exempt code path =
   match code with
   | "wall-clock" -> in_dir "lib/run" path || in_dir "bench" path
   | "domain-outside-run" -> in_dir "lib/run" path
+  | "engine-mode" -> in_dir "lib/check" path
   | _ -> false
+
+(* Does this application of [Engine.run] pin the loop variant?  The sparse
+   and dense loops are held byte-identical by the equivalence property
+   test, but a caller that omits [~mode] silently follows whatever the
+   default is — production call sites must state which loop they mean
+   (the dense/sparse comparison harness under lib/check is exempt). *)
+let is_engine_run txt =
+  match List.rev (Longident.flatten txt) with
+  | "run" :: "Engine" :: _ -> true
+  | _ -> false
+
+let has_mode_arg args =
+  List.exists
+    (fun (label, _) ->
+      match label with
+      | Asttypes.Labelled "mode" | Asttypes.Optional "mode" -> true
+      | _ -> false)
+    args
 
 let module_code head =
   match head with
@@ -147,6 +167,13 @@ let lint_string ~path contents =
         (fun it (e : Parsetree.expression) ->
           (match e.pexp_desc with
           | Parsetree.Pexp_ident { txt; _ } -> check_ident txt e.Parsetree.pexp_loc
+          | Parsetree.Pexp_apply
+              ({ pexp_desc = Parsetree.Pexp_ident { txt; _ }; _ }, args)
+            when is_engine_run txt && not (has_mode_arg args) ->
+            emit "engine-mode"
+              "Engine.run without ~mode follows the default loop silently; state `Sparse or \
+               `Dense at the call site"
+              e.Parsetree.pexp_loc
           | _ -> ());
           default.expr it e);
       module_expr =

@@ -23,6 +23,11 @@
       logic is not);
     - [domain-outside-run]: [Domain]/[Atomic] outside [lib/run/] — all
       parallelism is confined to the deterministic job pool;
+    - [engine-mode]: an application of [Engine.run] without a [~mode]
+      argument outside [lib/check/] — the sparse and dense loops are held
+      byte-identical by the equivalence test, but production call sites
+      must say which loop they mean rather than silently follow the
+      default;
     - [parse-error]: the file failed to parse.
 
     Findings at locations listed in {!allowlist} (file suffix, code) are

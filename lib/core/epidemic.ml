@@ -52,4 +52,20 @@ let machine ctx id role =
     | Channel.Clear (Msg.Packet message) -> if s.have = None then s.have <- Some message
     | Channel.Clear Msg.Blip | Channel.Silence | Channel.Busy -> ()
   in
-  { Engine.act; observe; delivered = (fun () -> s.have) }
+  (* Wakeup contract: nothing to do until the packet arrives (reception
+     happens through the engine's touched set, which re-queries this after
+     every poll); with the packet in hand, wake at the first round of each
+     of my slots until the repeat budget is spent, then never again. *)
+  let next_active round =
+    match s.have with
+    | None -> max_int
+    | Some _ ->
+      if s.sent >= ctx.config.repeats then max_int
+      else begin
+        let cyc = cycle ctx in
+        let q = (round + slot_rounds - 1) / slot_rounds in
+        let j = q + ((((s.my_slot - q) mod cyc) + cyc) mod cyc) in
+        j * slot_rounds
+      end
+  in
+  { Engine.act; observe; delivered = (fun () -> s.have); next_active }

@@ -254,10 +254,17 @@ let machine ctx id role =
       | None -> peer_by_slot.(slot) <- Some p
       | Some _ -> ())
     peers;
+  let my_slot = Schedule.slot_of ctx.schedule id in
+  (* Wakeup contract: active exactly in the intervals of my own slot and
+     of my sensed peers' slots; every other interval resolves to [Idle]. *)
+  let relevant = Array.make (Schedule.cycle ctx.schedule) false in
+  relevant.(my_slot) <- true;
+  Array.iteri (fun slot p -> if p <> None then relevant.(slot) <- true) peer_by_slot;
+  let next_active = Schedule.next_relevant_round ctx.schedule ~relevant in
   let s =
     {
       pos;
-      my_slot = Schedule.slot_of ctx.schedule id;
+      my_slot;
       relay_heard = (match role with Liar _ -> false | Source _ | Relay -> true);
       committed = Buffer.create 16;
       sender = One_hop.Sender.create ();
@@ -290,6 +297,7 @@ let machine ctx id role =
     Engine.act = (fun round -> act ctx s round);
     observe = (fun round obs -> observe ctx s round obs);
     delivered = (fun () -> delivered ctx s);
+    next_active;
   }
 
 let committed_bits ctx id =

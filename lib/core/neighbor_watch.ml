@@ -339,9 +339,18 @@ let machine ?initial_commit ctx id role =
       | None -> listen_by_slot.(slot) <- Some stream
       | Some _ -> ())
     listen streams;
+  let my_slot = Schedule.slot_of ctx.schedule my_square in
+  (* Wakeup contract: the machine does something other than idle exactly
+     in the intervals of its own sending slot (the source sends in slot 0
+     instead of its square's) and of the slots it listens to; everywhere
+     else [setup_interval] would pick [Idle], which ignores the channel. *)
+  let relevant = Array.make (Schedule.cycle ctx.schedule) false in
+  relevant.(if is_source then Schedule.source_slot else my_slot) <- true;
+  Array.iteri (fun slot stream -> if stream <> None then relevant.(slot) <- true) listen_by_slot;
+  let next_active = Schedule.next_relevant_round ctx.schedule ~relevant in
   let s =
     {
-      my_slot = Schedule.slot_of ctx.schedule my_square;
+      my_slot;
       is_source;
       listen_by_slot;
       committed = Buffer.create 16;
@@ -377,6 +386,7 @@ let machine ?initial_commit ctx id role =
     Engine.act = (fun round -> act ctx s round);
     observe = (fun round obs -> observe ctx s round obs);
     delivered = (fun () -> delivered s);
+    next_active;
   }
 
 let committed_bits ctx id =

@@ -3,10 +3,11 @@ type options = {
   jobs : int;
   only : string list;  (* empty = every registered job *)
   json_path : string option;
+  profile : bool;
 }
 
 let default_options () =
-  { scale = Figures.scale_of_env (); jobs = 1; only = []; json_path = None }
+  { scale = Figures.scale_of_env (); jobs = 1; only = []; json_path = None; profile = false }
 
 let selection only =
   match only with
@@ -185,8 +186,16 @@ let run options =
     let outcomes =
       List.map
         (fun job ->
-          let outcome = Runner.run_job ~jobs:options.jobs ~scale:options.scale job in
+          let outcome =
+            Runner.run_job ~jobs:options.jobs ~profile:options.profile ~scale:options.scale job
+          in
           print_string (Runner.render outcome);
+          Option.iter
+            (fun (p : Runner.profile) ->
+              Printf.printf "[%s profile: %d rounds, %.0f rounds/s, %.1fM minor words]\n"
+                job.Experiment.id p.Runner.rounds_simulated p.Runner.rounds_per_second
+                (p.Runner.minor_words /. 1e6))
+            outcome.Runner.profile;
           Printf.printf "[%s: %.1fs, elapsed %.1fs]\n\n%!" job.Experiment.id
             outcome.Runner.wall_seconds
             (Unix.gettimeofday () -. t0);

@@ -7,11 +7,15 @@ type options = {
   jobs : int;  (** worker domains; 1 = sequential *)
   only : string list;  (** experiment ids to run; empty = all *)
   json_path : string option;  (** where to write the JSON results, if anywhere *)
+  profile : bool;
+      (** record {!Runner.profile} counters (allocation deltas, rounds/s)
+          per job, printed after each table and embedded in the JSON;
+          [bench compare] ignores them *)
 }
 
 val default_options : unit -> options
-(** Sequential, every job, no JSON; scale from {!Figures.scale_of_env}
-    (the deprecated [FULL] fallback). *)
+(** Sequential, every job, no JSON, no profiling; scale from
+    {!Figures.scale_of_env} (the deprecated [FULL] fallback). *)
 
 val selection : string list -> (Experiment.job list, string) result
 (** Resolve ids against {!Registry.all} (canonical order kept); [Error]

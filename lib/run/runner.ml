@@ -6,6 +6,14 @@ type task_result =
   | Summary of Scenario.summary
   | Row of Experiment.row
 
+type profile = {
+  minor_words : float;
+  major_words : float;
+  promoted_words : float;
+  rounds_simulated : int;
+  rounds_per_second : float;
+}
+
 type outcome = {
   job : Experiment.job;
   scale : Experiment.scale;
@@ -14,6 +22,7 @@ type outcome = {
   fits : (string * Stats.fit) list;
   notes : string list;
   wall_seconds : float;
+  profile : profile option;
 }
 
 let run_task = function
@@ -24,7 +33,8 @@ let run_task = function
    per spec per seed, thunks one trial each), execute them on the pool,
    then merge strictly in cell order — so the rendered output is
    byte-identical whatever [jobs] is. *)
-let run_job ?(jobs = 1) ~scale (job : Experiment.job) =
+let run_job ?(jobs = 1) ?(profile = false) ~scale (job : Experiment.job) =
+  let gc0 = if profile then Some (Gc.quick_stat ()) else None in
   let t0 = Unix.gettimeofday () in
   let cells = job.Experiment.cells scale in
   let seeds = Experiment.seeds (job.Experiment.config scale) in
@@ -78,7 +88,32 @@ let run_job ?(jobs = 1) ~scale (job : Experiment.job) =
     List.map (fun (label, name) -> (label, Stats.linear_fit (series name))) job.Experiment.fits
   in
   let notes = job.Experiment.notes ~fits ~series in
-  { job; scale; table; rows; fits; notes; wall_seconds = Unix.gettimeofday () -. t0 }
+  let wall_seconds = Unix.gettimeofday () -. t0 in
+  let profile =
+    (* Allocation deltas come from [Gc.quick_stat] on the coordinating
+       domain, so they are exact at --jobs 1 and exclude worker-domain
+       allocation above that; rounds/s divides the engine rounds actually
+       simulated (Grid trials only) by the job's wall time. *)
+    Option.map
+      (fun g0 ->
+        let g1 = Gc.quick_stat () in
+        let rounds_simulated =
+          Array.fold_left
+            (fun acc result ->
+              match result with Summary s -> acc + s.Scenario.rounds | Row _ -> acc)
+            0 results
+        in
+        {
+          minor_words = g1.Gc.minor_words -. g0.Gc.minor_words;
+          major_words = g1.Gc.major_words -. g0.Gc.major_words;
+          promoted_words = g1.Gc.promoted_words -. g0.Gc.promoted_words;
+          rounds_simulated;
+          rounds_per_second =
+            (if wall_seconds > 0.0 then float_of_int rounds_simulated /. wall_seconds else 0.0);
+        })
+      gc0
+  in
+  { job; scale; table; rows; fits; notes; wall_seconds; profile }
 
 let render outcome =
   let buf = Buffer.create 1024 in
@@ -127,9 +162,26 @@ let stable_json outcome =
       ("notes", Json.List (List.map (fun n -> Json.String n) outcome.notes));
     ]
 
+let json_of_profile p =
+  Json.Obj
+    [
+      ("minor_words", Json.Float p.minor_words);
+      ("major_words", Json.Float p.major_words);
+      ("promoted_words", Json.Float p.promoted_words);
+      ("rounds_simulated", Json.Int p.rounds_simulated);
+      ("rounds_per_second", Json.Float p.rounds_per_second);
+    ]
+
 let json_of_outcome outcome =
   match stable_json outcome with
-  | Json.Obj fields -> Json.Obj (fields @ [ ("wall_seconds", Json.Float outcome.wall_seconds) ])
+  | Json.Obj fields ->
+    Json.Obj
+      (fields
+      @ [ ("wall_seconds", Json.Float outcome.wall_seconds) ]
+      @
+      match outcome.profile with
+      | Some p -> [ ("profile", json_of_profile p) ]
+      | None -> [])
   | other -> other
 
 let results_json ~scale ~jobs outcomes =

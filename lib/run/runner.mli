@@ -5,6 +5,16 @@
     [jobs] domains; the merge then walks the cells in definition order, so
     tables, fits and notes are byte-identical for every [jobs] value. *)
 
+type profile = {
+  minor_words : float;  (** minor-heap words allocated while the job ran *)
+  major_words : float;
+  promoted_words : float;
+  rounds_simulated : int;  (** engine rounds across the job's Grid trials *)
+  rounds_per_second : float;  (** rounds_simulated / wall_seconds *)
+}
+(** Cheap per-job performance counters ({!Gc.quick_stat} deltas — exact at
+    [--jobs 1], coordinator-domain-only above that). *)
+
 type outcome = {
   job : Experiment.job;
   scale : Experiment.scale;
@@ -15,10 +25,13 @@ type outcome = {
   fits : (string * Stats.fit) list;
   notes : string list;
   wall_seconds : float;
+  profile : profile option;  (** [Some] iff requested via [run_job ~profile:true] *)
 }
 
-val run_job : ?jobs:int -> scale:Experiment.scale -> Experiment.job -> outcome
-(** Execute every trial of the job ([jobs] defaults to 1 = sequential). *)
+val run_job : ?jobs:int -> ?profile:bool -> scale:Experiment.scale -> Experiment.job -> outcome
+(** Execute every trial of the job ([jobs] defaults to 1 = sequential;
+    [profile] defaults to false — when set, the outcome carries allocation
+    and rounds-per-second counters). *)
 
 val render : outcome -> string
 (** The ASCII table followed by one line per fit and per note. *)
@@ -28,7 +41,10 @@ val stable_json : outcome -> Json.t
     columns, rows (cells / aggregates / values), fits, notes. *)
 
 val json_of_outcome : outcome -> Json.t
-(** {!stable_json} plus [wall_seconds]. *)
+(** {!stable_json} plus [wall_seconds] and, when captured, a ["profile"]
+    object (allocation words, rounds simulated, rounds/s).  [bench
+    compare] reads only [id] and [wall_seconds], so both extras are
+    ignored by baseline comparisons. *)
 
 val results_json : scale:Experiment.scale -> jobs:int -> outcome list -> Json.t
 (** The top-level [BENCH_results.json] document ([securebit-bench/1]):

@@ -4,10 +4,21 @@ type 'm machine = {
   act : int -> 'm action;
   observe : int -> 'm Channel.observation -> unit;
   delivered : unit -> Bitvec.t option;
+  next_active : int -> int;
 }
 
+let always_active r = r
+let never_active _ = max_int
+
 let silent_machine =
-  { act = (fun _ -> Silent); observe = (fun _ _ -> ()); delivered = (fun () -> None) }
+  {
+    act = (fun _ -> Silent);
+    observe = (fun _ _ -> ());
+    delivered = (fun () -> None);
+    next_active = never_active;
+  }
+
+type mode = [ `Dense | `Sparse ]
 
 type result = {
   rounds_used : int;
@@ -27,21 +38,41 @@ let fingerprint_observation = function
        payloads would alias in determinism-checker traces. *)
     2 + (Hashtbl.hash_param 64 128 payload land 0x3FFFFFFF)
 
-let run ?rng ?(channel = Channel.ideal) ?stop_when ?(stop_stride = 96) ?idle_stop ?tap ~topology
-    ~machines ~waiters ~cap () =
+let run ?(mode : mode = `Sparse) ?rng ?(channel = Channel.ideal) ?stop_when ?(stop_stride = 96)
+    ?idle_stop ?tap ~topology ~machines ~waiters ~cap () =
   let n = Topology.size topology in
   if Array.length machines <> n || Array.length waiters <> n then
     invalid_arg "Engine.run: machines/waiters size mismatch";
   let broadcasts = Array.make n 0 in
   let completion_round = Array.make n (-1) in
-  (* Outgoing links: receivers that sense node i, with received power. *)
-  let out = Array.make n [] in
-  Array.iteri
-    (fun receiver links ->
-      Array.iter
-        (fun { Topology.peer; power } -> out.(peer) <- (receiver, power) :: out.(peer))
-        links)
+  (* Outgoing links in CSR form: out_rcv/out_pow.(out_off.(i) ..
+     out_off.(i+1) - 1) are the receivers that sense node i and the power
+     they receive it at, so Phase 1 fan-out walks a flat slice instead of
+     chasing list cells. *)
+  let out_off = Array.make (n + 1) 0 in
+  Array.iter
+    (fun links ->
+      Array.iter (fun { Topology.peer; _ } -> out_off.(peer + 1) <- out_off.(peer + 1) + 1) links)
     topology.Topology.sensed;
+  for i = 1 to n do
+    out_off.(i) <- out_off.(i) + out_off.(i - 1)
+  done;
+  let links_total = out_off.(n) in
+  let out_rcv = Array.make (max 1 links_total) 0 in
+  let out_pow = Array.make (max 1 links_total) 0.0 in
+  (* Receivers descending within each row — the order the former cons-list
+     representation iterated them in — so per-link loss draws and capture
+     tie-breaks reproduce the reference results bit for bit. *)
+  let cursor = Array.init n (fun i -> out_off.(i)) in
+  for receiver = n - 1 downto 0 do
+    Array.iter
+      (fun { Topology.peer; power } ->
+        let k = cursor.(peer) in
+        out_rcv.(k) <- receiver;
+        out_pow.(k) <- power;
+        cursor.(peer) <- k + 1)
+      topology.Topology.sensed.(receiver)
+  done;
   (* Flat per-receiver channel aggregates instead of transmission lists:
      resolution only needs the sensed power sum, the strongest decodable
      signal, and the signal counts, so the hot loop allocates (almost)
@@ -52,7 +83,11 @@ let run ?rng ?(channel = Channel.ideal) ?stop_when ?(stop_stride = 96) ?idle_sto
   let best_power = Array.make n 0.0 in
   let best_payload = Array.make n None in
   let has_rx = Array.make n false in
-  let touched = ref [] in
+  (* The receivers touched this round, as a preallocated stack: Phase 1
+     pushes each receiver at most once (guarded by [has_rx]), the
+     after-round reset pops them all. *)
+  let touched = Array.make (max 1 n) 0 in
+  let n_touched = ref 0 in
   let loss = channel.Channel.loss_prob in
   let capture_ratio = channel.Channel.capture_ratio in
   (* Trace capture is allocated only when a tap is installed, so the hot
@@ -62,106 +97,306 @@ let run ?rng ?(channel = Channel.ideal) ?stop_when ?(stop_stride = 96) ?idle_sto
   let pending = ref 0 in
   Array.iter (fun w -> if w then incr pending) waiters;
   let round = ref 0 in
-  let idle_rounds = ref 0 in
-  let stopped () =
-    !pending = 0
-    || (match idle_stop with Some k -> !idle_rounds >= k | None -> false)
-    ||
-    match stop_when with
-    | Some f when !round mod stop_stride = 0 -> f ()
-    | Some _ | None -> false
-  in
-  (* Nodes still being polled for completion; completed ones are
-     swap-removed so Phase 3 stops scanning them every round. *)
-  let active = Array.init n (fun i -> i) in
-  let n_active = ref n in
-  while (not (stopped ())) && !round < cap do
-    let r = !round in
-    let anyone_transmitted = ref false in
-    (* Phase 1: collect actions and fan transmissions out to receivers. *)
-    for i = 0 to n - 1 do
-      match machines.(i).act r with
-      | Silent -> ()
-      | Transmit payload ->
-        anyone_transmitted := true;
-        broadcasts.(i) <- broadcasts.(i) + 1;
-        if tap <> None then tap_tx := i :: !tap_tx;
-        let payload_opt = Some payload in
-        List.iter
-          (fun (receiver, power) ->
-            if not has_rx.(receiver) then begin
-              has_rx.(receiver) <- true;
-              touched := receiver :: !touched
-            end;
-            sum_power.(receiver) <- sum_power.(receiver) +. power;
-            let lost =
-              power >= 1.0 && loss > 0.0
-              &&
-              match rng with
-              | Some r -> Rng.bernoulli r loss
-              | None -> invalid_arg "Engine.run: loss_prob > 0 requires an rng"
-            in
-            if power >= 1.0 && not lost then begin
-              n_decodable.(receiver) <- n_decodable.(receiver) + 1;
-              if power > best_power.(receiver) then begin
-                best_power.(receiver) <- power;
-                best_payload.(receiver) <- payload_opt
-              end
-            end)
-          out.(i)
-    done;
-    (* Phase 2: resolve the channel at every node and deliver observations. *)
-    for i = 0 to n - 1 do
-      let obs =
-        if not has_rx.(i) then Channel.Silence
-        else if n_decodable.(i) = 0 then Channel.Busy
-        else begin
-          let interference = sum_power.(i) -. best_power.(i) in
-          if
-            interference <= 1e-12
-            || (capture_ratio < infinity && best_power.(i) >= capture_ratio *. interference)
-          then begin
-            match best_payload.(i) with
-            | Some payload -> Channel.Clear payload
-            | None -> assert false
-          end
-          else Channel.Busy
-        end
+  let fan_out i payload =
+    broadcasts.(i) <- broadcasts.(i) + 1;
+    if tap <> None then tap_tx := i :: !tap_tx;
+    let payload_opt = Some payload in
+    for k = out_off.(i) to out_off.(i + 1) - 1 do
+      let receiver = out_rcv.(k) and power = out_pow.(k) in
+      if not has_rx.(receiver) then begin
+        has_rx.(receiver) <- true;
+        touched.(!n_touched) <- receiver;
+        incr n_touched
+      end;
+      sum_power.(receiver) <- sum_power.(receiver) +. power;
+      let lost =
+        power >= 1.0 && loss > 0.0
+        &&
+        match rng with
+        | Some r -> Rng.bernoulli r loss
+        | None -> invalid_arg "Engine.run: loss_prob > 0 requires an rng"
       in
-      if tap <> None then tap_fp.(i) <- fingerprint_observation obs;
-      machines.(i).observe r obs
+      if power >= 1.0 && not lost then begin
+        n_decodable.(receiver) <- n_decodable.(receiver) + 1;
+        if power > best_power.(receiver) then begin
+          best_power.(receiver) <- power;
+          best_payload.(receiver) <- payload_opt
+        end
+      end
+    done
+  in
+  let resolve i =
+    if not has_rx.(i) then Channel.Silence
+    else if n_decodable.(i) = 0 then Channel.Busy
+    else begin
+      let interference = sum_power.(i) -. best_power.(i) in
+      if
+        interference <= 1e-12
+        || (capture_ratio < infinity && best_power.(i) >= capture_ratio *. interference)
+      then begin
+        match best_payload.(i) with
+        | Some payload -> Channel.Clear payload
+        | None -> assert false
+      end
+      else Channel.Busy
+    end
+  in
+  let reset_touched () =
+    for k = 0 to !n_touched - 1 do
+      let i = touched.(k) in
+      sum_power.(i) <- 0.0;
+      n_decodable.(i) <- 0;
+      best_power.(i) <- 0.0;
+      best_payload.(i) <- None;
+      has_rx.(i) <- false
     done;
-    begin
-      match tap with
-      | None -> ()
-      | Some f ->
-        f { round = r; transmitters = List.rev !tap_tx; observations = Array.copy tap_fp };
-        tap_tx := []
+    n_touched := 0
+  in
+  (match mode with
+  | `Dense ->
+    (* Reference implementation: every machine polled every round. *)
+    let idle_rounds = ref 0 in
+    let stopped () =
+      !pending = 0
+      || (match idle_stop with Some k -> !idle_rounds >= k | None -> false)
+      ||
+      match stop_when with
+      | Some f when !round mod stop_stride = 0 -> f ()
+      | Some _ | None -> false
+    in
+    (* Nodes still being polled for completion; completed ones are
+       swap-removed so Phase 3 stops scanning them every round. *)
+    let active = Array.init n (fun i -> i) in
+    let n_active = ref n in
+    while (not (stopped ())) && !round < cap do
+      let r = !round in
+      let anyone_transmitted = ref false in
+      (* Phase 1: collect actions and fan transmissions out to receivers. *)
+      for i = 0 to n - 1 do
+        match machines.(i).act r with
+        | Silent -> ()
+        | Transmit payload ->
+          anyone_transmitted := true;
+          fan_out i payload
+      done;
+      (* Phase 2: resolve the channel at every node and deliver observations. *)
+      for i = 0 to n - 1 do
+        let obs = resolve i in
+        if tap <> None then tap_fp.(i) <- fingerprint_observation obs;
+        machines.(i).observe r obs
+      done;
+      begin
+        match tap with
+        | None -> ()
+        | Some f ->
+          f { round = r; transmitters = List.rev !tap_tx; observations = Array.copy tap_fp };
+          tap_tx := []
+      end;
+      reset_touched ();
+      (* Phase 3: completion bookkeeping over the not-yet-complete worklist. *)
+      let k = ref 0 in
+      while !k < !n_active do
+        let i = active.(!k) in
+        match machines.(i).delivered () with
+        | Some _ ->
+          completion_round.(i) <- r;
+          if waiters.(i) then decr pending;
+          decr n_active;
+          active.(!k) <- active.(!n_active)
+        | None -> incr k
+      done;
+      if !anyone_transmitted then idle_rounds := 0 else incr idle_rounds;
+      incr round
+    done
+  | `Sparse ->
+    (* Wakeup-driven loop.  Invariants tying it to the dense reference:
+       - a machine is polled (act + observe) at round r iff its wakeup
+         contract covers r or a transmission reached it; the contract
+         promises that in all other rounds act returns Silent without
+         side effects and observe of the implied Silence is a no-op;
+       - scheduled machines are processed in ascending id, like the dense
+         0..n-1 sweep, so loss draws, capture ties and tap transmitter
+         order are identical;
+       - the stop conditions (waiters, idle cut-off, strided stop_when)
+         are evaluated for skipped rounds exactly as the dense loop would
+         have, including the call count of the stateful stop_when;
+       - a tap sees one digest per round, skipped rounds fingerprinting
+         as uniform silence. *)
+    let cal = Calendar.create ~capacity:(2 * (n + 1)) () in
+    let sched_stamp = Array.make (max 1 n) (-1) in
+    (* Machines stamped directly for the very next round, bypassing the
+       heap.  Inside a relevant TDMA interval a machine wakes six rounds
+       in a row; paying a pop + push per poll would cost more than the
+       act/observe calls the sparse loop saves, so only wakeups that
+       actually jump ahead go through the calendar. *)
+    let pre = ref 0 in
+    let pre_next = ref 0 in
+    let schedule_machine i q =
+      let na = machines.(i).next_active q in
+      let na = if na < q then q else na in
+      if na < cap then begin
+        if na = q then begin
+          (* [q] is always the round after the one being processed, so a
+             same-round wakeup is a stamp for the next iteration. *)
+          if sched_stamp.(i) <> q then begin
+            sched_stamp.(i) <- q;
+            incr pre_next
+          end
+        end
+        else Calendar.add cal na i
+      end
+    in
+    for i = 0 to n - 1 do
+      let na = machines.(i).next_active 0 in
+      if na <= 0 then begin
+        if sched_stamp.(i) <> 0 then begin
+          sched_stamp.(i) <- 0;
+          incr pre_next
+        end
+      end
+      else if na < cap then Calendar.add cal na i
+    done;
+    (* Round 0 always executes: the dense loop's first Phase 3 scans all
+       machines, recording construction-time deliveries (sources, liars). *)
+    if cap > 0 && n > 0 && sched_stamp.(0) <> 0 then begin
+      sched_stamp.(0) <- 0;
+      incr pre_next
     end;
-    List.iter
-      (fun i ->
-        sum_power.(i) <- 0.0;
-        n_decodable.(i) <- 0;
-        best_power.(i) <- 0.0;
-        best_payload.(i) <- None;
-        has_rx.(i) <- false)
-      !touched;
-    touched := [];
-    (* Phase 3: completion bookkeeping over the not-yet-complete worklist. *)
-    let k = ref 0 in
-    while !k < !n_active do
-      let i = active.(!k) in
-      match machines.(i).delivered () with
-      | Some _ ->
-        completion_round.(i) <- r;
-        if waiters.(i) then decr pending;
-        decr n_active;
-        active.(!k) <- active.(!n_active)
-      | None -> incr k
-    done;
-    if !anyone_transmitted then idle_rounds := 0 else incr idle_rounds;
-    incr round
-  done;
+    pre := !pre_next;
+    pre_next := 0;
+    let completed = Array.make (max 1 n) false in
+    let last_tx = ref (-1) in
+    let idle_limit = match idle_stop with Some k -> k | None -> max_int in
+    let has_idle_stop = idle_stop <> None in
+    let check_complete i r =
+      if not completed.(i) then begin
+        match machines.(i).delivered () with
+        | Some _ ->
+          completed.(i) <- true;
+          completion_round.(i) <- r;
+          if waiters.(i) then decr pending
+        | None -> ()
+      end
+    in
+    (* The dense loop's [stopped] at the top of round r, with its idle
+       counter reconstructed as r - 1 - last_tx (consecutive silent rounds
+       ending at r - 1), and the same short-circuit order. *)
+    let check_stop r =
+      !pending = 0
+      || (has_idle_stop && r - 1 - !last_tx >= idle_limit)
+      ||
+      match stop_when with
+      | Some f when r mod stop_stride = 0 -> f ()
+      | Some _ | None -> false
+    in
+    let stopping = ref false in
+    let silent_digest r = { round = r; transmitters = []; observations = Array.make n 0 } in
+    (* Skip the all-silent rounds in [!round, target) in O(1) per stride
+       check, stopping where the dense loop would have. *)
+    let advance_silent target =
+      if !pending = 0 then stopping := true
+      else begin
+        (* First round at which the idle cut-off fires, absent further
+           transmissions. *)
+        let idle_bound = if has_idle_stop then !last_tx + idle_limit + 1 else max_int in
+        let bound = min target idle_bound in
+        let stop_round = ref bound in
+        (match stop_when with
+        | Some f ->
+          (* stop_when is stateful (progress counters): call it at every
+             stride multiple the dense loop would have, in order. *)
+          let r = ref ((!round + stop_stride - 1) / stop_stride * stop_stride) in
+          let checking = ref true in
+          while !checking && !r < bound do
+            if f () then begin
+              stop_round := !r;
+              checking := false
+            end
+            else r := !r + stop_stride
+          done
+        | None -> ());
+        (match tap with
+        | Some g ->
+          for q = !round to !stop_round - 1 do
+            g (silent_digest q)
+          done
+        | None -> ());
+        round := !stop_round;
+        if !stop_round < target then stopping := true
+      end
+    in
+    let process_round r =
+      (* Drain this round's wakeups; the stamp array both dedupes multiple
+         calendar entries per machine and drives the ascending-id sweeps
+         below. *)
+      while (not (Calendar.is_empty cal)) && Calendar.min_key cal = r do
+        sched_stamp.(Calendar.pop_min cal) <- r
+      done;
+      let any_tx = ref false in
+      (* Phase 1 over the scheduled machines only. *)
+      for i = 0 to n - 1 do
+        if sched_stamp.(i) = r then begin
+          match machines.(i).act r with
+          | Silent -> ()
+          | Transmit payload ->
+            any_tx := true;
+            fan_out i payload
+        end
+      done;
+      (* Phase 2 restricted to scheduled machines and touched receivers;
+         everyone else observes the silence implied by the contract. *)
+      for i = 0 to n - 1 do
+        if sched_stamp.(i) = r || has_rx.(i) then begin
+          let obs = resolve i in
+          if tap <> None then tap_fp.(i) <- fingerprint_observation obs;
+          machines.(i).observe r obs
+        end
+      done;
+      begin
+        match tap with
+        | None -> ()
+        | Some f ->
+          f { round = r; transmitters = List.rev !tap_tx; observations = Array.copy tap_fp };
+          tap_tx := [];
+          (* Restore the all-silent background the skipped-round digests
+             rely on. *)
+          for i = 0 to n - 1 do
+            if sched_stamp.(i) = r || has_rx.(i) then tap_fp.(i) <- 0
+          done
+      end;
+      (* Phase 3 + rescheduling over the polled set (all machines in round
+         0, for construction-time deliveries), before the channel scratch
+         is cleared so [has_rx] still marks the touched receivers.  A poll
+         can change any machine state, so its wakeup is re-asked after
+         every poll — e.g. an epidemic relay that just received the packet
+         now wants its own slot. *)
+      for i = 0 to n - 1 do
+        if sched_stamp.(i) = r || has_rx.(i) then begin
+          check_complete i r;
+          schedule_machine i (r + 1)
+        end
+        else if r = 0 then check_complete i 0
+      done;
+      reset_touched ();
+      if !any_tx then last_tx := r;
+      pre := !pre_next;
+      pre_next := 0
+    in
+    while (not !stopping) && !round < cap do
+      let target =
+        if !pre > 0 then !round
+        else if Calendar.is_empty cal then cap
+        else min cap (Calendar.min_key cal)
+      in
+      if target > !round then advance_silent target;
+      if (not !stopping) && !round < cap && !round = target then begin
+        if check_stop !round then stopping := true
+        else begin
+          process_round !round;
+          incr round
+        end
+      end
+    done);
   {
     rounds_used = !round;
     hit_cap = !round >= cap && !pending > 0;

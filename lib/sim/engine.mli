@@ -8,21 +8,55 @@
     reproduces exactly, while the channel model supplies the realistic
     effects (capture, loss) the paper notes its analysis omits.
 
+    Because the protocols are TDMA-scheduled, most machines are
+    deterministically silent in most rounds; the default [`Sparse] loop
+    exploits that with a calendar of machine wakeups (the discrete-event
+    trick WSNet itself uses), skipping idle rounds outright and polling
+    only the machines whose {!machine.next_active} contract — or an
+    incoming transmission — makes the round meaningful to them.  The
+    [`Dense] loop, which polls everything every round, is kept as the
+    executable reference; a property test pins the two byte-identical.
+
     The engine is polymorphic in the on-air payload type ['m]. *)
 
 type 'm action = Silent | Transmit of 'm
 
 type 'm machine = {
-  act : int -> 'm action;  (** called once per round with the round number *)
+  act : int -> 'm action;  (** called once per polled round with the round number *)
   observe : int -> 'm Channel.observation -> unit;
-      (** called once per round, after all [act]s, with what the node's
-          radio observed *)
+      (** called once per polled round, after all [act]s, with what the
+          node's radio observed *)
   delivered : unit -> Bitvec.t option;
       (** the broadcast payload this node has accepted, once complete *)
+  next_active : int -> int;
+      (** Wakeup contract: [next_active r] is the earliest round [>= r] at
+          which the machine may transmit or needs to distinguish the
+          channel from silence ([max_int]: never again).  For any round
+          the contract does not cover, the machine promises that [act]
+          would return [Silent] without meaningful side effects and that
+          [observe]-ing the implied [Silence] is a no-op — the sparse
+          engine then skips both calls.  Transmissions that reach the node
+          are always delivered through [observe], whatever the contract
+          says, and the contract is re-queried after every poll (so it may
+          depend on state updated by a reception).  Use {!always_active}
+          to opt out of skipping. *)
 }
+
+val always_active : int -> int
+(** The identity contract: wake me every round (dense behaviour for this
+    machine; the safe default for ad-hoc test machines). *)
+
+val never_active : int -> int
+(** [fun _ -> max_int]: never wake me (receptions still arrive). *)
 
 val silent_machine : 'm machine
 (** A machine that never transmits and never delivers (crashed device). *)
+
+type mode = [ `Dense | `Sparse ]
+(** [`Sparse] (the default): calendar-driven wakeup loop.  [`Dense]: the
+    reference loop polling all machines every round.  Both produce
+    byte-identical results — including tap traces — for machines honouring
+    the {!machine.next_active} contract. *)
 
 type result = {
   rounds_used : int;  (** rounds executed before stopping *)
@@ -47,6 +81,7 @@ type round_digest = {
 val fingerprint_observation : 'm Channel.observation -> int
 
 val run :
+  ?mode:mode ->
   ?rng:Rng.t ->
   ?channel:Channel.params ->
   ?stop_when:(unit -> bool) ->
@@ -63,9 +98,13 @@ val run :
     returns true, polled every [stop_stride] rounds — default 96, chosen to
     keep progress-based cut-offs off the per-round hot path), or until
     [cap] rounds.
+    [mode] selects the loop implementation (default [`Sparse]); results
+    are identical, so the choice is purely a performance one, but pass it
+    explicitly — the source lint flags call sites that leave it implicit.
     [tap], if given, receives one [round_digest] per executed round (after
-    all observations of that round were delivered); untraced runs pay
-    nothing for the hook.
+    all observations of that round were delivered); rounds the sparse loop
+    skips produce all-silent digests, so traces are mode-independent;
+    untraced runs pay nothing for the hook.
     [idle_stop], if given, also stops the run after that many consecutive
     rounds in which nobody transmitted: all machines here are
     schedule-driven, so a silent schedule cycle (beyond the one silent

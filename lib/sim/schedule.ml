@@ -1,6 +1,7 @@
 let rounds_per_interval = 6
 let interval_of_round r = r / rounds_per_interval
 let phase_of_round r = r mod rounds_per_interval
+let first_round_of_interval i = i * rounds_per_interval
 
 type t = { cycle : int; slots : int array }
 
@@ -26,9 +27,14 @@ let for_nodes topology ~conflict_range ~source =
   let deployment = topology.Topology.deployment in
   let nodes = deployment.Deployment.nodes in
   let n = Array.length nodes in
-  (* Conflict neighbours via a spatial hash of cell size [conflict_range]. *)
+  (* Conflict neighbours via a spatial hash of cell size [conflict_range].
+     [floor], not truncation: int_of_float rounds toward zero, which would
+     merge the two cells either side of each axis into one double-width
+     cell and make the neighbour enumeration asymmetric for deployments
+     with negative coordinates (same bug as Topology.build's cell_of). *)
   let cell_of (p : Point.t) =
-    (int_of_float (p.x /. conflict_range), int_of_float (p.y /. conflict_range))
+    ( int_of_float (Float.floor (p.x /. conflict_range)),
+      int_of_float (Float.floor (p.y /. conflict_range)) )
   in
   let cells = Hashtbl.create (max 16 n) in
   Array.iter
@@ -70,3 +76,33 @@ let for_nodes topology ~conflict_range ~source =
   let slots = Array.map (fun c -> if c < 0 then source_slot else c + 1) colors in
   slots.(source) <- source_slot;
   { cycle = !max_color + 2; slots }
+
+(* Wakeup arithmetic for the sparse engine: given the set of slots a
+   machine cares about (its own sending slot plus the slots it listens
+   to), answer "first round >= r of a relevant interval" in O(1) via a
+   precomputed distance-to-next-relevant-slot table.  The table depends
+   only on the slot set, so the closure is built once per machine. *)
+let next_relevant_round t ~relevant =
+  let c = t.cycle in
+  if Array.length relevant <> c then
+    invalid_arg "Schedule.next_relevant_round: relevant array must have one entry per slot";
+  let any = Array.exists (fun b -> b) relevant in
+  (* delta.(s) = intervals from slot s to the nearest relevant slot at or
+     after it, cyclically.  Two backward passes resolve the wraparound. *)
+  let delta = Array.make (max 1 c) c in
+  for _pass = 0 to 1 do
+    for s = c - 1 downto 0 do
+      if relevant.(s) then delta.(s) <- 0
+      else begin
+        let next = delta.((s + 1) mod c) in
+        if next < c then delta.(s) <- min delta.(s) (next + 1)
+      end
+    done
+  done;
+  fun round ->
+    if not any then max_int
+    else begin
+      let interval = interval_of_round round in
+      let d = delta.(interval mod c) in
+      if d = 0 then round else first_round_of_interval (interval + d)
+    end

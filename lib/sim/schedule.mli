@@ -14,6 +14,9 @@ val interval_of_round : int -> int
 val phase_of_round : int -> int
 (** Position (0–5) inside the current interval. *)
 
+val first_round_of_interval : int -> int
+(** Inverse of {!interval_of_round} at phase 0. *)
+
 type t
 
 val cycle : t -> int
@@ -37,3 +40,13 @@ val for_nodes : Topology.t -> conflict_range:float -> source:Node.id -> t
 (** Per-node schedule by greedy colouring of the conflict graph (nodes
     within [conflict_range]); group ids are node ids; the source is slot 0
     regardless of its position. *)
+
+val next_relevant_round : t -> relevant:bool array -> int -> int
+(** [next_relevant_round t ~relevant] precomputes a wakeup function for a
+    machine that participates exactly in the intervals whose slot is
+    marked in [relevant] (one entry per slot of the cycle): applied to a
+    round [r], it returns the first round [>= r] falling in a relevant
+    interval — [r] itself when [r]'s interval is relevant — or [max_int]
+    when no slot is marked.  Partial application builds the O(1) lookup
+    table once; machines hand the resulting closure to the engine as
+    their [next_active] contract. *)

@@ -241,6 +241,26 @@ let test_source_lint_exemptions () =
   Alcotest.(check (list string)) "atomics allowed in the job pool" []
     (source_codes (Source_lint.lint_string ~path:"lib/run/pool.ml" atomics))
 
+let test_source_lint_engine_mode () =
+  let bare = "let r = Engine.run ~topology ~machines ~waiters ~cap:100 ()\n" in
+  (match Source_lint.lint_string ~path:"lib/analysis/driver.ml" bare with
+  | [ d ] ->
+    Alcotest.(check string) "Engine.run without ~mode is flagged" "engine-mode" d.Source_lint.code;
+    Alcotest.(check int) "line number" 1 d.Source_lint.line
+  | diags -> Alcotest.failf "expected one diagnostic, got %d" (List.length diags));
+  let pinned = "let r = Engine.run ~mode:`Sparse ~topology ~machines ~waiters ~cap:100 ()\n" in
+  Alcotest.(check (list string)) "explicit ~mode is clean" []
+    (source_codes (Source_lint.lint_string ~path:"lib/analysis/driver.ml" pinned));
+  let forwarded = "let r ?mode () = Engine.run ?mode ~topology ~machines ~waiters ~cap:100 ()\n" in
+  Alcotest.(check (list string)) "forwarding ?mode is clean" []
+    (source_codes (Source_lint.lint_string ~path:"lib/analysis/driver.ml" forwarded));
+  Alcotest.(check (list string)) "the dense/sparse harness under lib/check is exempt" []
+    (source_codes (Source_lint.lint_string ~path:"lib/check/equivalence.ml" bare));
+  (* Only applications are flagged: naming the function (to pass it along)
+     does not commit to a mode at that point. *)
+  Alcotest.(check (list string)) "a bare reference is clean" []
+    (source_codes (Source_lint.lint_string ~path:"lib/analysis/driver.ml" "let f = Engine.run\n"))
+
 let test_source_lint_parse_error () =
   match Source_lint.lint_string ~path:"lib/broken.ml" "let let let" with
   | [ d ] -> Alcotest.(check string) "parse error code" "parse-error" d.Source_lint.code
@@ -265,7 +285,7 @@ let test_golden_codes () =
     "source lint codes"
     [
       "hashtbl-order"; "poly-compare"; "poly-hash"; "ambient-random"; "wall-clock";
-      "domain-outside-run"; "parse-error";
+      "domain-outside-run"; "engine-mode"; "parse-error";
     ]
     Source_lint.codes
 
@@ -328,6 +348,7 @@ let test_collector_catches_shared_state () =
             if !leaked mod 2 = 0 then Engine.Transmit 7 else Engine.Silent);
         observe = (fun _ _ -> ());
         delivered = (fun () -> None);
+        next_active = Engine.always_active;
       }
     in
     let tap, finish = Determinism.collector () in
@@ -382,6 +403,7 @@ let () =
           Alcotest.test_case "fixtures are flagged with stable codes" `Quick
             test_source_lint_fixtures;
           Alcotest.test_case "directory exemptions" `Quick test_source_lint_exemptions;
+          Alcotest.test_case "Engine.run mode pinning" `Quick test_source_lint_engine_mode;
           Alcotest.test_case "parse errors surface as diagnostics" `Quick
             test_source_lint_parse_error;
           Alcotest.test_case "golden diagnostic codes" `Quick test_golden_codes;

@@ -204,6 +204,41 @@ let test_parallel_identity () =
         (Json.to_string (Runner.stable_json parallel)))
     [ "bounds"; "e8a"; "a3" ]
 
+(* --- Profiling ------------------------------------------------------------ *)
+
+let test_profile_counters () =
+  let job =
+    match Registry.find "e8a" with
+    | Some job -> job
+    | None -> Alcotest.fail "missing job e8a"
+  in
+  let plain = Runner.run_job ~scale:Experiment.Quick job in
+  Alcotest.(check bool) "no profile unless requested" true (plain.Runner.profile = None);
+  let profiled = Runner.run_job ~profile:true ~scale:Experiment.Quick job in
+  (match profiled.Runner.profile with
+  | None -> Alcotest.fail "profile requested but absent"
+  | Some p ->
+    Alcotest.(check bool) "simulated some rounds" true (p.Runner.rounds_simulated > 0);
+    Alcotest.(check bool) "rounds/s positive" true (p.Runner.rounds_per_second > 0.0);
+    Alcotest.(check bool) "allocation observed" true (p.Runner.minor_words > 0.0));
+  (* The profile rides in the JSON but never perturbs the stable part that
+     tables and comparisons are built from. *)
+  Alcotest.(check string) "stable JSON unchanged by profiling"
+    (Json.to_string (Runner.stable_json plain))
+    (Json.to_string (Runner.stable_json profiled));
+  let json = Json.to_string (Runner.json_of_outcome profiled) in
+  Alcotest.(check bool) "profile embedded in the results JSON" true
+    (contains ~needle:"rounds_per_second" json);
+  (* bench compare only reads id + wall_seconds, so profiled results files
+     remain valid comparison inputs. *)
+  let results = Runner.results_json ~scale:Experiment.Quick ~jobs:1 [ profiled ] in
+  match Bench.wall_times_of_results results with
+  | Ok [ (id, seconds) ] ->
+    Alcotest.(check string) "id survives" "e8a" id;
+    Alcotest.(check bool) "wall time read back" true (seconds >= 0.0)
+  | Ok other -> Alcotest.failf "expected one entry, got %d" (List.length other)
+  | Error message -> Alcotest.failf "profiled results rejected by compare: %s" message
+
 let qtests = [ prop_pool_matches_map ]
 
 let () =
@@ -233,6 +268,9 @@ let () =
           Alcotest.test_case "bad files rejected" `Quick test_compare_rejects_bad_files;
         ] );
       ( "runner",
-        [ Alcotest.test_case "jobs=4 byte-identical to jobs=1" `Quick test_parallel_identity ] );
+        [
+          Alcotest.test_case "jobs=4 byte-identical to jobs=1" `Quick test_parallel_identity;
+          Alcotest.test_case "profile counters" `Quick test_profile_counters;
+        ] );
       ("properties", List.map (fun t -> QCheck_alcotest.to_alcotest ~long:false t) qtests);
     ]

@@ -250,6 +250,85 @@ let test_schedule_nodes () =
     done
   done
 
+(* Regression for the spatial-hash cell function: int_of_float truncates
+   toward zero, which merged the two cells either side of each axis into
+   one double-width cell for deployments straddling the origin.  With
+   Float.floor every cell is exactly [conflict_range] wide, so the 3x3
+   neighbour scan sees every conflicting pair — including pairs whose
+   members sit on opposite sides of an axis. *)
+let test_schedule_nodes_negative_coords () =
+  let conflict_range = 2.0 in
+  let positions =
+    [|
+      (-0.5, 0.3); (0.5, 0.3); (-0.2, -1.0); (0.4, 1.2); (-1.8, -1.7); (1.9, -1.9);
+      (-3.9, 0.1); (3.8, -0.2); (0.0, 0.0); (-0.1, 3.9); (0.2, -3.8); (-2.1, 2.2);
+    |]
+  in
+  let nodes = Array.mapi (fun i (x, y) -> Node.make i (point x y)) positions in
+  let d = { Deployment.width = 8.0; height = 8.0; nodes } in
+  let t = Topology.build d (Propagation.disk_l2 conflict_range) in
+  let source = 8 in
+  let s = Schedule.for_nodes t ~conflict_range ~source in
+  Alcotest.(check int) "source owns slot 0" 0 (Schedule.slot_of s source);
+  let n = Array.length nodes in
+  (* The axis-straddling pair in particular conflicts (distance 1.0). *)
+  Alcotest.(check bool) "straddling pair separated" true
+    (Schedule.slot_of s 0 <> Schedule.slot_of s 1);
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if i <> source && j <> source then begin
+        let pi = nodes.(i).Node.pos and pj = nodes.(j).Node.pos in
+        if Point.dist_l2 pi pj <= conflict_range then
+          Alcotest.(check bool)
+            (Printf.sprintf "conflicting pair %d/%d separated" i j)
+            true
+            (Schedule.slot_of s i <> Schedule.slot_of s j)
+      end
+    done
+  done
+
+(* next_relevant_round against the obvious reference: scan forward round
+   by round until a relevant interval. *)
+let test_schedule_next_relevant () =
+  let squares = Squares.make ~side:1.0 ~width:4.0 ~height:4.0 in
+  let s = Schedule.for_squares squares ~radius:1.0 in
+  let c = Schedule.cycle s in
+  let reference relevant r =
+    let horizon = Schedule.first_round_of_interval (Schedule.interval_of_round r + c + 1) in
+    let rec scan q =
+      if q >= horizon then max_int
+      else if relevant.(Schedule.interval_of_round q mod c) then q
+      else scan (q + 1)
+    in
+    scan r
+  in
+  let cases =
+    [
+      Array.init c (fun i -> i = 0);
+      Array.init c (fun i -> i = c - 1);
+      Array.init c (fun i -> i = 2 || i = 5);
+      Array.init c (fun i -> i mod 3 = 1);
+      Array.make c true;
+    ]
+  in
+  List.iteri
+    (fun case relevant ->
+      let next = Schedule.next_relevant_round s ~relevant in
+      for r = 0 to Schedule.first_round_of_interval (3 * c) do
+        Alcotest.(check int)
+          (Printf.sprintf "case %d, round %d" case r)
+          (reference relevant r) (next r)
+      done)
+    cases;
+  (* No relevant slot at all: the machine never wakes. *)
+  let never = Schedule.next_relevant_round s ~relevant:(Array.make c false) in
+  Alcotest.(check int) "all-false never wakes" max_int (never 0);
+  Alcotest.(check bool) "wrong arity rejected" true
+    (try
+       let (_ : int -> int) = Schedule.next_relevant_round s ~relevant:[| true |] in
+       false
+     with Invalid_argument _ -> true)
+
 let test_schedule_active_slot () =
   let squares = Squares.make ~side:1.0 ~width:4.0 ~height:4.0 in
   let s = Schedule.for_squares squares ~radius:1.0 in
@@ -268,6 +347,7 @@ let tx_once_machine payload =
     Engine.act = (fun round -> if round = 0 then Engine.Transmit payload else Engine.Silent);
     observe = (fun _ _ -> ());
     delivered = (fun () -> None);
+    next_active = Engine.always_active;
   }
 
 let recorder () =
@@ -277,6 +357,9 @@ let recorder () =
       Engine.act = (fun _ -> Engine.Silent);
       observe = (fun round obs -> log := (round, obs) :: !log);
       delivered = (fun () -> None);
+      (* The log expects an observation every round, so opt out of the
+         sparse engine's skipping. *)
+      next_active = Engine.always_active;
     }
   in
   (machine, log)
@@ -325,6 +408,7 @@ let test_engine_waiters_stop () =
           | Channel.Clear _ -> delivered := Some (Bitvec.of_string "1")
           | Channel.Silence | Channel.Busy -> ());
       delivered = (fun () -> !delivered);
+      next_active = Engine.always_active;
     }
   in
   let sender =
@@ -332,6 +416,7 @@ let test_engine_waiters_stop () =
       Engine.act = (fun _ -> Engine.Transmit 0);
       observe = (fun _ _ -> ());
       delivered = (fun () -> Some (Bitvec.of_string "1"));
+      next_active = Engine.always_active;
     }
   in
   let result =
@@ -356,6 +441,7 @@ let test_engine_cap () =
       Engine.act = (fun _ -> Engine.Transmit 0);
       observe = (fun _ _ -> ());
       delivered = (fun () -> None);
+      next_active = Engine.always_active;
     }
   in
   let result =
@@ -393,6 +479,68 @@ let test_engine_stop_stride () =
   in
   Alcotest.(check int) "custom stride honoured" 7 result.Engine.rounds_used
 
+(* The point of the sparse loop: a machine with a periodic wakeup contract
+   is polled only in the rounds it declared, and a contract-silent
+   listener is woken only when a transmission actually reaches it — yet
+   the externally visible result matches the dense reference. *)
+let test_engine_sparse_skips_idle_rounds () =
+  let run mode =
+    let topology = line_topology 2 1.0 1.5 in
+    let acts = ref 0 in
+    let tx =
+      {
+        Engine.act =
+          (fun r ->
+            incr acts;
+            if r mod 10 = 0 then Engine.Transmit r else Engine.Silent);
+        observe = (fun _ _ -> ());
+        delivered = (fun () -> None);
+        next_active = (fun r -> (r + 9) / 10 * 10);
+      }
+    in
+    let observations = ref [] in
+    let rx =
+      {
+        Engine.act = (fun _ -> Engine.Silent);
+        observe = (fun r obs -> observations := (r, obs) :: !observations);
+        delivered = (fun () -> None);
+        next_active = Engine.never_active;
+      }
+    in
+    let result =
+      Engine.run ~mode ~topology ~machines:[| tx; rx |] ~waiters:[| false; true |] ~cap:100 ()
+    in
+    (result, !acts, List.rev !observations)
+  in
+  let sparse, sparse_acts, sparse_obs = run `Sparse in
+  let dense, dense_acts, dense_obs = run `Dense in
+  Alcotest.(check int) "runs to the cap" 100 sparse.Engine.rounds_used;
+  Alcotest.(check bool) "hit_cap" true sparse.Engine.hit_cap;
+  Alcotest.(check int) "same rounds as dense" dense.Engine.rounds_used sparse.Engine.rounds_used;
+  Alcotest.(check (array int)) "same broadcasts as dense" dense.Engine.broadcasts
+    sparse.Engine.broadcasts;
+  Alcotest.(check int) "ten transmissions" 10 sparse.Engine.broadcasts.(0);
+  (* Dense polls the transmitter all 100 rounds; sparse only at its ten
+     declared wakeups. *)
+  Alcotest.(check int) "dense polls every round" 100 dense_acts;
+  Alcotest.(check int) "sparse polls only scheduled rounds" 10 sparse_acts;
+  (* The listener is woken exactly by the ten receptions, and sees the
+     same payloads the dense run delivered (whose other 90 observations
+     are the implied silence). *)
+  let clear_obs obs =
+    List.filter_map
+      (fun (r, o) -> match o with Channel.Clear p -> Some (r, p) | _ -> None)
+      obs
+  in
+  Alcotest.(check int) "listener woken per reception" 10 (List.length sparse_obs);
+  Alcotest.(check int) "every wakeup decoded" 10 (List.length (clear_obs sparse_obs));
+  Alcotest.(check bool) "receptions match dense" true
+    (clear_obs sparse_obs = clear_obs dense_obs);
+  Alcotest.(check bool) "skipped observations were silence" true
+    (List.for_all
+       (fun (_, o) -> match o with Channel.Clear _ -> true | o -> o = Channel.Silence)
+       dense_obs)
+
 (* The engine's flat-aggregate channel resolution must agree with the
    reference Channel.resolve on arbitrary receiver configurations. *)
 let prop_engine_matches_reference =
@@ -426,6 +574,7 @@ let prop_engine_matches_reference =
           Engine.act = (fun _ -> Engine.Silent);
           observe = (fun _ obs -> observed := Some obs);
           delivered = (fun () -> None);
+          next_active = Engine.always_active;
         }
       in
       let machines = Array.init (k + 1) (fun i -> if i = 0 then rx else tx_once_machine i) in
@@ -468,6 +617,9 @@ let () =
           Alcotest.test_case "squares" `Quick test_schedule_squares;
           Alcotest.test_case "square reuse distance" `Quick test_schedule_squares_reuse_distance;
           Alcotest.test_case "nodes" `Quick test_schedule_nodes;
+          Alcotest.test_case "nodes straddling the origin" `Quick
+            test_schedule_nodes_negative_coords;
+          Alcotest.test_case "next relevant round" `Quick test_schedule_next_relevant;
           Alcotest.test_case "active slot wraps" `Quick test_schedule_active_slot;
         ] );
       ( "engine",
@@ -480,6 +632,8 @@ let () =
           Alcotest.test_case "round cap" `Quick test_engine_cap;
           Alcotest.test_case "stop_when polling" `Quick test_engine_stop_when;
           Alcotest.test_case "stop_when custom stride" `Quick test_engine_stop_stride;
+          Alcotest.test_case "sparse mode skips idle rounds" `Quick
+            test_engine_sparse_skips_idle_rounds;
         ] );
       ("properties", List.map (fun t -> QCheck_alcotest.to_alcotest ~long:false t) qtests);
     ]

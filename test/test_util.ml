@@ -202,6 +202,69 @@ let prop_bitvec_list_roundtrip =
     QCheck.(small_list bool)
     (fun bits -> Bitvec.to_list (Bitvec.of_list bits) = bits)
 
+(* --- Calendar ---------------------------------------------------------- *)
+
+let test_calendar_basic () =
+  let c = Calendar.create () in
+  Alcotest.(check bool) "starts empty" true (Calendar.is_empty c);
+  Calendar.add c 5 50;
+  Calendar.add c 1 10;
+  Calendar.add c 3 30;
+  Alcotest.(check int) "size" 3 (Calendar.size c);
+  Alcotest.(check int) "min key" 1 (Calendar.min_key c);
+  Alcotest.(check int) "pop returns payload" 10 (Calendar.pop_min c);
+  Alcotest.(check int) "next min" 3 (Calendar.min_key c);
+  Alcotest.(check int) "pop 2" 30 (Calendar.pop_min c);
+  Alcotest.(check int) "pop 3" 50 (Calendar.pop_min c);
+  Alcotest.(check bool) "empty again" true (Calendar.is_empty c)
+
+let test_calendar_duplicates_and_clear () =
+  let c = Calendar.create ~capacity:1 () in
+  (* The engine leans on lazy deletion: the same machine may be queued at
+     several rounds, and duplicate (key, value) pairs must all come back. *)
+  Calendar.add c 2 7;
+  Calendar.add c 2 7;
+  Calendar.add c 2 9;
+  Alcotest.(check int) "duplicates kept" 3 (Calendar.size c);
+  let popped = List.sort Int.compare (List.init 3 (fun _ -> Calendar.pop_min c)) in
+  Alcotest.(check (list int)) "payloads preserved" [ 7; 7; 9 ] popped;
+  Calendar.add c 4 1;
+  Calendar.clear c;
+  Alcotest.(check bool) "clear empties" true (Calendar.is_empty c);
+  Alcotest.(check bool) "min_key on empty raises" true
+    (try
+       ignore (Calendar.min_key c);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "pop_min on empty raises" true
+    (try
+       ignore (Calendar.pop_min c);
+       false
+     with Invalid_argument _ -> true)
+
+(* Drain order must be nondecreasing in key, whatever the insertion order,
+   including through capacity growth from a tiny initial array. *)
+let prop_calendar_drains_sorted =
+  QCheck.Test.make ~name:"calendar drains keys in nondecreasing order" ~count:200
+    QCheck.(small_list (pair (int_range 0 1000) (int_range 0 50)))
+    (fun pairs ->
+      let c = Calendar.create ~capacity:1 () in
+      List.iter (fun (k, v) -> Calendar.add c k v) pairs;
+      let rec drain acc last =
+        if Calendar.is_empty c then List.rev acc
+        else begin
+          let k = Calendar.min_key c in
+          if k < last then raise Exit;
+          let v = Calendar.pop_min c in
+          drain ((k, v) :: acc) k
+        end
+      in
+      match drain [] min_int with
+      | drained ->
+        (* Same multiset of entries out as in. *)
+        List.sort Stdlib.compare drained = List.sort Stdlib.compare pairs
+      | exception Exit -> false)
+
 (* --- Table ------------------------------------------------------------ *)
 
 let contains haystack needle =
@@ -242,7 +305,13 @@ let test_table_cells () =
   Alcotest.(check string) "pct" "42.0%" (Table.cell_pct 0.42);
   Alcotest.(check string) "int" "17" (Table.cell_i 17)
 
-let qtests = [ prop_linear_fit_recovers_line; prop_bitvec_int_roundtrip; prop_bitvec_list_roundtrip ]
+let qtests =
+  [
+    prop_linear_fit_recovers_line;
+    prop_bitvec_int_roundtrip;
+    prop_bitvec_list_roundtrip;
+    prop_calendar_drains_sorted;
+  ]
 
 let () =
   Alcotest.run "util"
@@ -281,6 +350,12 @@ let () =
           Alcotest.test_case "ops" `Quick test_bitvec_ops;
           Alcotest.test_case "digest deterministic" `Quick test_bitvec_digest_deterministic;
           Alcotest.test_case "digest separates" `Quick test_bitvec_digest_separates;
+        ] );
+      ( "calendar",
+        [
+          Alcotest.test_case "ordering" `Quick test_calendar_basic;
+          Alcotest.test_case "duplicates, clear, empty errors" `Quick
+            test_calendar_duplicates_and_clear;
         ] );
       ( "table",
         [
