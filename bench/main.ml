@@ -238,8 +238,12 @@ let () =
       ("--no-micro", Arg.Set no_micro, " skip the Bechamel microbenchmark suite");
       ( "--profile",
         Arg.Unit (fun () -> options := { !options with profile = true }),
-        " record per-experiment Gc allocation deltas and rounds/s into the results JSON \
-         (ignored by compare)" );
+        " record per-experiment Gc allocation deltas and rounds/s (plus per-worker stats) into \
+         the results JSON (ignored by compare)" );
+      ( "--sanitize",
+        Arg.Unit (fun () -> options := { !options with sanitize = true }),
+        " re-run each experiment's trials sequentially and fail on any divergence from the \
+         parallel results (dynamic --jobs N determinism check; no-op at --jobs 1)" );
       ( "--compare",
         Arg.String (fun p -> compare_base := Some p),
         "BASE.json  after the run, diff wall times against this baseline; exit 1 on a >20% \

@@ -258,11 +258,20 @@ let bench_cmd =
             "Record per-experiment Gc allocation deltas and rounds-per-second into the \
              results JSON (baseline comparisons ignore them).")
   in
-  let run scale jobs only json_path no_json compare_base profile =
+  let sanitize_arg =
+    Arg.(
+      value & flag
+      & info [ "sanitize" ]
+          ~doc:
+            "Re-run each experiment's trials sequentially after the parallel pass and fail if \
+             any result diverges — the dynamic check of the --jobs N determinism guarantee.  \
+             No-op at --jobs 1.")
+  in
+  let run scale jobs only json_path no_json compare_base profile sanitize =
     let scale = match scale with Some scale -> scale | None -> Figures.scale_of_env () in
     let only = List.concat_map (String.split_on_char ',') only in
     let json_path = if no_json then None else json_path in
-    match Bench.run { Bench.scale; jobs; only; json_path; profile } with
+    match Bench.run { Bench.scale; jobs; only; json_path; profile; sanitize } with
     | Ok outcomes ->
       Option.iter
         (fun base ->
@@ -285,7 +294,7 @@ let bench_cmd =
           the JSON results file.")
     Term.(
       const run $ scale_arg $ jobs_arg $ only_arg $ json_arg $ no_json_arg $ compare_arg
-      $ profile_arg)
+      $ profile_arg $ sanitize_arg)
 
 (* --- topo --------------------------------------------------------------- *)
 

@@ -4,6 +4,8 @@
                                        analytic bounds before simulating;
    `securebit_lint lint source`        AST lint for determinism and
                                        concurrency hazards in the sources;
+   `securebit_lint lint share`         domain-safety lint: mutable state
+                                       reachable from pool tasks;
    `securebit_lint check twobit`       bounded model checking of the 2Bit
                                        frame and the 1Hop stream;
    `securebit_lint check vote`         exhaustive checking of the multi-hop
@@ -12,8 +14,8 @@
    `securebit_lint check determinism`  run scenarios twice and diff the
                                        round-by-round channel traces.
 
-   `dune build @lint` runs all five (scenario lint over the bundled
-   presets, source lint over the whole tree).  `--json` on the lint
+   `dune build @lint` runs all six (scenario lint over the bundled
+   presets, source and share lint over the whole tree).  `--json` on the lint
    subcommands emits machine-readable diagnostics for CI and editors. *)
 
 open Cmdliner
@@ -119,8 +121,9 @@ let lint_source_cmd =
   let paths_arg =
     Arg.(
       value
-      & pos_all string [ "lib"; "bin"; "bench"; "examples" ]
-      & info [] ~docv:"PATH" ~doc:"Files or directories to lint (default: lib bin bench examples).")
+      & pos_all string [ "lib"; "bin"; "bench"; "examples"; "test" ]
+      & info [] ~docv:"PATH"
+          ~doc:"Files or directories to lint (default: lib bin bench examples test).")
   in
   let run json paths =
     let files = Source_lint.source_files paths in
@@ -153,10 +156,141 @@ let lint_source_cmd =
           Domain/Atomic use outside the job pool.")
     Term.(const run $ json_arg $ paths_arg)
 
+(* --- lint share --------------------------------------------------------- *)
+
+let share_diag_json (d : Share_lint.diagnostic) =
+  Json.Obj
+    [
+      ("severity", Json.String (Lint.severity_label d.severity));
+      ("file", Json.String d.file);
+      ("line", Json.Int d.line);
+      ("code", Json.String d.code);
+      ("message", Json.String d.message);
+    ]
+
+let lint_share_cmd =
+  let paths_arg =
+    Arg.(
+      value
+      & pos_all string [ "lib"; "bin"; "bench"; "examples"; "test" ]
+      & info [] ~docv:"PATH"
+          ~doc:"Files or directories to analyze (default: lib bin bench examples test).")
+  in
+  let seed_violation_arg =
+    Arg.(
+      value & flag
+      & info [ "seed-violation" ]
+          ~doc:
+            "Analyze a bundled two-module demo that shares a Hashtbl cache, a ref counter and a \
+             captured Buffer across pool tasks, to demonstrate the diagnostics.")
+  in
+  let inventory_arg =
+    Arg.(
+      value & flag
+      & info [ "inventory" ]
+          ~doc:
+            "Print the escaping-mutable-state inventory (top-level mutable bindings and mutable \
+             record fields per module) instead of diagnostics.  Always exits 0.")
+  in
+  let run json seed_violation inventory paths =
+    let files =
+      if seed_violation then List.map fst Share_lint.seed_violation_files
+      else Source_lint.source_files paths
+    in
+    if inventory then begin
+      let inv =
+        if seed_violation then Share_lint.inventory_strings Share_lint.seed_violation_files
+        else Share_lint.inventory_paths paths
+      in
+      if json then
+        print_string
+          (Json.to_string_pretty
+             (Json.Obj
+                [
+                  ("analyzer", Json.String "share-lint-inventory");
+                  ("files", Json.Int (List.length files));
+                  ( "globals",
+                    Json.List
+                      (List.map
+                         (fun (g : Share_lint.global) ->
+                           Json.Obj
+                             [
+                               ("module", Json.String g.gmodule);
+                               ("file", Json.String g.gfile);
+                               ("line", Json.Int g.gline);
+                               ("name", Json.String g.gname);
+                               ("kind", Json.String (Share_lint.kind_label g.gkind));
+                             ])
+                         inv.Share_lint.globals) );
+                  ( "mutable_fields",
+                    Json.List
+                      (List.map
+                         (fun (f : Share_lint.mutable_field) ->
+                           Json.Obj
+                             [
+                               ("module", Json.String f.fmodule);
+                               ("file", Json.String f.ffile);
+                               ("line", Json.Int f.fline);
+                               ("type", Json.String f.ftype);
+                               ("field", Json.String f.ffield);
+                             ])
+                         inv.Share_lint.fields) );
+                ]))
+      else begin
+        List.iter
+          (fun (g : Share_lint.global) ->
+            Printf.printf "%s:%d: global %s.%s (%s)\n" g.gfile g.gline g.gmodule g.gname
+              (Share_lint.kind_label g.gkind))
+          inv.Share_lint.globals;
+        List.iter
+          (fun (f : Share_lint.mutable_field) ->
+            Printf.printf "%s:%d: mutable field %s.%s.%s\n" f.ffile f.fline f.fmodule f.ftype
+              f.ffield)
+          inv.Share_lint.fields;
+        Printf.printf "inventoried %d file(s): %d mutable global(s), %d mutable field(s)\n"
+          (List.length files)
+          (List.length inv.Share_lint.globals)
+          (List.length inv.Share_lint.fields)
+      end
+    end
+    else begin
+      let diags =
+        if seed_violation then Share_lint.seed_violation () else Share_lint.lint_paths paths
+      in
+      if json then
+        print_string
+          (Json.to_string_pretty
+             (Json.Obj
+                [
+                  ("analyzer", Json.String "share-lint");
+                  ("files", Json.Int (List.length files));
+                  ( "errors",
+                    Json.Int
+                      (List.length
+                         (List.filter (fun d -> d.Share_lint.severity = Lint.Error) diags)) );
+                  ("diagnostics", Json.List (List.map share_diag_json diags));
+                ]))
+      else begin
+        List.iter (fun d -> print_endline (Share_lint.diagnostic_to_string d)) diags;
+        Printf.printf "analyzed %d file(s): %s\n" (List.length files)
+          (if Share_lint.has_errors diags then "FAILED" else "ok")
+      end;
+      if Share_lint.has_errors diags then exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "share"
+       ~doc:
+         "Domain-safety analysis: inventory escaping mutable state per module, then flag tasks \
+          handed to Pool.map_array/Pool.map_list/Domain.spawn that reach top-level mutable \
+          globals or mutate captured state without Atomic, plus any top-level mutable binding in \
+          lib/core or lib/sim.  Pairs with the dynamic Pool.map_array ~sanitize check.")
+    Term.(const run $ json_arg $ seed_violation_arg $ inventory_arg $ paths_arg)
+
 let lint_group =
   Cmd.group
     (Cmd.info "lint" ~doc:"Static validation of configurations and sources.")
-    [ lint_scenario_cmd; lint_source_cmd ]
+    [ lint_scenario_cmd; lint_source_cmd; lint_share_cmd ]
 
 (* --- check twobit ------------------------------------------------------ *)
 

@@ -48,6 +48,42 @@ let codes =
 let count severity diags = List.length (List.filter (fun d -> d.severity = severity) diags)
 let has_errors diags = List.exists (fun d -> d.severity = Error) diags
 
+(* --- path matching and allowlist hygiene, shared by the source-level
+   passes (Source_lint, Share_lint) --------------------------------------- *)
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix && String.sub s 0 (String.length prefix) = prefix
+
+let ends_with ~suffix s =
+  let ls = String.length suffix and l = String.length s in
+  l >= ls && String.sub s (l - ls) ls = suffix
+
+(* Is [path] inside directory [dir] (given relative to the repo root)?
+   Matches both "lib/run/pool.ml" and absolute/sandboxed spellings. *)
+let in_dir dir path =
+  starts_with ~prefix:(dir ^ "/") path
+  ||
+  let needle = "/" ^ dir ^ "/" in
+  let ln = String.length needle and lp = String.length path in
+  let rec scan i = i + ln <= lp && (String.sub path i ln = needle || scan (i + 1)) in
+  scan 0
+
+let path_matches ~entry path = path = entry || ends_with ~suffix:("/" ^ entry) path
+
+let allowlist_entry allowlist path code =
+  List.find_opt (fun (f, c) -> c = code && path_matches ~entry:f path) allowlist
+
+(* An allowlist entry that suppresses nothing is itself a defect: stale
+   entries hide future regressions behind an audit that no longer applies.
+   Only entries whose file was actually visited are reported, so linting a
+   subtree does not accuse entries for files outside it. *)
+let unused_allowlist ~allowlist ~used ~files =
+  List.filter
+    (fun (entry_file, code) ->
+      List.exists (fun path -> path_matches ~entry:entry_file path) files
+      && not (List.exists (fun (f, c) -> f = entry_file && c = code) used))
+    allowlist
+
 let node_count (spec : Scenario.spec) =
   match spec.deployment with
   | Scenario.Uniform n -> n

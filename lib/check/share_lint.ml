@@ -1,0 +1,610 @@
+(* Domain-safety lint: which mutable state could a task handed to the
+   deterministic job pool share with another domain?
+
+   The sharding campaign (ROADMAP: run spatial tiles of one simulation on
+   separate Domains) is gated on knowing that the closures executed by
+   [Pool.map_array]/[Pool.map_list]/[Domain.spawn] touch no unsynchronized
+   mutable state.  This pass answers that question statically, on the whole
+   tree at once:
+
+   1. {b inventory} — every module's escaping mutable state: top-level
+      [ref]/[Array.make]/[Hashtbl.create]/[Buffer.create]-style bindings
+      and declared mutable record fields;
+   2. {b capture analysis} — a conservative intra-file call/capture
+      summary: from each task expression handed to a pool primitive, follow
+      same-file function references transitively and collect every read of
+      a top-level mutable global (same module unqualified, other modules
+      qualified) and every write to a mutable binding allocated outside the
+      task;
+   3. {b layer policy} — lib/core and lib/sim must be state-free at
+      toplevel (per-run state lives in values the run constructs), so any
+      top-level mutable binding there is an error regardless of pool use.
+
+   Like Source_lint this is purely syntactic — no typing, no cross-module
+   call summaries (a task calling [M.helper] which touches [M.state] is
+   invisible; referencing [M.state] directly is not).  The rules target the
+   spellings idiomatic code actually uses, and the allowlist records the
+   audited exceptions. *)
+
+type kind = Ref | Arr | Tbl | Buf | Byt | Que | Stk | Atom
+
+let kind_label = function
+  | Ref -> "ref"
+  | Arr -> "Array.make"
+  | Tbl -> "Hashtbl.create"
+  | Buf -> "Buffer.create"
+  | Byt -> "Bytes.create"
+  | Que -> "Queue.create"
+  | Stk -> "Stack.create"
+  | Atom -> "Atomic.make"
+
+type global = {
+  gmodule : string;  (* "Voting" for lib/core/voting.ml *)
+  gfile : string;
+  gname : string;
+  gkind : kind;
+  gline : int;
+}
+
+type mutable_field = {
+  fmodule : string;
+  ffile : string;
+  ftype : string;
+  ffield : string;
+  fline : int;
+}
+
+type inventory = { globals : global list; fields : mutable_field list }
+
+type diagnostic = {
+  severity : Lint.severity;
+  file : string;
+  line : int;
+  code : string;
+  message : string;
+}
+
+let codes =
+  [ "global-mutable-core"; "shared-mutable"; "capture-mutates"; "unused-allowlist"; "parse-error" ]
+
+(* Audited-sound uses.  The pool's own workers write disjoint result/stat
+   slots (index-partitioned, never the same cell from two domains); the
+   test suite deliberately builds racy tasks to prove the sanitizer fires;
+   the committed fixture is the static half of that same proof. *)
+let allowlist =
+  [
+    ("lib/run/pool.ml", "capture-mutates");
+    ("test/test_run.ml", "capture-mutates");
+    ("test/fixtures/racy_counter.ml", "shared-mutable");
+  ]
+
+let severity_of _code = Lint.Error
+
+let pp_diagnostic fmt d =
+  Format.fprintf fmt "%s:%d: %s: %s [%s]" d.file d.line (Lint.severity_label d.severity) d.message
+    d.code
+
+let diagnostic_to_string d = Format.asprintf "%a" pp_diagnostic d
+let has_errors diags = List.exists (fun d -> d.severity = Lint.Error) diags
+
+(* --- expression helpers -------------------------------------------------- *)
+
+let module_of_path path =
+  String.capitalize_ascii (Filename.remove_extension (Filename.basename path))
+
+let line_of (loc : Location.t) = loc.Location.loc_start.Lexing.pos_lnum
+
+let rec peel (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Parsetree.Pexp_constraint (e, _) | Parsetree.Pexp_coerce (e, _, _) -> peel e
+  | _ -> e
+
+let head_ident e =
+  match (peel e).Parsetree.pexp_desc with
+  | Parsetree.Pexp_ident { txt; _ } -> Some (String.concat "." (Longident.flatten txt))
+  | _ -> None
+
+let iter_expr f e =
+  let default = Ast_iterator.default_iterator in
+  let it = { default with expr = (fun it e -> f e; default.expr it e) } in
+  it.expr it e
+
+(* All value-path references in an expression, as dotted strings. *)
+let refs_of_expr e =
+  let acc = ref [] in
+  iter_expr
+    (fun e ->
+      match e.Parsetree.pexp_desc with
+      | Parsetree.Pexp_ident { txt; _ } -> acc := String.concat "." (Longident.flatten txt) :: !acc
+      | _ -> ())
+    e;
+  !acc
+
+(* Every value name bound anywhere inside an expression: function
+   parameters, let patterns, match cases, for-loop indices.  Used to
+   separate a task's own state from captured state. *)
+let bound_names_of_expr e =
+  let acc = ref [] in
+  let default = Ast_iterator.default_iterator in
+  let it =
+    {
+      default with
+      pat =
+        (fun it (p : Parsetree.pattern) ->
+          (match p.ppat_desc with
+          | Parsetree.Ppat_var { txt; _ } | Parsetree.Ppat_alias (_, { txt; _ }) ->
+            acc := txt :: !acc
+          | _ -> ());
+          default.pat it p);
+      expr =
+        (fun it (e : Parsetree.expression) ->
+          (match e.Parsetree.pexp_desc with
+          | Parsetree.Pexp_for ({ ppat_desc = Parsetree.Ppat_var { txt; _ }; _ }, _, _, _, _) ->
+            acc := txt :: !acc
+          | _ -> ());
+          default.expr it e);
+    }
+  in
+  it.expr it e;
+  !acc
+
+(* Syntactic mutation sites: [x := e], [incr]/[decr], [a.(i) <- v] (the
+   parser spells it [Array.set]), record-field assignment, and the
+   imperative container operations.  The recorded target is the head
+   identifier being mutated. *)
+let writer_heads =
+  [
+    ":="; "incr"; "decr"; "Array.set"; "Array.unsafe_set"; "Array.fill"; "Array.blit"; "Bytes.set";
+    "Bytes.fill"; "Bytes.blit"; "Hashtbl.add"; "Hashtbl.replace"; "Hashtbl.remove"; "Hashtbl.reset";
+    "Hashtbl.clear"; "Buffer.add_string"; "Buffer.add_char"; "Buffer.add_bytes";
+    "Buffer.add_substring"; "Buffer.add_buffer"; "Buffer.clear"; "Buffer.reset"; "Queue.add";
+    "Queue.push"; "Queue.pop"; "Queue.take"; "Queue.clear"; "Queue.transfer"; "Stack.push";
+    "Stack.pop"; "Stack.clear";
+  ]
+
+let is_writer h = List.mem h writer_heads || List.mem h (List.map (( ^ ) "Stdlib.") writer_heads)
+
+type write = { target : string; wline : int }
+
+let writes_of_expr e =
+  let acc = ref [] in
+  iter_expr
+    (fun e ->
+      match e.Parsetree.pexp_desc with
+      | Parsetree.Pexp_setfield (target, _, _) -> (
+        match head_ident target with
+        | Some t -> acc := { target = t; wline = line_of e.Parsetree.pexp_loc } :: !acc
+        | None -> ())
+      | Parsetree.Pexp_apply (f, args) -> (
+        match head_ident f with
+        | Some h when is_writer h -> (
+          match List.find_opt (fun (l, _) -> l = Asttypes.Nolabel) args with
+          | Some (_, a) -> (
+            match head_ident a with
+            | Some t -> acc := { target = t; wline = line_of e.Parsetree.pexp_loc } :: !acc
+            | None -> ())
+          | None -> ())
+        | _ -> ())
+      | _ -> ())
+    e;
+  !acc
+
+(* Does this right-hand side allocate a mutable value? *)
+let alloc_kind e =
+  match (peel e).Parsetree.pexp_desc with
+  | Parsetree.Pexp_apply (f, _) -> (
+    match head_ident f with
+    | Some ("ref" | "Stdlib.ref") -> Some Ref
+    | Some
+        ( "Array.make" | "Array.create_float" | "Array.init" | "Array.make_matrix"
+        | "Stdlib.Array.make" ) ->
+      Some Arr
+    | Some ("Hashtbl.create" | "Stdlib.Hashtbl.create") -> Some Tbl
+    | Some "Buffer.create" -> Some Buf
+    | Some ("Bytes.create" | "Bytes.make") -> Some Byt
+    | Some "Queue.create" -> Some Que
+    | Some "Stack.create" -> Some Stk
+    | Some "Atomic.make" -> Some Atom
+    | _ -> None)
+  | _ -> None
+
+let is_function e =
+  match (peel e).Parsetree.pexp_desc with
+  | Parsetree.Pexp_fun _ | Parsetree.Pexp_function _ | Parsetree.Pexp_newtype _ -> true
+  | _ -> false
+
+let pattern_var (p : Parsetree.pattern) =
+  let rec go (p : Parsetree.pattern) =
+    match p.ppat_desc with
+    | Parsetree.Ppat_var { txt; _ } -> Some txt
+    | Parsetree.Ppat_constraint (p, _) -> go p
+    | _ -> None
+  in
+  go p
+
+(* --- per-file facts ------------------------------------------------------ *)
+
+type task_entry =
+  | Lambda of { refs : string list; writes : write list }
+      (* refs/writes already filtered of the lambda's own bindings *)
+  | Named of string
+  | Opaque
+
+type pool_site = { ps_line : int; ps_callee : string; ps_task : task_entry }
+
+type fn_summary = { fn_refs : string list; fn_writes : write list (* escaping only *) }
+
+type facts = {
+  fpath : string;
+  ftoplevel : global list;
+  ffields : mutable_field list;
+  fbindings : (string * fn_summary) list;  (* let-bound functions, any depth *)
+  fmutable_lets : (string * kind) list;  (* mutable allocations, any depth *)
+  fsites : pool_site list;
+}
+
+let pool_callees = [ "Pool.map_array"; "Pool.map_list"; "Domain.spawn" ]
+
+let filtered_summary e =
+  let bound = bound_names_of_expr e in
+  let refs = List.filter (fun r -> not (List.mem r bound)) (refs_of_expr e) in
+  let writes = List.filter (fun w -> not (List.mem w.target bound)) (writes_of_expr e) in
+  (refs, writes)
+
+let task_entry_of_arg arg =
+  let arg = peel arg in
+  if is_function arg then begin
+    let refs, writes = filtered_summary arg in
+    Lambda { refs; writes }
+  end
+  else
+    match head_ident arg with
+    | Some name when not (String.contains name '.') -> Named name
+    | Some _ | None -> Opaque
+
+let facts_of_structure ~path structure =
+  let gmodule = module_of_path path in
+  let bindings = ref [] in
+  let mutable_lets = ref [] in
+  let sites = ref [] in
+  let fields = ref [] in
+  let default = Ast_iterator.default_iterator in
+  let iterator =
+    {
+      default with
+      value_binding =
+        (fun it (vb : Parsetree.value_binding) ->
+          (match pattern_var vb.pvb_pat with
+          | Some name -> (
+            match alloc_kind vb.pvb_expr with
+            | Some kind -> mutable_lets := (name, kind) :: !mutable_lets
+            | None ->
+              if is_function vb.pvb_expr then begin
+                let refs, writes = filtered_summary vb.pvb_expr in
+                bindings := (name, { fn_refs = refs; fn_writes = writes }) :: !bindings
+              end)
+          | None -> ());
+          default.value_binding it vb);
+      expr =
+        (fun it (e : Parsetree.expression) ->
+          (match e.Parsetree.pexp_desc with
+          | Parsetree.Pexp_apply (f, args) -> (
+            match head_ident f with
+            | Some callee when List.mem callee pool_callees -> (
+              match List.find_opt (fun (l, _) -> l = Asttypes.Nolabel) args with
+              | Some (_, arg) ->
+                sites :=
+                  {
+                    ps_line = line_of e.Parsetree.pexp_loc;
+                    ps_callee = callee;
+                    ps_task = task_entry_of_arg arg;
+                  }
+                  :: !sites
+              | None -> ())
+            | _ -> ())
+          | _ -> ());
+          default.expr it e);
+      type_declaration =
+        (fun it (td : Parsetree.type_declaration) ->
+          (match td.ptype_kind with
+          | Parsetree.Ptype_record labels ->
+            List.iter
+              (fun (ld : Parsetree.label_declaration) ->
+                if ld.pld_mutable = Asttypes.Mutable then
+                  fields :=
+                    {
+                      fmodule = gmodule;
+                      ffile = path;
+                      ftype = td.ptype_name.txt;
+                      ffield = ld.pld_name.txt;
+                      fline = line_of ld.pld_loc;
+                    }
+                    :: !fields)
+              labels
+          | _ -> ());
+          default.type_declaration it td);
+    }
+  in
+  iterator.structure iterator structure;
+  (* Top-level mutable bindings: walk the structure items directly so only
+     depth-0 lets count as module state. *)
+  let toplevel =
+    List.concat_map
+      (fun (item : Parsetree.structure_item) ->
+        match item.pstr_desc with
+        | Parsetree.Pstr_value (_, vbs) ->
+          List.filter_map
+            (fun (vb : Parsetree.value_binding) ->
+              match (pattern_var vb.pvb_pat, alloc_kind vb.pvb_expr) with
+              | Some name, Some kind ->
+                Some
+                  {
+                    gmodule;
+                    gfile = path;
+                    gname = name;
+                    gkind = kind;
+                    gline = line_of vb.pvb_loc;
+                  }
+              | _ -> None)
+            vbs
+        | _ -> [])
+      structure
+  in
+  {
+    fpath = path;
+    ftoplevel = toplevel;
+    ffields = List.rev !fields;
+    fbindings = !bindings;
+    fmutable_lets = !mutable_lets;
+    fsites = List.rev !sites;
+  }
+
+let parse_string ~path contents =
+  let lexbuf = Lexing.from_string contents in
+  Location.init lexbuf path;
+  match Parse.implementation lexbuf with
+  | structure -> Ok structure
+  | exception _ -> Error lexbuf.Lexing.lex_curr_p.Lexing.pos_lnum
+
+(* --- capture analysis ---------------------------------------------------- *)
+
+(* Transitive same-file reachability from a task entry: the union of all
+   references and escaping writes of the task and of every same-file
+   function it can call.  Duplicate binding names are unioned, which is
+   conservative in the right direction. *)
+let reach facts entry =
+  let visited = Hashtbl.create 16 in
+  let refs = ref [] in
+  let writes = ref [] in
+  let rec follow name =
+    if not (Hashtbl.mem visited name) then begin
+      Hashtbl.add visited name ();
+      List.iter
+        (fun (n, summary) ->
+          if n = name then begin
+            refs := summary.fn_refs @ !refs;
+            writes := summary.fn_writes @ !writes;
+            List.iter
+              (fun r -> if not (String.contains r '.') then follow r)
+              summary.fn_refs
+          end)
+        facts.fbindings
+    end
+  in
+  (match entry with
+  | Lambda { refs = r; writes = w } ->
+    refs := r;
+    writes := w;
+    List.iter (fun r -> if not (String.contains r '.') then follow r) r
+  | Named name -> follow name
+  | Opaque -> ());
+  (!refs, !writes)
+
+let split_qualified name =
+  match List.rev (String.split_on_char '.' name) with
+  | leaf :: md :: _ -> Some (md, leaf)
+  | _ -> None
+
+(* --- whole-tree lint ----------------------------------------------------- *)
+
+let state_free_dirs = [ "lib/core"; "lib/sim" ]
+
+let lint_parsed parsed_files =
+  let facts = List.map (fun (path, structure) -> facts_of_structure ~path structure) parsed_files in
+  let all_globals = List.concat_map (fun f -> f.ftoplevel) facts in
+  let find_global ~md ~name =
+    List.find_opt (fun g -> g.gmodule = md && g.gname = name) all_globals
+  in
+  let diags = ref [] in
+  let used = ref [] in
+  let emit ~file ~line code message =
+    match Lint.allowlist_entry allowlist file code with
+    | Some entry -> if not (List.mem entry !used) then used := entry :: !used
+    | None ->
+      diags := { severity = severity_of code; file; line; code; message } :: !diags
+  in
+  (* Layer policy: lib/core and lib/sim keep no module-level mutable state
+     (sharding the engine requires those layers to be re-entrant). *)
+  List.iter
+    (fun g ->
+      if List.exists (fun dir -> Lint.in_dir dir g.gfile) state_free_dirs then
+        emit ~file:g.gfile ~line:g.gline "global-mutable-core"
+          (Printf.sprintf
+             "top-level mutable binding %s (%s): %s must be state-free at toplevel so engine \
+              shards can run on separate domains"
+             g.gname (kind_label g.gkind)
+             (String.concat " and " state_free_dirs)))
+    all_globals;
+  (* Capture analysis per pool call site. *)
+  List.iter
+    (fun f ->
+      let own_global name =
+        List.find_opt (fun g -> g.gname = name && g.gfile = f.fpath) f.ftoplevel
+      in
+      let mutable_let name =
+        List.filter_map (fun (n, k) -> if n = name then Some k else None) f.fmutable_lets
+      in
+      List.iter
+        (fun site ->
+          let refs, writes = reach f site.ps_task in
+          let seen = Hashtbl.create 8 in
+          let once key emit_it =
+            if not (Hashtbl.mem seen key) then begin
+              Hashtbl.add seen key ();
+              emit_it ()
+            end
+          in
+          let flag_global ?(line = site.ps_line) ~access g =
+            if g.gkind <> Atom then
+              once
+                ("shared", g.gmodule ^ "." ^ g.gname)
+                (fun () ->
+                  emit ~file:f.fpath ~line "shared-mutable"
+                    (Printf.sprintf
+                       "task passed to %s %s top-level mutable state %s.%s (%s at %s:%d) without \
+                        Atomic synchronization; pool tasks must be self-contained for --jobs N \
+                        determinism"
+                       site.ps_callee access g.gmodule g.gname (kind_label g.gkind) g.gfile
+                       g.gline))
+          in
+          (* Reads (or any reference) of top-level mutable globals. *)
+          List.iter
+            (fun r ->
+              match split_qualified r with
+              | Some (md, name) -> (
+                match find_global ~md ~name with
+                | Some g -> flag_global ~access:"references" g
+                | None -> ())
+              | None -> (
+                match own_global r with
+                | Some g -> flag_global ~access:"references" g
+                | None -> ()))
+            refs;
+          (* Writes to mutable state allocated outside the task. *)
+          List.iter
+            (fun w ->
+              match split_qualified w.target with
+              | Some (md, name) -> (
+                match find_global ~md ~name with
+                | Some g -> flag_global ~line:w.wline ~access:"writes" g
+                | None -> ())
+              | None -> (
+                match own_global w.target with
+                | Some g -> flag_global ~line:w.wline ~access:"writes" g
+                | None ->
+                  let kinds = mutable_let w.target in
+                  if kinds <> [] && not (List.mem Atom kinds) then
+                    once
+                      ("capture", w.target)
+                      (fun () ->
+                        emit ~file:f.fpath ~line:w.wline "capture-mutates"
+                          (Printf.sprintf
+                             "task passed to %s mutates captured mutable binding %s (%s allocated \
+                              outside the task); parallel tasks must not share unsynchronized \
+                              state"
+                             site.ps_callee w.target
+                             (String.concat "/" (List.map kind_label kinds))))))
+            writes)
+        f.fsites)
+    facts;
+  (!diags, !used)
+
+let lint_strings files =
+  let parsed, parse_errors =
+    List.fold_left
+      (fun (parsed, errors) (path, contents) ->
+        match parse_string ~path contents with
+        | Ok structure -> ((path, structure) :: parsed, errors)
+        | Error line ->
+          ( parsed,
+            {
+              severity = Lint.Error;
+              file = path;
+              line;
+              code = "parse-error";
+              message = "file does not parse as an OCaml implementation";
+            }
+            :: errors ))
+      ([], []) files
+  in
+  let diags, used = lint_parsed (List.rev parsed) in
+  let unused =
+    List.map
+      (fun (entry_file, code) ->
+        {
+          severity = Lint.Error;
+          file = entry_file;
+          line = 0;
+          code = "unused-allowlist";
+          message =
+            Printf.sprintf
+              "allowlist entry (%s, %s) suppressed no diagnostic; delete the stale audit"
+              entry_file code;
+        })
+      (Lint.unused_allowlist ~allowlist ~used ~files:(List.map fst files))
+  in
+  List.sort
+    (fun a b ->
+      match String.compare a.file b.file with 0 -> Int.compare a.line b.line | c -> c)
+    (parse_errors @ diags @ unused)
+
+let inventory_strings files =
+  let facts =
+    List.filter_map
+      (fun (path, contents) ->
+        match parse_string ~path contents with
+        | Ok structure -> Some (facts_of_structure ~path structure)
+        | Error _ -> None)
+      files
+  in
+  {
+    globals = List.concat_map (fun f -> f.ftoplevel) facts;
+    fields = List.concat_map (fun f -> f.ffields) facts;
+  }
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let with_contents paths =
+  List.map (fun path -> (path, read_file path)) (Source_lint.source_files paths)
+
+let lint_paths paths = lint_strings (with_contents paths)
+let inventory_paths paths = inventory_strings (with_contents paths)
+
+(* --- seed violation ------------------------------------------------------ *)
+
+(* A two-module demo of exactly the bug class the analyzer exists for: a
+   sim-layer module keeps a top-level cache, and an analysis-layer sweep
+   hands the pool a task that hits that cache, bumps a module-level
+   counter through a helper, and appends to a buffer captured from the
+   enclosing scope.  All three layers of diagnosis fire. *)
+let seed_violation_files =
+  [
+    ( "lib/sim/seed_cache.ml",
+      "(* seed-violation demo: module-level cache in the sim layer *)\n\
+       let cache = Hashtbl.create 64\n\
+       let lookup k = Hashtbl.find_opt cache k\n" );
+    ( "lib/analysis/seed_sweep.ml",
+      "(* seed-violation demo: pool tasks sharing unsynchronized state *)\n\
+       let hits = ref 0\n\
+       let record n = hits := !hits + n\n\n\
+       let sweep specs =\n\
+      \  let log = Buffer.create 16 in\n\
+      \  Pool.map_array ~jobs:4\n\
+      \    (fun spec ->\n\
+      \       record spec;\n\
+      \       Buffer.add_string log \"cell\\n\";\n\
+      \       (match Seed_cache.lookup spec with\n\
+      \        | Some cost -> cost\n\
+      \        | None ->\n\
+      \          let cost = 2 * spec in\n\
+      \          Hashtbl.replace Seed_cache.cache spec cost;\n\
+      \          cost)\n\
+      \       + !hits)\n\
+      \    specs\n" );
+  ]
+
+let seed_violation () = lint_strings seed_violation_files

@@ -22,18 +22,23 @@ let codes =
     "wall-clock";
     "domain-outside-run";
     "engine-mode";
+    "unused-allowlist";
     "parse-error";
   ]
 
 (* Audited-sound uses.  The two protocol [progress] counters fold a
    commutative sum; the engine's fingerprint hashes an explicit canonical
-   encoding; the bench table folds into a list it immediately sorts. *)
+   encoding; the bench table folds into a list it immediately sorts; the
+   pool's sanitizer digest is compared only against another digest of the
+   same in-memory representation within one process, so representation
+   dependence cannot flip a verdict. *)
 let allowlist =
   [
     ("lib/core/multi_path.ml", "hashtbl-order");
     ("lib/core/neighbor_watch.ml", "hashtbl-order");
     ("lib/sim/engine.ml", "poly-hash");
     ("bench/main.ml", "hashtbl-order");
+    ("lib/run/pool.ml", "poly-hash");
   ]
 
 let severity_of _code = Lint.Error
@@ -45,25 +50,8 @@ let pp_diagnostic fmt d =
 let diagnostic_to_string d = Format.asprintf "%a" pp_diagnostic d
 let has_errors diags = List.exists (fun d -> d.severity = Lint.Error) diags
 
-let starts_with ~prefix s =
-  String.length s >= String.length prefix && String.sub s 0 (String.length prefix) = prefix
-
-let ends_with ~suffix s =
-  let ls = String.length suffix and l = String.length s in
-  l >= ls && String.sub s (l - ls) ls = suffix
-
-(* Is [path] inside directory [dir] (given relative to the repo root)?
-   Matches both "lib/run/pool.ml" and absolute/sandboxed spellings. *)
-let in_dir dir path =
-  starts_with ~prefix:(dir ^ "/") path
-  ||
-  let needle = "/" ^ dir ^ "/" in
-  let ln = String.length needle and lp = String.length path in
-  let rec scan i = i + ln <= lp && (String.sub path i ln = needle || scan (i + 1)) in
-  scan 0
-
-let allowlisted path code =
-  List.exists (fun (f, c) -> c = code && (path = f || ends_with ~suffix:("/" ^ f) path)) allowlist
+let starts_with = Lint.starts_with
+let in_dir = Lint.in_dir
 
 (* The rule table: a referenced value path either is clean or maps to a
    diagnostic.  [exempt] carves out the directories where the construct is
@@ -102,9 +90,9 @@ let classify ident =
 
 let exempt code path =
   match code with
-  | "wall-clock" -> in_dir "lib/run" path || in_dir "bench" path
+  | "wall-clock" -> in_dir "lib/run" path || in_dir "bench" path || in_dir "test" path
   | "domain-outside-run" -> in_dir "lib/run" path
-  | "engine-mode" -> in_dir "lib/check" path
+  | "engine-mode" -> in_dir "lib/check" path || in_dir "test" path
   | _ -> false
 
 (* Does this application of [Engine.run] pin the loop variant?  The sparse
@@ -134,19 +122,25 @@ let module_code head =
         "module " ^ head ^ ": parallelism is confined to the deterministic job pool in lib/run/" )
   | _ -> None
 
-let lint_string ~path contents =
+(* Lint one file, also reporting which allowlist entries suppressed
+   something — {!lint_paths} needs that to enforce allowlist hygiene. *)
+let lint_string_used ~path contents =
   let diags = ref [] in
+  let used = ref [] in
   let emit code message (loc : Location.t) =
-    if not (exempt code path || allowlisted path code) then
-      diags :=
-        {
-          severity = severity_of code;
-          file = path;
-          line = loc.Location.loc_start.Lexing.pos_lnum;
-          code;
-          message;
-        }
-        :: !diags
+    if not (exempt code path) then
+      match Lint.allowlist_entry allowlist path code with
+      | Some entry -> if not (List.mem entry !used) then used := entry :: !used
+      | None ->
+        diags :=
+          {
+            severity = severity_of code;
+            file = path;
+            line = loc.Location.loc_start.Lexing.pos_lnum;
+            code;
+            message;
+          }
+          :: !diags
   in
   let check_ident txt loc =
     match classify (String.concat "." (Longident.flatten txt)) with
@@ -188,18 +182,21 @@ let lint_string ~path contents =
   Location.init lexbuf path;
   match Parse.implementation lexbuf with
   | exception _ ->
-    [
-      {
-        severity = Lint.Error;
-        file = path;
-        line = lexbuf.Lexing.lex_curr_p.Lexing.pos_lnum;
-        code = "parse-error";
-        message = "file does not parse as an OCaml implementation";
-      };
-    ]
+    ( [
+        {
+          severity = Lint.Error;
+          file = path;
+          line = lexbuf.Lexing.lex_curr_p.Lexing.pos_lnum;
+          code = "parse-error";
+          message = "file does not parse as an OCaml implementation";
+        };
+      ],
+      [] )
   | structure ->
     iterator.structure iterator structure;
-    List.sort (fun a b -> Int.compare a.line b.line) (List.rev !diags)
+    (List.sort (fun a b -> Int.compare a.line b.line) (List.rev !diags), !used)
+
+let lint_string ~path contents = fst (lint_string_used ~path contents)
 
 let read_file path =
   let ic = open_in_bin path in
@@ -209,8 +206,12 @@ let read_file path =
 
 let lint_file path = lint_string ~path (read_file path)
 
+(* Dangling paths (an explicitly named file that does not exist) are
+   skipped rather than raised on — editors and scripts pass paths that may
+   have just been deleted. *)
 let rec collect acc path =
-  if Sys.is_directory path then
+  if not (Sys.file_exists path) then acc
+  else if Sys.is_directory path then
     Array.fold_left
       (fun acc entry ->
         if entry = "" || entry.[0] = '_' || entry.[0] = '.' then acc
@@ -220,4 +221,25 @@ let rec collect acc path =
   else acc
 
 let source_files paths = List.sort String.compare (List.fold_left collect [] paths)
-let lint_paths paths = List.concat_map lint_file (source_files paths)
+
+let lint_paths paths =
+  let files = source_files paths in
+  let results = List.map (fun path -> lint_string_used ~path (read_file path)) files in
+  let diags = List.concat_map fst results in
+  let used = List.concat_map snd results in
+  let unused =
+    List.map
+      (fun (entry_file, code) ->
+        {
+          severity = Lint.Error;
+          file = entry_file;
+          line = 0;
+          code = "unused-allowlist";
+          message =
+            Printf.sprintf
+              "allowlist entry (%s, %s) suppressed no diagnostic; delete the stale audit"
+              entry_file code;
+        })
+      (Lint.unused_allowlist ~allowlist ~used ~files)
+  in
+  diags @ unused

@@ -24,14 +24,19 @@
     - [domain-outside-run]: [Domain]/[Atomic] outside [lib/run/] — all
       parallelism is confined to the deterministic job pool;
     - [engine-mode]: an application of [Engine.run] without a [~mode]
-      argument outside [lib/check/] — the sparse and dense loops are held
-      byte-identical by the equivalence test, but production call sites
-      must say which loop they mean rather than silently follow the
-      default;
+      argument outside [lib/check/] and [test/] — the sparse and dense
+      loops are held byte-identical by the equivalence test, but
+      production call sites must say which loop they mean rather than
+      silently follow the default;
+    - [unused-allowlist]: an {!allowlist} entry that suppressed no
+      diagnostic during a {!lint_paths} run over its file — stale audits
+      are themselves errors so they cannot rot in place;
     - [parse-error]: the file failed to parse.
 
     Findings at locations listed in {!allowlist} (file suffix, code) are
-    suppressed: those are the audited, order-insensitive uses. *)
+    suppressed: those are the audited, order-insensitive uses.
+    [wall-clock] and [engine-mode] are additionally exempt under [test/]
+    (test timers, equivalence fixtures). *)
 
 type diagnostic = {
   severity : Lint.severity;
@@ -54,15 +59,21 @@ val lint_string : path:string -> string -> diagnostic list
     and allowlists apply).  Used by tests to check fixtures without
     touching the filesystem. *)
 
+val lint_string_used : path:string -> string -> diagnostic list * (string * string) list
+(** {!lint_string} plus the allowlist entries that suppressed at least one
+    finding in this file — the input to {!Lint.unused_allowlist}. *)
+
 val lint_file : string -> diagnostic list
 
 val source_files : string list -> string list
-(** The [.ml] files {!lint_paths} would visit, in sorted order. *)
+(** The [.ml] files {!lint_paths} would visit, in sorted order.  Dangling
+    paths are skipped, not raised on. *)
 
 val lint_paths : string list -> diagnostic list
 (** Lint every [.ml] file under the given files/directories (recursive,
-    skipping [_build]-style and hidden directories), in sorted path
-    order. *)
+    skipping [_build]-style and hidden directories), in sorted path order;
+    then append one [unused-allowlist] error per {!allowlist} entry whose
+    file was visited but which suppressed nothing. *)
 
 val has_errors : diagnostic list -> bool
 val pp_diagnostic : Format.formatter -> diagnostic -> unit

@@ -4,10 +4,18 @@ type options = {
   only : string list;  (* empty = every registered job *)
   json_path : string option;
   profile : bool;
+  sanitize : bool;
 }
 
 let default_options () =
-  { scale = Figures.scale_of_env (); jobs = 1; only = []; json_path = None; profile = false }
+  {
+    scale = Figures.scale_of_env ();
+    jobs = 1;
+    only = [];
+    json_path = None;
+    profile = false;
+    sanitize = false;
+  }
 
 let selection only =
   match only with
@@ -187,7 +195,8 @@ let run options =
       List.map
         (fun job ->
           let outcome =
-            Runner.run_job ~jobs:options.jobs ~profile:options.profile ~scale:options.scale job
+            Runner.run_job ~jobs:options.jobs ~profile:options.profile
+              ~sanitize:options.sanitize ~scale:options.scale job
           in
           print_string (Runner.render outcome);
           Option.iter

@@ -8,9 +8,13 @@ type options = {
   only : string list;  (** experiment ids to run; empty = all *)
   json_path : string option;  (** where to write the JSON results, if anywhere *)
   profile : bool;
-      (** record {!Runner.profile} counters (allocation deltas, rounds/s)
-          per job, printed after each table and embedded in the JSON;
-          [bench compare] ignores them *)
+      (** record {!Runner.profile} counters (allocation deltas, rounds/s,
+          per-worker GC stats) per job, printed after each table and
+          embedded in the JSON; [bench compare] ignores them *)
+  sanitize : bool;
+      (** re-run each job's trials sequentially after the parallel pass and
+          fail on any divergence ({!Pool.Nondeterministic}); the dynamic
+          [--jobs N] determinism check *)
 }
 
 val default_options : unit -> options

@@ -6,14 +6,41 @@
     result slots, so the output is independent of scheduling.  Tasks must
     be self-contained: the simulation trials run here each carry their own
     seed and build their own [Rng] and topology, and no module under [lib]
-    keeps global mutable state.
+    keeps global mutable state.  {!Share_lint} checks that property
+    statically; [~sanitize] checks it dynamically.
 
     [jobs <= 1] runs sequentially on the calling domain with no spawns.
     If a task raises, one such exception is re-raised after all domains
-    have joined. *)
+    have joined, with the backtrace of the original raise site. *)
 
 val available_cores : unit -> int
 (** [Domain.recommended_domain_count ()]. *)
 
-val map_array : jobs:int -> ('a -> 'b) -> 'a array -> 'b array
-val map_list : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+exception Nondeterministic of { index : int; divergent : int }
+(** Raised by [~sanitize:true] when the parallel results differ
+    structurally from a sequential re-run: [index] is the first divergent
+    task index, [divergent] the total number of divergent slots.  The only
+    way a pure task array triggers this is shared mutable state. *)
+
+type worker_stat = {
+  domain_index : int;  (** 0 = the calling domain *)
+  tasks_run : int;
+  minor_words : float;  (** {!Gc.quick_stat} delta on that domain *)
+  major_words : float;
+  promoted_words : float;
+}
+(** Per-domain execution counters, exact on every domain (each worker
+    snapshots its own GC stats). *)
+
+val map_array : ?sanitize:bool -> jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [sanitize] (default false) re-runs the task array sequentially after
+    the parallel pass and raises {!Nondeterministic} if any result
+    differs — the dynamic race check for tasks {!Share_lint} cannot see
+    through.  Costs one extra sequential pass; a no-op at [jobs <= 1]. *)
+
+val map_list : ?sanitize:bool -> jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+
+val map_array_stats :
+  ?sanitize:bool -> jobs:int -> ('a -> 'b) -> 'a array -> 'b array * worker_stat list
+(** Like {!map_array} but also returns one {!worker_stat} per domain used
+    (a single entry at [jobs <= 1]), for [--profile] reporting. *)

@@ -12,6 +12,7 @@ type profile = {
   promoted_words : float;
   rounds_simulated : int;
   rounds_per_second : float;
+  workers : Pool.worker_stat list;
 }
 
 type outcome = {
@@ -33,7 +34,7 @@ let run_task = function
    per spec per seed, thunks one trial each), execute them on the pool,
    then merge strictly in cell order — so the rendered output is
    byte-identical whatever [jobs] is. *)
-let run_job ?(jobs = 1) ?(profile = false) ~scale (job : Experiment.job) =
+let run_job ?(jobs = 1) ?(profile = false) ?(sanitize = false) ~scale (job : Experiment.job) =
   let gc0 = if profile then Some (Gc.quick_stat ()) else None in
   let t0 = Unix.gettimeofday () in
   let cells = job.Experiment.cells scale in
@@ -49,7 +50,7 @@ let run_job ?(jobs = 1) ?(profile = false) ~scale (job : Experiment.job) =
         | Experiment.Thunk f -> [ Eval f ])
       cells
   in
-  let results = Pool.map_array ~jobs run_task (Array.of_list tasks) in
+  let results, workers = Pool.map_array_stats ~sanitize ~jobs run_task (Array.of_list tasks) in
   let cursor = ref 0 in
   let take () =
     let r = results.(!cursor) in
@@ -90,10 +91,11 @@ let run_job ?(jobs = 1) ?(profile = false) ~scale (job : Experiment.job) =
   let notes = job.Experiment.notes ~fits ~series in
   let wall_seconds = Unix.gettimeofday () -. t0 in
   let profile =
-    (* Allocation deltas come from [Gc.quick_stat] on the coordinating
-       domain, so they are exact at --jobs 1 and exclude worker-domain
-       allocation above that; rounds/s divides the engine rounds actually
-       simulated (Grid trials only) by the job's wall time. *)
+    (* Top-level allocation deltas come from [Gc.quick_stat] on the
+       coordinating domain (exact at --jobs 1, coordinator-only above
+       that); [workers] carries exact per-domain deltas from the pool.
+       Rounds/s divides the engine rounds actually simulated (Grid trials
+       only) by the job's wall time. *)
     Option.map
       (fun g0 ->
         let g1 = Gc.quick_stat () in
@@ -110,6 +112,7 @@ let run_job ?(jobs = 1) ?(profile = false) ~scale (job : Experiment.job) =
           rounds_simulated;
           rounds_per_second =
             (if wall_seconds > 0.0 then float_of_int rounds_simulated /. wall_seconds else 0.0);
+          workers;
         })
       gc0
   in
@@ -162,6 +165,16 @@ let stable_json outcome =
       ("notes", Json.List (List.map (fun n -> Json.String n) outcome.notes));
     ]
 
+let json_of_worker (w : Pool.worker_stat) =
+  Json.Obj
+    [
+      ("domain", Json.Int w.Pool.domain_index);
+      ("tasks_run", Json.Int w.Pool.tasks_run);
+      ("minor_words", Json.Float w.Pool.minor_words);
+      ("major_words", Json.Float w.Pool.major_words);
+      ("promoted_words", Json.Float w.Pool.promoted_words);
+    ]
+
 let json_of_profile p =
   Json.Obj
     [
@@ -170,6 +183,7 @@ let json_of_profile p =
       ("promoted_words", Json.Float p.promoted_words);
       ("rounds_simulated", Json.Int p.rounds_simulated);
       ("rounds_per_second", Json.Float p.rounds_per_second);
+      ("workers", Json.List (List.map json_of_worker p.workers));
     ]
 
 let json_of_outcome outcome =

@@ -11,9 +11,14 @@ type profile = {
   promoted_words : float;
   rounds_simulated : int;  (** engine rounds across the job's Grid trials *)
   rounds_per_second : float;  (** rounds_simulated / wall_seconds *)
+  workers : Pool.worker_stat list;
+      (** one entry per pool domain: tasks run and exact per-domain
+          {!Gc.quick_stat} deltas *)
 }
-(** Cheap per-job performance counters ({!Gc.quick_stat} deltas — exact at
-    [--jobs 1], coordinator-domain-only above that). *)
+(** Cheap per-job performance counters (top-level fields are
+    {!Gc.quick_stat} deltas on the coordinating domain — exact at
+    [--jobs 1], coordinator-only above that; [workers] is exact on every
+    domain). *)
 
 type outcome = {
   job : Experiment.job;
@@ -28,10 +33,13 @@ type outcome = {
   profile : profile option;  (** [Some] iff requested via [run_job ~profile:true] *)
 }
 
-val run_job : ?jobs:int -> ?profile:bool -> scale:Experiment.scale -> Experiment.job -> outcome
+val run_job :
+  ?jobs:int -> ?profile:bool -> ?sanitize:bool -> scale:Experiment.scale -> Experiment.job -> outcome
 (** Execute every trial of the job ([jobs] defaults to 1 = sequential;
     [profile] defaults to false — when set, the outcome carries allocation
-    and rounds-per-second counters). *)
+    and rounds-per-second counters; [sanitize] defaults to false — when
+    set and [jobs > 1], {!Pool.map_array} re-runs the trials sequentially
+    and raises {!Pool.Nondeterministic} on any divergence). *)
 
 val render : outcome -> string
 (** The ASCII table followed by one line per fit and per note. *)

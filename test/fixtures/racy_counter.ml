@@ -1,0 +1,15 @@
+(* Deliberately racy pool task: every task increments a module-level
+   counter, so the result of each task depends on scheduling.  This file is
+   never compiled — it is the committed proof fixture that (a) Share_lint
+   flags the capture statically (test_check) and (b) Pool.map_array
+   ~sanitize catches the divergence dynamically (test_run).  The tree-wide
+   `lint share` run suppresses it via an audited allowlist entry. *)
+
+let hits = ref 0
+
+let racy_sum specs =
+  Pool.map_array ~jobs:4
+    (fun spec ->
+      hits := !hits + spec;
+      !hits)
+    specs

@@ -266,6 +266,152 @@ let test_source_lint_parse_error () =
   | [ d ] -> Alcotest.(check string) "parse error code" "parse-error" d.Source_lint.code
   | diags -> Alcotest.failf "expected one diagnostic, got %d" (List.length diags)
 
+let test_source_lint_dangling_paths () =
+  Alcotest.(check (list string)) "dangling paths are skipped, not raised on" []
+    (Source_lint.source_files [ "no/such/dir"; "also/missing.ml" ])
+
+(* --- allowlist hygiene ----------------------------------------------------- *)
+
+let test_unused_allowlist_helper () =
+  let allowlist = [ ("lib/a.ml", "x"); ("lib/b.ml", "y") ] in
+  Alcotest.(check (list (pair string string)))
+    "an entry that suppressed nothing is reported"
+    [ ("lib/b.ml", "y") ]
+    (Lint.unused_allowlist ~allowlist
+       ~used:[ ("lib/a.ml", "x") ]
+       ~files:[ "lib/a.ml"; "lib/b.ml" ]);
+  (* Entries whose file was not visited are not judged: linting one file
+     must not condemn the rest of the allowlist. *)
+  Alcotest.(check (list (pair string string)))
+    "entries outside the visited file set are not judged" []
+    (Lint.unused_allowlist ~allowlist ~used:[] ~files:[ "lib/other.ml" ]);
+  (* Suffix matching: the visited path may be absolute. *)
+  Alcotest.(check (list (pair string string)))
+    "suffix-matched files count as visited"
+    [ ("lib/a.ml", "x") ]
+    (Lint.unused_allowlist ~allowlist ~used:[] ~files:[ "/sandbox/repo/lib/a.ml" ])
+
+let test_source_lint_allowlist_use_tracking () =
+  (* bench/main.ml has a hashtbl-order allowlist entry; a fold uses it... *)
+  let fold = "let t tbl = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []\n" in
+  let diags, used = Source_lint.lint_string_used ~path:"bench/main.ml" fold in
+  Alcotest.(check int) "suppressed" 0 (List.length diags);
+  Alcotest.(check (list (pair string string)))
+    "entry recorded as used"
+    [ ("bench/main.ml", "hashtbl-order") ]
+    used;
+  (* ...and clean contents leave it unused. *)
+  let diags, used = Source_lint.lint_string_used ~path:"bench/main.ml" "let x = 1\n" in
+  Alcotest.(check int) "nothing flagged" 0 (List.length diags);
+  Alcotest.(check (list (pair string string))) "nothing used" [] used
+
+(* --- share lint ------------------------------------------------------------ *)
+
+let share_codes diags = List.map (fun d -> d.Share_lint.code) diags
+
+let test_share_lint_seed_violation () =
+  let diags = Share_lint.seed_violation () in
+  Alcotest.(check bool) "the demo fails the lint" true (Share_lint.has_errors diags);
+  Alcotest.(check (list string))
+    "all three rules fire on the bundled demo"
+    [ "capture-mutates"; "global-mutable-core"; "shared-mutable" ]
+    (List.sort_uniq String.compare (share_codes diags));
+  (* The cross-module half: the task lives in lib/analysis but reaches the
+     sim-layer cache, so the diagnostic must name the foreign global. *)
+  let contains needle haystack =
+    let n = String.length needle and h = String.length haystack in
+    let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "cross-module capture names the foreign global" true
+    (List.exists
+       (fun d ->
+         d.Share_lint.code = "shared-mutable"
+         && d.Share_lint.file = "lib/analysis/seed_sweep.ml"
+         && contains "Seed_cache.cache" d.Share_lint.message)
+       diags)
+
+let test_share_lint_clean_and_atomic () =
+  let clean = "let sweep specs = Pool.map_array ~jobs:4 (fun spec -> 2 * spec) specs\n" in
+  Alcotest.(check (list string)) "a self-contained task is clean" []
+    (share_codes (Share_lint.lint_strings [ ("lib/analysis/sweep.ml", clean) ]));
+  (* Atomics are the sanctioned cross-domain cell: inventoried, never
+     flagged. *)
+  let atomic =
+    "let hits = Atomic.make 0\n\
+     let sweep specs =\n\
+    \  Pool.map_array ~jobs:4 (fun spec -> Atomic.incr hits; 2 * spec) specs\n"
+  in
+  Alcotest.(check (list string)) "an Atomic-mediated counter is clean" []
+    (share_codes (Share_lint.lint_strings [ ("lib/run/sweep.ml", atomic) ]))
+
+let test_share_lint_global_mutable_core () =
+  let cache = "let cache = Hashtbl.create 16\nlet lookup k = Hashtbl.find_opt cache k\n" in
+  (match Share_lint.lint_strings [ ("lib/sim/cache.ml", cache) ] with
+  | [ d ] ->
+    Alcotest.(check string) "toplevel mutable state in lib/sim" "global-mutable-core"
+      d.Share_lint.code;
+    Alcotest.(check int) "line of the binding" 1 d.Share_lint.line
+  | diags -> Alcotest.failf "expected one diagnostic, got %d" (List.length diags));
+  (* The same binding outside the state-free layers is inventoried but only
+     an error if a pool task reaches it. *)
+  Alcotest.(check (list string)) "mutable module state outside core/sim is tolerated" []
+    (share_codes (Share_lint.lint_strings [ ("lib/analysis/cache.ml", cache) ]));
+  (* A function that merely allocates a fresh table per call is not module
+     state. *)
+  Alcotest.(check (list string)) "per-call allocation is not a global" []
+    (share_codes
+       (Share_lint.lint_strings [ ("lib/sim/fresh.ml", "let create n = Hashtbl.create n\n") ]))
+
+let test_share_lint_reaches_named_helpers () =
+  (* The task itself is innocent; the helper it calls mutates module
+     state.  The intra-file call summary must follow the edge. *)
+  let src =
+    "let total = ref 0\n\
+     let bump n = total := !total + n\n\
+     let sweep specs = Pool.map_array ~jobs:2 (fun s -> bump s; s) specs\n"
+  in
+  (match Share_lint.lint_strings [ ("lib/analysis/sweep.ml", src) ] with
+  | [ d ] ->
+    Alcotest.(check string) "reached through the helper" "shared-mutable" d.Share_lint.code
+  | diags -> Alcotest.failf "expected one diagnostic, got %d" (List.length diags));
+  (* Same helper handed to the pool by name instead of inside a lambda. *)
+  let named =
+    "let total = ref 0\n\
+     let bump n =\n\
+    \  total := !total + n;\n\
+    \  n\n\
+     let sweep specs = Pool.map_array ~jobs:2 bump specs\n"
+  in
+  Alcotest.(check (list string)) "named task functions are analyzed" [ "shared-mutable" ]
+    (share_codes (Share_lint.lint_strings [ ("lib/analysis/named.ml", named) ]))
+
+let test_share_lint_racy_fixture () =
+  (* The committed fixture, linted under a production path so the audited
+     allowlist entry for its real location does not mask the finding. *)
+  let contents =
+    In_channel.with_open_bin "fixtures/racy_counter.ml" In_channel.input_all
+  in
+  Alcotest.(check (list string)) "the racy fixture is flagged statically" [ "shared-mutable" ]
+    (share_codes (Share_lint.lint_strings [ ("lib/analysis/racy_counter.ml", contents) ]));
+  (* At its committed path the entry suppresses the finding — and is
+     therefore used, so no unused-allowlist complaint either. *)
+  Alcotest.(check (list string)) "allowlisted at its committed path" []
+    (share_codes (Share_lint.lint_strings [ ("test/fixtures/racy_counter.ml", contents) ]))
+
+let test_share_lint_unused_allowlist () =
+  (* lib/run/pool.ml carries a capture-mutates audit; contents that no
+     longer exercise it must surface the stale entry. *)
+  match Share_lint.lint_strings [ ("lib/run/pool.ml", "let x = 1\n") ] with
+  | [ d ] ->
+    Alcotest.(check string) "stale audit is an error" "unused-allowlist" d.Share_lint.code
+  | diags -> Alcotest.failf "expected one diagnostic, got %d" (List.length diags)
+
+let test_share_lint_parse_error () =
+  match Share_lint.lint_strings [ ("lib/broken.ml", "let let let") ] with
+  | [ d ] -> Alcotest.(check string) "parse error code" "parse-error" d.Share_lint.code
+  | diags -> Alcotest.failf "expected one diagnostic, got %d" (List.length diags)
+
 (* --- golden diagnostic codes ---------------------------------------------- *)
 
 (* The stable codes are the machine-readable interface of `securebit_lint
@@ -285,9 +431,13 @@ let test_golden_codes () =
     "source lint codes"
     [
       "hashtbl-order"; "poly-compare"; "poly-hash"; "ambient-random"; "wall-clock";
-      "domain-outside-run"; "engine-mode"; "parse-error";
+      "domain-outside-run"; "engine-mode"; "unused-allowlist"; "parse-error";
     ]
-    Source_lint.codes
+    Source_lint.codes;
+  Alcotest.(check (list string))
+    "share lint codes"
+    [ "global-mutable-core"; "shared-mutable"; "capture-mutates"; "unused-allowlist"; "parse-error" ]
+    Share_lint.codes
 
 (* --- determinism checker ------------------------------------------------- *)
 
@@ -406,7 +556,31 @@ let () =
           Alcotest.test_case "Engine.run mode pinning" `Quick test_source_lint_engine_mode;
           Alcotest.test_case "parse errors surface as diagnostics" `Quick
             test_source_lint_parse_error;
+          Alcotest.test_case "dangling paths skipped" `Quick test_source_lint_dangling_paths;
           Alcotest.test_case "golden diagnostic codes" `Quick test_golden_codes;
+        ] );
+      ( "allowlist hygiene",
+        [
+          Alcotest.test_case "unused entries reported" `Quick test_unused_allowlist_helper;
+          Alcotest.test_case "source lint tracks entry use" `Quick
+            test_source_lint_allowlist_use_tracking;
+          Alcotest.test_case "share lint flags stale entries" `Quick
+            test_share_lint_unused_allowlist;
+        ] );
+      ( "share lint",
+        [
+          Alcotest.test_case "seed violation fires all rules" `Quick
+            test_share_lint_seed_violation;
+          Alcotest.test_case "clean and Atomic-mediated tasks pass" `Quick
+            test_share_lint_clean_and_atomic;
+          Alcotest.test_case "lib/core and lib/sim are state-free" `Quick
+            test_share_lint_global_mutable_core;
+          Alcotest.test_case "reachability through named helpers" `Quick
+            test_share_lint_reaches_named_helpers;
+          Alcotest.test_case "racy fixture flagged statically" `Quick
+            test_share_lint_racy_fixture;
+          Alcotest.test_case "parse errors surface as diagnostics" `Quick
+            test_share_lint_parse_error;
         ] );
       ( "determinism",
         [

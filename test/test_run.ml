@@ -32,6 +32,43 @@ let test_pool_exception () =
 let test_pool_cores () =
   Alcotest.(check bool) "at least one core" true (Pool.available_cores () >= 1)
 
+(* The in-memory twin of fixtures/racy_counter.ml: tasks share a captured
+   counter, so each result depends on scheduling.  The sanitizer must
+   refuse the run.  (Share_lint flags the committed fixture statically;
+   test_check covers that half.) *)
+let test_pool_sanitize_catches_race () =
+  let hits = ref 0 in
+  let racy spec =
+    hits := !hits + spec;
+    !hits
+  in
+  match Pool.map_array ~sanitize:true ~jobs:4 racy (Array.init 64 (fun i -> i + 1)) with
+  | _ -> Alcotest.fail "sanitizer accepted a racy task array"
+  | exception Pool.Nondeterministic { index; divergent } ->
+    Alcotest.(check bool) "divergent index in range" true (index >= 0 && index < 64);
+    Alcotest.(check bool) "at least one divergent slot" true (divergent >= 1)
+
+let test_pool_sanitize_clean () =
+  let f x = (x * 17) mod 101 in
+  let xs = Array.init 200 (fun i -> i) in
+  Alcotest.(check (array int)) "self-contained tasks pass the sanitizer" (Array.map f xs)
+    (Pool.map_array ~sanitize:true ~jobs:4 f xs)
+
+let test_pool_worker_stats () =
+  let results, stats = Pool.map_array_stats ~jobs:3 (fun i -> i * i) (Array.init 30 (fun i -> i)) in
+  Alcotest.(check (array int)) "results unchanged" (Array.init 30 (fun i -> i * i)) results;
+  Alcotest.(check int) "one stat per domain" 3 (List.length stats);
+  Alcotest.(check (list int)) "domains numbered from the caller" [ 0; 1; 2 ]
+    (List.map (fun s -> s.Pool.domain_index) stats);
+  Alcotest.(check int) "every task accounted for" 30
+    (List.fold_left (fun acc s -> acc + s.Pool.tasks_run) 0 stats);
+  (* Sequential execution reports a single coordinator entry. *)
+  match Pool.map_array_stats ~jobs:1 (fun i -> i) (Array.init 5 (fun i -> i)) with
+  | _, [ s ] ->
+    Alcotest.(check int) "coordinator domain" 0 s.Pool.domain_index;
+    Alcotest.(check int) "all tasks on it" 5 s.Pool.tasks_run
+  | _, stats -> Alcotest.failf "expected one sequential stat, got %d" (List.length stats)
+
 (* --- Registry ------------------------------------------------------------ *)
 
 let expected_ids =
@@ -44,7 +81,7 @@ let test_registry_complete () =
   Alcotest.(check (list string)) "every experiment registered" expected_ids Registry.ids
 
 let test_registry_unique () =
-  let sorted = List.sort_uniq compare Registry.ids in
+  let sorted = List.sort_uniq String.compare Registry.ids in
   Alcotest.(check int) "ids are unique" (List.length Registry.ids) (List.length sorted)
 
 let test_registry_find () =
@@ -204,6 +241,28 @@ let test_parallel_identity () =
         (Json.to_string (Runner.stable_json parallel)))
     [ "bounds"; "e8a"; "a3" ]
 
+(* The sanitized parallel run must agree with plain sequential execution on
+   real registry jobs — i.e. the dynamic race check stays silent on the
+   actual trial workload and does not perturb any output. *)
+let test_sanitize_matches_sequential () =
+  List.iter
+    (fun id ->
+      let job =
+        match Registry.find id with
+        | Some job -> job
+        | None -> Alcotest.failf "missing job %s" id
+      in
+      let sequential = Runner.run_job ~jobs:1 ~scale:Experiment.Quick job in
+      let sanitized = Runner.run_job ~jobs:2 ~sanitize:true ~scale:Experiment.Quick job in
+      Alcotest.(check string)
+        (id ^ ": sanitized render identical to jobs=1")
+        (Runner.render sequential) (Runner.render sanitized);
+      Alcotest.(check string)
+        (id ^ ": sanitized stable JSON identical to jobs=1")
+        (Json.to_string (Runner.stable_json sequential))
+        (Json.to_string (Runner.stable_json sanitized)))
+    [ "bounds"; "e8a" ]
+
 (* --- Profiling ------------------------------------------------------------ *)
 
 let test_profile_counters () =
@@ -220,7 +279,12 @@ let test_profile_counters () =
   | Some p ->
     Alcotest.(check bool) "simulated some rounds" true (p.Runner.rounds_simulated > 0);
     Alcotest.(check bool) "rounds/s positive" true (p.Runner.rounds_per_second > 0.0);
-    Alcotest.(check bool) "allocation observed" true (p.Runner.minor_words > 0.0));
+    Alcotest.(check bool) "allocation observed" true (p.Runner.minor_words > 0.0);
+    match p.Runner.workers with
+    | [ w ] ->
+      Alcotest.(check int) "single coordinator worker at jobs=1" 0 w.Pool.domain_index;
+      Alcotest.(check bool) "worker ran the trials" true (w.Pool.tasks_run > 0)
+    | ws -> Alcotest.failf "expected one worker stat at jobs=1, got %d" (List.length ws));
   (* The profile rides in the JSON but never perturbs the stable part that
      tables and comparisons are built from. *)
   Alcotest.(check string) "stable JSON unchanged by profiling"
@@ -229,6 +293,8 @@ let test_profile_counters () =
   let json = Json.to_string (Runner.json_of_outcome profiled) in
   Alcotest.(check bool) "profile embedded in the results JSON" true
     (contains ~needle:"rounds_per_second" json);
+  Alcotest.(check bool) "per-worker stats embedded in the results JSON" true
+    (contains ~needle:"workers" json);
   (* bench compare only reads id + wall_seconds, so profiled results files
      remain valid comparison inputs. *)
   let results = Runner.results_json ~scale:Experiment.Quick ~jobs:1 [ profiled ] in
@@ -239,7 +305,17 @@ let test_profile_counters () =
   | Ok other -> Alcotest.failf "expected one entry, got %d" (List.length other)
   | Error message -> Alcotest.failf "profiled results rejected by compare: %s" message
 
-let qtests = [ prop_pool_matches_map ]
+(* Sanitized parallel maps of a pure function agree with List.map for any
+   worker count — the sanitizer's sequential re-run never perturbs clean
+   results. *)
+let prop_pool_sanitize_matches_map =
+  QCheck.Test.make ~name:"Pool.map_list ~sanitize = List.map (jobs 1..6)" ~count:40
+    QCheck.(pair (int_range 1 6) (list_of_size Gen.(int_bound 50) small_int))
+    (fun (jobs, xs) ->
+      let f x = (x * x) - (3 * x) + 7 in
+      Pool.map_list ~sanitize:true ~jobs f xs = List.map f xs)
+
+let qtests = [ prop_pool_matches_map; prop_pool_sanitize_matches_map ]
 
 let () =
   Alcotest.run "run"
@@ -250,6 +326,9 @@ let () =
           Alcotest.test_case "order" `Quick test_pool_order;
           Alcotest.test_case "exception propagation" `Quick test_pool_exception;
           Alcotest.test_case "available cores" `Quick test_pool_cores;
+          Alcotest.test_case "sanitizer catches racy tasks" `Quick test_pool_sanitize_catches_race;
+          Alcotest.test_case "sanitizer passes clean tasks" `Quick test_pool_sanitize_clean;
+          Alcotest.test_case "per-worker stats" `Quick test_pool_worker_stats;
         ] );
       ( "registry",
         [
@@ -270,6 +349,8 @@ let () =
       ( "runner",
         [
           Alcotest.test_case "jobs=4 byte-identical to jobs=1" `Quick test_parallel_identity;
+          Alcotest.test_case "sanitized run byte-identical to jobs=1" `Quick
+            test_sanitize_matches_sequential;
           Alcotest.test_case "profile counters" `Quick test_profile_counters;
         ] );
       ("properties", List.map (fun t -> QCheck_alcotest.to_alcotest ~long:false t) qtests);

@@ -119,7 +119,7 @@ let test_experiment_seeds () =
   let config = { Experiment.repetitions = 5; base_seed = 10 } in
   let seeds = Experiment.seeds config in
   Alcotest.(check int) "count" 5 (List.length seeds);
-  Alcotest.(check int) "distinct" 5 (List.length (List.sort_uniq compare seeds))
+  Alcotest.(check int) "distinct" 5 (List.length (List.sort_uniq Int.compare seeds))
 
 let test_experiment_aggregate () =
   let mk rate rounds =

@@ -73,14 +73,14 @@ let test_rng_shuffle_permutes () =
   let a = Array.init 50 (fun i -> i) in
   Rng.shuffle rng a;
   let sorted = Array.copy a in
-  Array.sort compare sorted;
+  Array.sort Int.compare sorted;
   Alcotest.(check (array int)) "still a permutation" (Array.init 50 (fun i -> i)) sorted
 
 let test_rng_sample_without_replacement () =
   let rng = Rng.create 31 in
   let sample = Rng.sample_without_replacement rng 10 30 in
   Alcotest.(check int) "10 values" 10 (List.length sample);
-  Alcotest.(check int) "all distinct" 10 (List.length (List.sort_uniq compare sample));
+  Alcotest.(check int) "all distinct" 10 (List.length (List.sort_uniq Int.compare sample));
   List.iter (fun v -> Alcotest.(check bool) "in range" true (v >= 0 && v < 30)) sample
 
 let test_rng_bits_length () =
@@ -262,7 +262,10 @@ let prop_calendar_drains_sorted =
       match drain [] min_int with
       | drained ->
         (* Same multiset of entries out as in. *)
-        List.sort Stdlib.compare drained = List.sort Stdlib.compare pairs
+        let pair_compare (k1, v1) (k2, v2) =
+          match Int.compare k1 k2 with 0 -> Int.compare v1 v2 | c -> c
+        in
+        List.sort pair_compare drained = List.sort pair_compare pairs
       | exception Exit -> false)
 
 (* --- Table ------------------------------------------------------------ *)
