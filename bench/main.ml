@@ -100,6 +100,14 @@ let experiment_kernels =
             radius = 2.0;
             message = Bitvec.of_string "10";
           } );
+    ( "G1.graphs",
+      fun () ->
+        run_spec
+          {
+            (tiny_spec (Scenario.Multi_path { tolerance = 1 })) with
+            deployment = Scenario.Grid_holes { width = 8; height = 6; holes = 5 };
+            message = Bitvec.of_string "10";
+          } );
   ]
 
 (* Protocol primitives, benchmarked in isolation. *)

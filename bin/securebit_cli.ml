@@ -39,13 +39,18 @@ let protocol_conv =
       | Some tolerance when tolerance >= 0 -> Ok (Scenario.Multi_path { tolerance })
       | Some _ | None -> Error (`Msg "mp:<t> needs a non-negative integer"))
     | [ "epidemic" ] -> Ok Scenario.Epidemic
-    | _ -> Error (`Msg "expected nw | nw2 | mp:<t> | epidemic")
+    | [ "cpa"; t ] -> (
+      match int_of_string_opt t with
+      | Some tolerance when tolerance >= 0 -> Ok (Scenario.Certified { tolerance })
+      | Some _ | None -> Error (`Msg "cpa:<t> needs a non-negative integer"))
+    | _ -> Error (`Msg "expected nw | nw2 | mp:<t> | epidemic | cpa:<t>")
   in
   let print fmt = function
     | Scenario.Neighbor_watch { votes = 1 } -> Format.pp_print_string fmt "nw"
     | Scenario.Neighbor_watch { votes = _ } -> Format.pp_print_string fmt "nw2"
     | Scenario.Multi_path { tolerance } -> Format.fprintf fmt "mp:%d" tolerance
     | Scenario.Epidemic -> Format.pp_print_string fmt "epidemic"
+    | Scenario.Certified { tolerance } -> Format.fprintf fmt "cpa:%d" tolerance
   in
   Arg.conv (parse, print)
 
@@ -73,7 +78,12 @@ let faults_conv =
       | Some fraction, Some budget, Some probability ->
         Ok (Scenario.Jamming { fraction; budget; probability })
       | _ -> Error (`Msg "jam:<fraction>:<budget>:<probability>"))
-    | _ -> Error (`Msg "expected none | crash:<f> | lie:<f> | jam:<f>:<b>:<p>")
+    | [ "sjam"; f; b; p ] -> (
+      match (float_of_string_opt f, int_of_string_opt b, float_of_string_opt p) with
+      | Some fraction, Some budget, Some probability ->
+        Ok (Scenario.Selective_jam { fraction; budget; probability })
+      | _ -> Error (`Msg "sjam:<fraction>:<budget>:<probability>"))
+    | _ -> Error (`Msg "expected none | crash:<f> | lie:<f> | jam:<f>:<b>:<p> | sjam:<f>:<b>:<p>")
   in
   let print fmt = function
     | Scenario.No_faults -> Format.pp_print_string fmt "none"
@@ -81,6 +91,8 @@ let faults_conv =
     | Scenario.Lying f -> Format.fprintf fmt "lie:%g" f
     | Scenario.Jamming { fraction; budget; probability } ->
       Format.fprintf fmt "jam:%g:%d:%g" fraction budget probability
+    | Scenario.Selective_jam { fraction; budget; probability } ->
+      Format.fprintf fmt "sjam:%g:%d:%g" fraction budget probability
   in
   Arg.conv (parse, print)
 
@@ -300,12 +312,14 @@ let bench_cmd =
 
 let topo_cmd =
   let run spec =
-    let result = Scenario.run { spec with Scenario.cap = 0 } in
+    (* Statistics, not delivery: a stranded node is exactly the kind of
+       thing this command exists to report, so never fail fast on it. *)
+    let result = Scenario.run { spec with Scenario.cap = 0; allow_unreachable = true } in
     let topology = result.Scenario.topology in
     let source = result.Scenario.source in
     let table = Table.create ~title:"topology" ~columns:[ "metric"; "value" ] in
     Table.add_row table [ "nodes"; Table.cell_i (Topology.size topology) ];
-    Table.add_row table [ "density"; Table.cell_f (Deployment.density topology.Topology.deployment) ];
+    Table.add_row table [ "density"; Table.cell_f (Deployment.density (Topology.deployment topology)) ];
     Table.add_row table [ "average degree"; Table.cell_f (Topology.avg_degree topology) ];
     Table.add_row table [ "reachable from source"; Table.cell_i (Topology.reachable_from topology source) ];
     Table.add_row table [ "hop diameter (from source)"; Table.cell_i (Topology.hop_diameter_from topology source) ];

@@ -1,0 +1,59 @@
+(* Explicit graph classes demo.
+
+   The paper's analysis lives on dense deployments in a square; the
+   synthetic graph families drop that assumption.  This demo runs the
+   "graph_corridor" preset — CPA with tolerance 1 on a corridor map
+   (dense rooms chained by width-one halls) — and then swaps protocol
+   and graph class to show both failure axes:
+
+   - CPA needs t+1 = 2 vouchers to cross a cut, so it commits the first
+     room and stalls at the hall (bootstrap percolation below threshold);
+     on the 8-adjacent lattice (degree up to 8) it completes.
+   - MultiPathRB carries its evidence in frames rather than in the
+     geometry, so it crosses the corridor fine.
+
+   Run with: dune exec examples/graph_classes.exe *)
+
+let base = Scenario.preset_exn "graph_corridor"
+let lattice = Scenario.Lattice { width = 10; height = 10 }
+
+let cases =
+  [
+    ("corridor", base.Scenario.deployment); ("lattice", lattice);
+  ]
+
+let protocols =
+  [
+    ("CPA t=1", base.Scenario.protocol);
+    ("MultiPathRB t=1", Scenario.Multi_path { tolerance = 1 });
+    ("NeighborWatchRB", Scenario.Neighbor_watch { votes = 1 });
+  ]
+
+let () =
+  let table =
+    Table.create ~title:"protocols across explicit graph classes"
+      ~columns:[ "graph"; "protocol"; "completed"; "correct"; "rounds" ]
+  in
+  List.iter
+    (fun (graph_name, deployment) ->
+      List.iter
+        (fun (protocol_name, protocol) ->
+          let spec = { base with Scenario.deployment; protocol } in
+          let s = Scenario.summarize (Scenario.run spec) in
+          Table.add_row table
+            [
+              graph_name;
+              protocol_name;
+              Table.cell_pct s.Scenario.completion_rate;
+              Table.cell_pct s.Scenario.correct_rate;
+              Table.cell_i s.Scenario.rounds;
+            ])
+        protocols)
+    cases;
+  Table.print table;
+  print_newline ();
+  print_endline
+    "CPA stalls at the corridor's width-one cuts (it needs t+1 = 2 vouchers);";
+  print_endline
+    "MultiPathRB's framed evidence crosses them, and the lattice's degree-8";
+  print_endline "neighbourhoods give every protocol what it needs."

@@ -27,7 +27,7 @@ let glyph = function
   | Source_cell -> 'S'
 
 let render ?(cell = 1.0) (result : Scenario.result) =
-  let deployment = result.Scenario.topology.Topology.deployment in
+  let deployment = Topology.deployment result.Scenario.topology in
   let cols = max 1 (int_of_float (ceil (deployment.Deployment.width /. cell))) in
   let rows = max 1 (int_of_float (ceil (deployment.Deployment.height /. cell))) in
   let grid = Array.make_matrix rows cols Empty in

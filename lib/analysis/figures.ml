@@ -14,6 +14,7 @@ let protocol_name = function
   | Scenario.Neighbor_watch { votes } -> Printf.sprintf "%d-vote NW" votes
   | Scenario.Multi_path { tolerance } -> Printf.sprintf "MultiPathRB t=%d" tolerance
   | Scenario.Epidemic -> "Epidemic"
+  | Scenario.Certified { tolerance } -> Printf.sprintf "CPA t=%d" tolerance
 
 (* MultiPathRB relay cap used at Quick scale: just above the quorum size,
    so the voting rule still has redundancy but the HEARD flood is bounded
@@ -55,6 +56,7 @@ let fig5_crash =
               let spec =
                 {
                   Scenario.default with
+                  allow_unreachable = true;
                   map_w = map;
                   map_h = map;
                   deployment = Scenario.Uniform n;
@@ -95,6 +97,7 @@ let jamming =
           let spec =
             {
               Scenario.default with
+              allow_unreachable = true;
               map_w = map;
               map_h = map;
               deployment = Scenario.Uniform n;
@@ -161,6 +164,7 @@ let fig6_lying =
               let spec =
                 {
                   Scenario.default with
+                  allow_unreachable = true;
                   map_w = map;
                   map_h = map;
                   deployment = Scenario.Uniform n;
@@ -227,6 +231,7 @@ let fig7_density =
             let spec =
               {
                 Scenario.default with
+                allow_unreachable = true;
                 map_w = map;
                 map_h = map;
                 deployment = Scenario.Uniform n;
@@ -297,6 +302,7 @@ let clustered =
               let spec =
                 {
                   Scenario.default with
+                  allow_unreachable = true;
                   map_w = map;
                   map_h = map;
                   deployment;
@@ -341,6 +347,7 @@ let map_size =
           let spec =
             {
               Scenario.default with
+              allow_unreachable = true;
               map_w = map;
               map_h = map;
               deployment = Scenario.Uniform n;
@@ -388,6 +395,7 @@ let epidemic_comparison =
           let base =
             {
               Scenario.default with
+              allow_unreachable = true;
               map_w = map;
               map_h = map;
               deployment = Scenario.Uniform n;
@@ -430,6 +438,7 @@ let ablation_pipeline =
           let base =
             {
               Scenario.default with
+              allow_unreachable = true;
               map_w = map;
               map_h = map;
               deployment = Scenario.Uniform n;
@@ -478,6 +487,7 @@ let ablation_square =
           let spec =
             {
               Scenario.default with
+              allow_unreachable = true;
               map_w = map;
               map_h = map;
               deployment = Scenario.Uniform n;
@@ -511,6 +521,7 @@ let ablation_jamprob =
           let spec =
             {
               Scenario.default with
+              allow_unreachable = true;
               map_w = map;
               map_h = map;
               deployment = Scenario.Uniform n;
@@ -545,6 +556,7 @@ let ablation_dualmode =
           let base =
             {
               Scenario.default with
+              allow_unreachable = true;
               map_w = map;
               map_h = map;
               deployment = Scenario.Uniform n;
@@ -596,6 +608,7 @@ let ablation_cpa =
           let spec =
             {
               Scenario.default with
+              allow_unreachable = true;
               map_w = map;
               map_h = map;
               deployment = Scenario.Uniform n;
@@ -613,34 +626,34 @@ let ablation_cpa =
               let topology = mp_result.Scenario.topology in
               let roles =
                 Array.init (Topology.size topology) (fun i ->
-                    if i = mp_result.Scenario.source then Certified_propagation.Source
-                    else Certified_propagation.Honest)
+                    if i = mp_result.Scenario.source then Certified_propagation.Reference.Source
+                    else Certified_propagation.Reference.Honest)
               in
               let cpa =
-                Certified_propagation.run
-                  { Certified_propagation.radius; tolerance }
+                Certified_propagation.Reference.run
+                  { Certified_propagation.Reference.radius; tolerance }
                   ~topology ~source:mp_result.Scenario.source ~message ~roles ~max_rounds:10_000
               in
               let cpa_reached =
                 Array.fold_left
                   (fun acc c -> if c = Some message then acc + 1 else acc)
-                  0 cpa.Certified_propagation.committed
+                  0 cpa.Certified_propagation.Reference.committed
               in
               let factor =
-                if cpa.Certified_propagation.rounds > 0 then
-                  float_of_int mp.Scenario.rounds /. float_of_int cpa.Certified_propagation.rounds
+                if cpa.Certified_propagation.Reference.rounds > 0 then
+                  float_of_int mp.Scenario.rounds /. float_of_int cpa.Certified_propagation.Reference.rounds
                 else 0.0
               in
               Experiment.row
                 ~values:
                   [
-                    ("cpa_rounds", Json.Int cpa.Certified_propagation.rounds);
+                    ("cpa_rounds", Json.Int cpa.Certified_propagation.Reference.rounds);
                     ("mp_rounds", Json.Int mp.Scenario.rounds);
                     ("radio_cost_factor", Json.Float factor);
                   ]
                 [
                   Table.cell_i seed;
-                  Table.cell_i cpa.Certified_propagation.rounds;
+                  Table.cell_i cpa.Certified_propagation.Reference.rounds;
                   Printf.sprintf "%d/%d" cpa_reached (Topology.size topology);
                   Table.cell_i mp.Scenario.rounds;
                   Table.cell_pct mp.Scenario.completion_rate;

@@ -1,0 +1,13 @@
+(** G1: the graph-class protocol comparison.
+
+    Runs NeighborWatchRB, 2-vote NeighborWatchRB, MultiPathRB and CPA
+    over the explicit graph families ({!Graphs} via
+    {!Scenario.deployment_kind}): grid-with-holes, corridor, planar
+    triangulation, expander and Moore lattice.  The square-geometry
+    deployments the paper evaluates on are the protocols' home turf;
+    this table shows what survives when the unit-disk assumption goes
+    away (the scenario linter flags the analytic bounds that no longer
+    apply — see the [non-geometric-bound] diagnostic). *)
+
+val comparison : Experiment.job
+(** Experiment id ["g1"]. *)

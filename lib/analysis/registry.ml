@@ -64,7 +64,8 @@ let mobile =
 
 (* The canonical experiment order: the paper's evaluation (E1–E7), the
    Theorem 5 sweeps (E8a–E8c), the DESIGN.md ablations (A1–A5), then the
-   analytic bounds table and the mobile extension. *)
+   analytic bounds table, the mobile extension, and the graph-class
+   comparison (G1). *)
 let all =
   [
     Figures.fig5_crash;
@@ -84,6 +85,7 @@ let all =
       Figures.ablation_cpa;
       bounds;
       mobile;
+      Graph_family.comparison;
     ]
 
 let ids = List.map (fun job -> job.Experiment.id) all

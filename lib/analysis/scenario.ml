@@ -2,11 +2,25 @@ type protocol =
   | Neighbor_watch of { votes : int }
   | Multi_path of { tolerance : int }
   | Epidemic
+  | Certified of { tolerance : int }
 
 type deployment_kind =
   | Uniform of int
   | Clustered of { n : int; clusters : int; stddev : float }
   | Grid
+  | Grid_holes of { width : int; height : int; holes : int }
+  | Corridor of { rooms : int; room_w : int; room_h : int; hall_len : int }
+  | Triangulated of { cols : int; rows : int; jitter : float }
+  | Expander of { n : int; degree : int }
+  | Lattice of { width : int; height : int }
+
+(* The geometric kinds deploy on the [map_w × map_h] square and derive
+   their edges from the radio model; everything else is an explicit graph
+   family from {!Graphs}, for which map size, radio and radius are
+   ignored. *)
+let geometric_deployment = function
+  | Uniform _ | Clustered _ | Grid -> true
+  | Grid_holes _ | Corridor _ | Triangulated _ | Expander _ | Lattice _ -> false
 
 type radio = Friis | Disk_l2 | Disk_linf
 
@@ -15,6 +29,7 @@ type faults =
   | Crash of float
   | Jamming of { fraction : float; budget : int; probability : float }
   | Lying of float
+  | Selective_jam of { fraction : float; budget : int; probability : float }
 
 type spec = {
   map_w : float;
@@ -30,6 +45,7 @@ type spec = {
   heard_relay_limit : int option;
   square_side : float option;  (* NeighborWatchRB square-size override *)
   pipelined : bool;  (* false = store-and-forward ablation *)
+  allow_unreachable : bool;  (* accept sources that cannot cover the deployment *)
   seed : int;
 }
 
@@ -48,8 +64,22 @@ let default =
     heard_relay_limit = None;
     square_side = None;
     pipelined = true;
+    allow_unreachable = false;
     seed = 42;
   }
+
+exception Unreachable of { unreachable : int; total : int }
+
+let () =
+  Printexc.register_printer (function
+    | Unreachable { unreachable; total } ->
+      Some
+        (Printf.sprintf
+           "Scenario.Unreachable: the source cannot reach %d of %d nodes; a run would \
+            silently report them undelivered (set allow_unreachable = true to accept \
+            partial coverage)"
+           unreachable total)
+    | _ -> None)
 
 type result = {
   spec : spec;
@@ -71,12 +101,24 @@ let build_deployment rng spec =
     Deployment.grid
       ~width:(1 + int_of_float spec.map_w)
       ~height:(1 + int_of_float spec.map_h)
+  | Grid_holes _ | Corridor _ | Triangulated _ | Expander _ | Lattice _ ->
+    invalid_arg "Scenario.build_deployment: synthetic kinds build whole topologies"
 
 let build_propagation spec =
   match spec.radio with
   | Friis -> Propagation.friis spec.radius
   | Disk_l2 -> Propagation.disk_l2 spec.radius
   | Disk_linf -> Propagation.disk_linf spec.radius
+
+let build_topology rng spec =
+  match spec.deployment with
+  | Uniform _ | Clustered _ | Grid -> Topology.build (build_deployment rng spec) (build_propagation spec)
+  | Grid_holes { width; height; holes } -> Graphs.grid_with_holes rng ~width ~height ~holes
+  | Corridor { rooms; room_w; room_h; hall_len } ->
+    Graphs.corridor ~rooms ~room_w ~room_h ~hall_len
+  | Triangulated { cols; rows; jitter } -> Graphs.triangulation rng ~cols ~rows ~jitter
+  | Expander { n; degree } -> Graphs.expander rng ~n ~degree
+  | Lattice { width; height } -> Graphs.lattice ~width ~height
 
 (* Draw the Byzantine set: a random fraction of the non-source nodes. *)
 let pick_byzantine rng ~n ~source ~fraction =
@@ -113,40 +155,62 @@ let run ?tap ?(mode = (`Sparse : Engine.mode)) spec =
   let deployment_rng = Rng.split rng in
   let faults_rng = Rng.split rng in
   let channel_rng = Rng.split rng in
-  let deployment = build_deployment deployment_rng spec in
-  let prop = build_propagation spec in
-  let topology = Topology.build deployment prop in
+  let topology = build_topology deployment_rng spec in
+  let deployment = Topology.deployment topology in
   let n = Deployment.size deployment in
   let source = Deployment.center_node deployment in
+  (* Fail fast on a source that cannot cover the deployment: every honest
+     node beyond reach would be reported as a silent delivery failure,
+     indistinguishable from a protocol defect.  Sweeps that deliberately
+     measure partial coverage (sparse random deployments, crash faults)
+     opt out via [allow_unreachable]. *)
+  if not spec.allow_unreachable then begin
+    let unreachable = n - Topology.reachable_from topology source in
+    if unreachable > 0 then raise (Unreachable { unreachable; total = n })
+  end;
   let byzantine =
     match spec.faults with
     | No_faults -> Array.make n false
     | Crash fraction | Lying fraction -> pick_byzantine faults_rng ~n ~source ~fraction
-    | Jamming { fraction; _ } -> pick_byzantine faults_rng ~n ~source ~fraction
+    | Jamming { fraction; _ } | Selective_jam { fraction; _ } ->
+      pick_byzantine faults_rng ~n ~source ~fraction
   in
   let fake =
     match spec.faults with Lying _ -> Some (fake_message spec.message) | _ -> None
   in
   let honest = Array.init n (fun i -> not byzantine.(i)) in
-  let adversary_machine i =
+  (* Protocol length scale: the configured radius where the topology is
+     geometric, the longest embedded decode edge where it is an explicit
+     graph (so voting windows and frame lattices still cover the
+     one-hop neighbourhood). *)
+  let eff_radius =
+    if Topology.is_geometric topology then spec.radius else Topology.rx_reach topology
+  in
+  let adversary_machine schedule i =
     match spec.faults with
     | No_faults -> Engine.silent_machine
     | Crash _ -> Engine.silent_machine
     | Jamming { budget; probability; _ } ->
       let jam_rng = Rng.split faults_rng in
       ignore i;
+      ignore schedule;
       Jammer.veto_jammer ~rng:jam_rng ~budget:(Budget.create budget) ~probability
+    | Selective_jam { budget; probability; _ } ->
+      let jam_rng = Rng.split faults_rng in
+      ignore i;
+      Selective.source_jammer ~schedule ~rng:jam_rng ~budget:(Budget.create budget) ~probability
     | Lying _ -> Engine.silent_machine (* replaced below per protocol *)
   in
   let msg_len = Bitvec.length spec.message in
-  let assign make =
-    assign_machines ~n ~source ~byzantine ~faults:spec.faults ~fake ~adversary_machine make
+  let assign ~schedule make =
+    assign_machines ~n ~source ~byzantine ~faults:spec.faults ~fake
+      ~adversary_machine:(adversary_machine schedule) make
   in
   let machines, cycle_rounds, progress =
     match spec.protocol with
     | Neighbor_watch { votes } ->
       let config =
-        let base = Neighbor_watch.default_config ~radius:spec.radius ~msg_len in
+        let base = Neighbor_watch.default_config ~radius:eff_radius ~msg_len in
         {
           base with
           Neighbor_watch.votes;
@@ -158,7 +222,7 @@ let run ?tap ?(mode = (`Sparse : Engine.mode)) spec =
         }
       in
       let ctx = Neighbor_watch.make_ctx config ~topology ~source in
-      ( assign (fun i -> function
+      ( assign ~schedule:(Neighbor_watch.schedule ctx) (fun i -> function
           | Role_source -> Neighbor_watch.machine ctx i (Neighbor_watch.Source spec.message)
           | Role_liar fake_msg -> Neighbor_watch.machine ctx i (Neighbor_watch.Liar fake_msg)
           | Role_relay -> Neighbor_watch.machine ctx i Neighbor_watch.Relay),
@@ -167,12 +231,12 @@ let run ?tap ?(mode = (`Sparse : Engine.mode)) spec =
     | Multi_path { tolerance } ->
       let config =
         {
-          (Multi_path.default_config ~radius:spec.radius ~tolerance ~msg_len) with
+          (Multi_path.default_config ~radius:eff_radius ~tolerance ~msg_len) with
           heard_relay_limit = spec.heard_relay_limit;
         }
       in
       let ctx = Multi_path.make_ctx config ~topology ~source in
-      ( assign (fun i -> function
+      ( assign ~schedule:(Multi_path.schedule ctx) (fun i -> function
           | Role_source -> Multi_path.machine ctx i (Multi_path.Source spec.message)
           | Role_liar fake_msg -> Multi_path.machine ctx i (Multi_path.Liar fake_msg)
           | Role_relay -> Multi_path.machine ctx i Multi_path.Relay),
@@ -180,12 +244,26 @@ let run ?tap ?(mode = (`Sparse : Engine.mode)) spec =
         fun () -> Multi_path.progress ctx )
     | Epidemic ->
       let ctx = Epidemic.make_ctx Epidemic.default_config ~topology ~source in
-      ( assign (fun i -> function
+      ( assign ~schedule:(Epidemic.schedule ctx) (fun i -> function
           | Role_source -> Epidemic.machine ctx i (Epidemic.Source spec.message)
           | Role_liar fake_msg -> Epidemic.machine ctx i (Epidemic.Liar fake_msg)
           | Role_relay -> Epidemic.machine ctx i Epidemic.Relay),
         Epidemic.cycle_rounds ctx,
         fun () -> 0 )
+    | Certified { tolerance } ->
+      let ctx =
+        Certified_propagation.make_ctx
+          (Certified_propagation.default_config ~tolerance)
+          ~topology ~source
+      in
+      ( assign ~schedule:(Certified_propagation.schedule ctx) (fun i -> function
+          | Role_source ->
+            Certified_propagation.machine ctx i (Certified_propagation.Source spec.message)
+          | Role_liar fake_msg ->
+            Certified_propagation.machine ctx i (Certified_propagation.Liar fake_msg)
+          | Role_relay -> Certified_propagation.machine ctx i Certified_propagation.Relay),
+        Certified_propagation.cycle_rounds ctx,
+        fun () -> Certified_propagation.progress ctx )
   in
   let waiters = Array.init n (fun i -> honest.(i) && i <> source) in
   (* Three silent schedule cycles mean the run is permanently stuck (one
@@ -291,6 +369,15 @@ let presets =
         radius = 3.0;
         protocol = Epidemic;
         seed = 11;
+      } );
+    ( "graph_corridor",
+      {
+        default with
+        deployment = Corridor { rooms = 3; room_w = 4; room_h = 5; hall_len = 3 };
+        protocol = Certified { tolerance = 1 };
+        message = Bitvec.of_string "101";
+        cap = 500_000;
+        seed = 9;
       } );
   ]
 

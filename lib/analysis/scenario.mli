@@ -11,11 +11,27 @@ type protocol =
       (** the NeighborWatchRB protocol; [votes = 2] is the 2-voting variant *)
   | Multi_path of { tolerance : int }  (** MultiPathRB tuned for t faults per region *)
   | Epidemic  (** the unauthenticated flooding baseline *)
+  | Certified of { tolerance : int }
+      (** CPA over the radio engine (slot-authenticated announcements) *)
 
 type deployment_kind =
   | Uniform of int  (** n nodes uniformly at random *)
   | Clustered of { n : int; clusters : int; stddev : float }
   | Grid  (** one node per integer grid point (the analytic model) *)
+  | Grid_holes of { width : int; height : int; holes : int }
+      (** 4-adjacent grid with up to [holes] nodes removed, still connected *)
+  | Corridor of { rooms : int; room_w : int; room_h : int; hall_len : int }
+      (** dense rooms chained by width-one halls (loosely connected) *)
+  | Triangulated of { cols : int; rows : int; jitter : float }
+      (** planar triangulation of a jittered point grid *)
+  | Expander of { n : int; degree : int }
+      (** ring plus [degree - 2] random matchings *)
+  | Lattice of { width : int; height : int }  (** 8-adjacent (Moore) grid *)
+
+val geometric_deployment : deployment_kind -> bool
+(** [true] for the kinds that deploy on the [map_w × map_h] square and
+    derive edges from the radio model; the synthetic graph families ignore
+    map size, radio and radius. *)
 
 type radio = Friis | Disk_l2 | Disk_linf
 
@@ -26,6 +42,8 @@ type faults =
       (** veto-round jammers with a per-device broadcast budget
           ([budget < 0] = unlimited) *)
   | Lying of float  (** fraction of devices pre-committed to a fake message *)
+  | Selective_jam of { fraction : float; budget : int; probability : float }
+      (** schedule-aware jammers concentrating on the source's slot *)
 
 type spec = {
   map_w : float;
@@ -43,8 +61,18 @@ type spec = {
       (** NeighborWatchRB square-size override (default: R/3, the paper's
           simulation sizing) *)
   pipelined : bool;  (** [false]: store-and-forward ablation (DESIGN.md) *)
+  allow_unreachable : bool;
+      (** [false] (the default): {!run} raises {!Unreachable} when the
+          source cannot reach the whole deployment.  Set for sweeps that
+          deliberately measure partial coverage. *)
   seed : int;
 }
+
+exception Unreachable of { unreachable : int; total : int }
+(** Raised by {!run} (before any round executes) when the source cannot
+    reach [unreachable] of the [total] nodes and the spec does not set
+    [allow_unreachable] — otherwise those nodes would be reported as
+    silent delivery failures, indistinguishable from protocol defects. *)
 
 val default : spec
 (** 20×20 map, 600 uniform nodes, Friis radio with R=4, ideal channel,

@@ -1,104 +1,242 @@
-type config = { radius : float; tolerance : int }
-type role = Source | Honest | Liar of Bitvec.t
+(* --- CPA over the radio engine ---------------------------------------- *)
 
-type result = {
-  rounds : int;
-  committed : Bitvec.t option array;
-  messages : int;
+type config = {
+  tolerance : int;
+  repeats : int;
+  conflict_factor : float;
+  slot_rounds : int;
 }
 
-(* Evidence a node holds about one candidate value. *)
-type vouch = { voucher : Node.id; value : Bitvec.t }
+let default_config ~tolerance =
+  { tolerance; repeats = 3; conflict_factor = 3.0; slot_rounds = 6 }
 
-let run config ~topology ~source ~message ~roles ~max_rounds =
-  let n = Topology.size topology in
-  if Array.length roles <> n then invalid_arg "Certified_propagation.run: roles size mismatch";
-  let committed = Array.make n None in
-  let vouches : vouch list array = Array.make n [] in
-  let announce_queue = Queue.create () in
-  let messages = ref 0 in
-  let commit i value round_commits =
-    if committed.(i) = None then begin
-      committed.(i) <- Some value;
-      Queue.add i round_commits
+type state = {
+  my_slot : int;
+  is_liar : bool;
+  peer_by_slot : Node.id option array;  (** listening slot -> decodable peer *)
+  mutable committed : Bitvec.t option;
+  mutable sent : int;
+  mutable vouches : (string * Node.id list) list;
+      (** candidate value -> distinct vouching neighbours *)
+}
+
+type ctx = {
+  config : config;
+  topology : Topology.t;
+  schedule : Schedule.t;
+  source : Node.id;
+  states : (Node.id, state) Hashtbl.t;
+  mutable commits : int;  (** monotone commit counter, the progress signal *)
+}
+
+let make_ctx config ~topology ~source =
+  let schedule =
+    if Topology.is_geometric topology then begin
+      let conflict_range = config.conflict_factor *. Topology.rx_reach topology in
+      Schedule.for_nodes topology ~conflict_range ~source
+    end
+    else Schedule.for_graph topology ~source
+  in
+  { config; topology; schedule; source; states = Hashtbl.create 64; commits = 0 }
+
+let schedule ctx = ctx.schedule
+let cycle ctx = Schedule.cycle ctx.schedule
+let cycle_rounds ctx = cycle ctx * ctx.config.slot_rounds
+let progress ctx = ctx.commits
+
+type role = Source of Bitvec.t | Relay | Liar of Bitvec.t
+
+(* CPA assumes authenticated single-hop channels.  Over the radio that
+   authentication is positional: each slot of the TDMA cycle has at most
+   one owner among any receiver's decodable neighbours (both schedulers
+   guarantee it — two decode neighbours of the same node are within two
+   hops of each other, hence conflict), so a clear packet in slot [s] can
+   only have come from the receiver's unique slot-[s] neighbour.  A
+   Byzantine node can therefore lie about its own commitment but cannot
+   impersonate anyone else, which is exactly CPA's fault model. *)
+let machine ctx id role =
+  let peer_by_slot = Array.make (cycle ctx) None in
+  Array.iter
+    (fun p ->
+      let slot = Schedule.slot_of ctx.schedule p in
+      if peer_by_slot.(slot) = None then peer_by_slot.(slot) <- Some p)
+    (Topology.rx ctx.topology).(id);
+  let s =
+    {
+      my_slot = Schedule.slot_of ctx.schedule id;
+      is_liar = (match role with Liar _ -> true | Source _ | Relay -> false);
+      peer_by_slot;
+      committed = (match role with Source m | Liar m -> Some m | Relay -> None);
+      sent = 0;
+      vouches = [];
+    }
+  in
+  Hashtbl.replace ctx.states id s;
+  let slot_rounds = ctx.config.slot_rounds in
+  let commit value =
+    if s.committed = None then begin
+      s.committed <- Some value;
+      ctx.commits <- ctx.commits + 1
     end
   in
-  (* Round 0: the source announces; liars are born "committed" to their
-     fake value and announce alongside it. *)
-  let pending = Queue.create () in
-  committed.(source) <- Some message;
-  Queue.add source pending;
-  Array.iteri
-    (fun i role ->
-      match role with
-      | Liar fake ->
-        committed.(i) <- Some fake;
-        Queue.add i pending
-      | Source | Honest -> ())
-    roles;
-  let quorum_commit i =
-    if committed.(i) = None then begin
-      (* Group the vouches by value and apply the common-neighbourhood
-         quorum rule. *)
-      let values =
-        List.sort_uniq String.compare (List.map (fun v -> Bitvec.to_string v.value) vouches.(i))
-      in
-      let decide value_str =
-        let items =
-          List.filter_map
-            (fun v ->
-              if Bitvec.to_string v.value = value_str then
-                Some
-                  {
-                    Voting.origin = (v.voucher, 0);
-                    value = true;
-                    points = [ Topology.position topology v.voucher ];
-                  }
-              else None)
-            vouches.(i)
-        in
-        Voting.quorum ~radius:config.radius ~need:(config.tolerance + 1) ~value:true items
-      in
-      match List.find_opt decide values with
-      | Some value_str -> Some (Bitvec.of_string value_str)
-      | None -> None
+  let vouch voucher value =
+    let key = Bitvec.to_string value in
+    let entry = match List.assoc_opt key s.vouches with Some e -> e | None -> [] in
+    if not (List.mem voucher entry) then begin
+      let entry = voucher :: entry in
+      s.vouches <- (key, entry) :: List.remove_assoc key s.vouches;
+      if List.length entry >= ctx.config.tolerance + 1 then commit value
     end
-    else None
   in
-  let round = ref 0 in
-  let continue = ref true in
-  while !continue && !round < max_rounds do
-    (* Deliver every queued announcement reliably to all decode
-       neighbours, attributed to its true sender. *)
-    Queue.transfer pending announce_queue;
-    let round_commits = Queue.create () in
-    let any_message = not (Queue.is_empty announce_queue) in
-    while not (Queue.is_empty announce_queue) do
-      let sender = Queue.pop announce_queue in
-      match committed.(sender) with
+  let act round =
+    let slot = round / slot_rounds mod cycle ctx in
+    let in_slot = round mod slot_rounds = 0 in
+    match s.committed with
+    | Some value when in_slot && slot = s.my_slot && s.sent < ctx.config.repeats ->
+      s.sent <- s.sent + 1;
+      Engine.Transmit (Msg.Packet value)
+    | Some _ | None -> Engine.Silent
+  in
+  let observe round obs =
+    match obs with
+    | Channel.Clear (Msg.Packet value)
+      when (not s.is_liar) && s.committed = None && round mod slot_rounds = 0 -> begin
+      let slot = round / slot_rounds mod cycle ctx in
+      (* Attribute by slot ownership; a packet in a slot none of my
+         decodable neighbours owns is spoofed air and carries no
+         authentication, so it is dropped. *)
+      match s.peer_by_slot.(slot) with
+      | Some p when p = ctx.source -> commit value
+      | Some p -> vouch p value
       | None -> ()
-      | Some value ->
-        incr messages;
-        Array.iter
-          (fun receiver ->
-            (* Direct reception from the source is authenticated by the
-               model itself. *)
-            if receiver <> source then begin
-              if sender = source then commit receiver value round_commits
-              else begin
-                let is_liar = match roles.(receiver) with Liar _ -> true | _ -> false in
-                if not is_liar then begin
-                  vouches.(receiver) <- { voucher = sender; value } :: vouches.(receiver);
-                  match quorum_commit receiver with
-                  | Some decided -> commit receiver decided round_commits
-                  | None -> ()
+    end
+    | Channel.Clear (Msg.Packet _ | Msg.Blip) | Channel.Silence | Channel.Busy -> ()
+  in
+  (* Wakeup contract, mirroring Epidemic: an uncommitted node has nothing
+     scheduled (receptions always arrive through the engine's touched set,
+     which re-queries the contract afterwards); a committed one wakes at
+     the first round of each of its own slots until the repeat budget is
+     spent, then never again. *)
+  let next_active round =
+    match s.committed with
+    | None -> max_int
+    | Some _ ->
+      if s.sent >= ctx.config.repeats then max_int
+      else begin
+        let cyc = cycle ctx in
+        let q = (round + slot_rounds - 1) / slot_rounds in
+        let j = q + ((((s.my_slot - q) mod cyc) + cyc) mod cyc) in
+        j * slot_rounds
+      end
+  in
+  { Engine.act; observe; delivered = (fun () -> s.committed); next_active }
+
+(* --- synchronous reference baseline ----------------------------------- *)
+
+module Reference = struct
+  type config = { radius : float; tolerance : int }
+  type role = Source | Honest | Liar of Bitvec.t
+
+  type result = {
+    rounds : int;
+    committed : Bitvec.t option array;
+    messages : int;
+  }
+
+  (* Evidence a node holds about one candidate value. *)
+  type vouch = { voucher : Node.id; value : Bitvec.t }
+
+  let run config ~topology ~source ~message ~(roles : role array) ~max_rounds =
+    let n = Topology.size topology in
+    if Array.length roles <> n then
+      invalid_arg "Certified_propagation.Reference.run: roles size mismatch";
+    let committed = Array.make n None in
+    let vouches : vouch list array = Array.make n [] in
+    let announce_queue = Queue.create () in
+    let messages = ref 0 in
+    let commit i value round_commits =
+      if committed.(i) = None then begin
+        committed.(i) <- Some value;
+        Queue.add i round_commits
+      end
+    in
+    (* Round 0: the source announces; liars are born "committed" to their
+       fake value and announce alongside it. *)
+    let pending = Queue.create () in
+    committed.(source) <- Some message;
+    Queue.add source pending;
+    Array.iteri
+      (fun i (role : role) ->
+        match role with
+        | Liar fake ->
+          committed.(i) <- Some fake;
+          Queue.add i pending
+        | Source | Honest -> ())
+      roles;
+    let quorum_commit i =
+      if committed.(i) = None then begin
+        (* Group the vouches by value and apply the common-neighbourhood
+           quorum rule. *)
+        let values =
+          List.sort_uniq String.compare (List.map (fun v -> Bitvec.to_string v.value) vouches.(i))
+        in
+        let decide value_str =
+          let items =
+            List.filter_map
+              (fun v ->
+                if Bitvec.to_string v.value = value_str then
+                  Some
+                    {
+                      Voting.origin = (v.voucher, 0);
+                      value = true;
+                      points = [ Topology.position topology v.voucher ];
+                    }
+                else None)
+              vouches.(i)
+          in
+          Voting.quorum ~radius:config.radius ~need:(config.tolerance + 1) ~value:true items
+        in
+        match List.find_opt decide values with
+        | Some value_str -> Some (Bitvec.of_string value_str)
+        | None -> None
+      end
+      else None
+    in
+    let round = ref 0 in
+    let continue = ref true in
+    while !continue && !round < max_rounds do
+      (* Deliver every queued announcement reliably to all decode
+         neighbours, attributed to its true sender. *)
+      Queue.transfer pending announce_queue;
+      let round_commits = Queue.create () in
+      let any_message = not (Queue.is_empty announce_queue) in
+      while not (Queue.is_empty announce_queue) do
+        let sender = Queue.pop announce_queue in
+        match committed.(sender) with
+        | None -> ()
+        | Some value ->
+          incr messages;
+          Array.iter
+            (fun receiver ->
+              (* Direct reception from the source is authenticated by the
+                 model itself. *)
+              if receiver <> source then begin
+                if sender = source then commit receiver value round_commits
+                else begin
+                  let is_liar = match roles.(receiver) with Liar _ -> true | _ -> false in
+                  if not is_liar then begin
+                    vouches.(receiver) <- { voucher = sender; value } :: vouches.(receiver);
+                    match quorum_commit receiver with
+                    | Some decided -> commit receiver decided round_commits
+                    | None -> ()
+                  end
                 end
-              end
-            end)
-          topology.Topology.rx.(sender)
+              end)
+            (Topology.rx topology).(sender)
+      done;
+      Queue.transfer round_commits pending;
+      incr round;
+      if (not any_message) && Queue.is_empty pending then continue := false
     done;
-    Queue.transfer round_commits pending;
-    incr round;
-    if (not any_message) && Queue.is_empty pending then continue := false
-  done;
-  { rounds = !round; committed; messages = !messages }
+    { rounds = !round; committed; messages = !messages }
+end

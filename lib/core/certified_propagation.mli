@@ -1,42 +1,80 @@
 (** The certified propagation algorithm (CPA) of Koo (PODC'04) and
     Bhandari–Vaidya (PODC'05) — the protocol MultiPathRB descends from.
 
-    CPA works in a much friendlier model than this paper's: single-hop
-    communication is reliable and authenticated (no jamming, no spoofing,
-    no collisions), so a whole message travels in one round and carries its
-    sender's identity.  A node commits when it hears the message directly
-    from the source, or when [t + 1] already-committed nodes inside one
-    common neighbourhood vouch for it ({!Voting.quorum} again — Byzantine
-    nodes can lie about their own commitment but cannot impersonate
-    others, and at most [t] of any neighbourhood lie).
+    A node commits when it hears the message directly from the source, or
+    when [tolerance + 1] distinct already-committed neighbours vouch for
+    the same value: Byzantine nodes can lie about their own commitment but
+    cannot impersonate others, and at most [tolerance] of any
+    neighbourhood lie.
 
-    CPA is *not* runnable over a Byzantine radio — that gap is precisely
-    the paper's contribution — but it is the natural baseline for what the
-    voting layer costs once the radio is hardened.  The A5 ablation
-    compares its round count with MultiPathRB's on identical topologies.
+    The main API runs CPA over the radio {!Engine} as a comparison
+    protocol: announcements occupy whole TDMA slots (as in {!Epidemic}),
+    and the single-hop authentication CPA assumes is realised
+    positionally — each slot has at most one owner among any receiver's
+    decodable neighbours, so a clear packet is attributable to its sender
+    by the slot it arrived in.  What this cannot harden against is
+    physical-layer interference (collisions and jamming destroy packets
+    silently), which is precisely the gap the paper's bit-level protocols
+    close; the graph-class experiments measure that gap.
 
-    The module brings its own synchronous reliable-message engine
-    (messages from all neighbours arrive each round, attributed to their
-    true senders), since the radio {!Engine} would be the wrong substrate
-    by design. *)
+    {!Reference} keeps the original synchronous baseline in CPA's native
+    model (reliable, authenticated single-hop delivery, no radio), used by
+    the A5 ablation for the idealised round count. *)
 
 type config = {
-  radius : float;  (** neighbourhood radius of the commit rule *)
-  tolerance : int;  (** t *)
+  tolerance : int;  (** t: commit quorum is [t + 1] distinct vouchers *)
+  repeats : int;  (** announcements per committed node (default 3) *)
+  conflict_factor : float;
+      (** TDMA conflict range as a multiple of the decode range, for
+          geometric topologies (default 3.0) *)
+  slot_rounds : int;  (** rounds per slot (default 6, one interval) *)
 }
 
-type role = Source | Honest | Liar of Bitvec.t
+val default_config : tolerance:int -> config
 
-type result = {
-  rounds : int;  (** rounds until quiescence *)
-  committed : Bitvec.t option array;  (** per-node committed value *)
-  messages : int;  (** total messages sent *)
-}
+type ctx
 
-val run :
-  config -> topology:Topology.t -> source:Node.id -> message:Bitvec.t ->
-  roles:role array -> max_rounds:int -> result
-(** Synchronous execution: each round, every node that committed in the
-    previous round announces its value to all its decode neighbours; liars
-    announce their fake value from the start and never relay.  Stops at
-    quiescence (no new commitment) or [max_rounds]. *)
+val make_ctx : config -> topology:Topology.t -> source:Node.id -> ctx
+(** Build the per-run context: geometric topologies get the spatial
+    conflict colouring, synthetic ones the decode-graph colouring. *)
+
+val schedule : ctx -> Schedule.t
+val cycle_rounds : ctx -> int
+
+val progress : ctx -> int
+(** Number of commits so far — monotone, for stall detection. *)
+
+type role = Source of Bitvec.t | Relay | Liar of Bitvec.t
+
+val machine : ctx -> Node.id -> role -> Msg.t Engine.machine
+(** The CPA state machine, honouring the sparse wakeup contract: an
+    uncommitted node sleeps until a reception re-queries its contract; a
+    committed one wakes only for the first round of its own slots until
+    its repeat budget is spent. *)
+
+(** The original synchronous reference in CPA's native friendly model:
+    every announcement reaches all decode neighbours reliably in one
+    round, attributed to its true sender.  Not runnable over a Byzantine
+    radio — the natural baseline for what radio hardening costs. *)
+module Reference : sig
+  type config = {
+    radius : float;  (** neighbourhood radius of the commit rule *)
+    tolerance : int;  (** t *)
+  }
+
+  type role = Source | Honest | Liar of Bitvec.t
+
+  type result = {
+    rounds : int;  (** rounds until quiescence *)
+    committed : Bitvec.t option array;  (** per-node committed value *)
+    messages : int;  (** total messages sent *)
+  }
+
+  val run :
+    config -> topology:Topology.t -> source:Node.id -> message:Bitvec.t ->
+    roles:role array -> max_rounds:int -> result
+  (** Synchronous execution: each round, every node that committed in the
+      previous round announces its value to all its decode neighbours;
+      liars announce their fake value from the start and never relay.
+      Stops at quiescence (no new commitment) or [max_rounds]. *)
+end

@@ -15,12 +15,16 @@ and state = {
 }
 
 let make_ctx config ~topology ~source =
-  let conflict_range =
-    config.conflict_factor *. Propagation.rx_range topology.Topology.prop
+  let schedule =
+    if Topology.is_geometric topology then begin
+      let conflict_range = config.conflict_factor *. Topology.rx_reach topology in
+      Schedule.for_nodes topology ~conflict_range ~source
+    end
+    else Schedule.for_graph topology ~source
   in
-  let schedule = Schedule.for_nodes topology ~conflict_range ~source in
   { config; schedule; states = Hashtbl.create 64 }
 
+let schedule ctx = ctx.schedule
 let cycle ctx = Schedule.cycle ctx.schedule
 let cycle_rounds ctx = cycle ctx * ctx.config.slot_rounds
 

@@ -31,6 +31,9 @@ type ctx
 
 val make_ctx : config -> topology:Topology.t -> source:Node.id -> ctx
 
+val schedule : ctx -> Schedule.t
+(** The TDMA schedule the packets ride on (slot ids are node ids). *)
+
 val cycle : ctx -> int
 (** Slots per schedule cycle. *)
 

@@ -39,36 +39,52 @@ let tag = function
   | Commit _ -> (false, true)
   | Heard _ -> (true, false)
 
+(* Frames are padded to EVEN length (one trailing 1-bit on odd payloads).
+   The 1Hop stream can only reject a silent interval as "no exchange"
+   when the expected stream position has an even index (its parity blip
+   is due); at odd positions, a slot owner with a drained queue that
+   simply blocks its slot is indistinguishable from a transmitted
+   (parity=0, data=0) pair and injects a spurious 0-bit, misaligning
+   every later frame.  Even frame lengths keep the queue total — hence
+   every drain position — even, so the hazardous case never arises. *)
+let padded len = len + (len land 1)
+
+let pad_to_even v = if Bitvec.length v land 1 = 1 then Bitvec.concat [ v; Bitvec.of_list [ true ] ] else v
+
 let encode c frame =
   let b0, b1 = tag frame in
-  match frame with
-  | Source value -> Bitvec.of_list [ b0; b1; value ]
-  | Commit { index; value } ->
-    Bitvec.concat
-      [ Bitvec.of_list [ b0; b1 ]; Bitvec.of_int ~width:c.index_bits index;
-        Bitvec.of_list [ value ] ]
-  | Heard { index; value; cause = dx, dy } ->
-    Bitvec.concat
-      [
-        Bitvec.of_list [ b0; b1 ];
-        Bitvec.of_int ~width:c.index_bits index;
-        Bitvec.of_list [ value ];
-        Bitvec.of_int ~width:c.coord_bits (encode_delta c dx);
-        Bitvec.of_int ~width:c.coord_bits (encode_delta c dy);
-      ]
+  pad_to_even
+    (match frame with
+    | Source value -> Bitvec.of_list [ b0; b1; value ]
+    | Commit { index; value } ->
+      Bitvec.concat
+        [ Bitvec.of_list [ b0; b1 ]; Bitvec.of_int ~width:c.index_bits index;
+          Bitvec.of_list [ value ] ]
+    | Heard { index; value; cause = dx, dy } ->
+      Bitvec.concat
+        [
+          Bitvec.of_list [ b0; b1 ];
+          Bitvec.of_int ~width:c.index_bits index;
+          Bitvec.of_list [ value ];
+          Bitvec.of_int ~width:c.coord_bits (encode_delta c dx);
+          Bitvec.of_int ~width:c.coord_bits (encode_delta c dy);
+        ])
 
-let length_from_tag c = function
+let base_length_from_tag c = function
   | false, false -> Some 3
   | false, true -> Some (3 + c.index_bits)
   | true, false -> Some (3 + c.index_bits + (2 * c.coord_bits))
   | true, true -> None
 
+let length_from_tag c tag = Option.map padded (base_length_from_tag c tag)
+
 let decode c bits =
   if Bitvec.length bits < 3 then None
   else begin
     let b0 = Bitvec.get bits 0 and b1 = Bitvec.get bits 1 in
-    match (length_from_tag c (b0, b1), Bitvec.length bits) with
-    | Some expected, actual when expected = actual ->
+    match (base_length_from_tag c (b0, b1), Bitvec.length bits) with
+    | Some base, actual
+      when padded base = actual && (base = actual || Bitvec.get bits (actual - 1)) ->
       if not (b0 || b1) then Some (Source (Bitvec.get bits 2))
       else begin
         let index = Bitvec.to_int (Bitvec.sub bits ~pos:2 ~len:c.index_bits) in

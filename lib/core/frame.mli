@@ -20,7 +20,17 @@
       a canonical grid of pitch [coord_step], and the frame carries the
       integer difference between the cause's and the sender's lattice
       cells.  Every receiver can reconstruct the same canonical cell, so an
-      origin has one identity network-wide (no vote splitting). *)
+      origin has one identity network-wide (no vote splitting).
+    - Frames whose payload is an odd number of bits carry one trailing
+      1-bit of padding, keeping every frame — and hence every stream
+      position at which a sender's queue can drain — even.  The 1Hop
+      parity convention only lets receivers reject a silent interval
+      outright at even stream positions (where the parity blip is due); a
+      sender silently blocking its slot after draining at an odd position
+      would instead be read as a transmitted (parity=0, data=0) pair,
+      injecting a spurious 0-bit
+      that misaligns every later frame (observed as wrong deliveries with
+      zero adversaries on sparse explicit-graph topologies). *)
 
 type t =
   | Source of bool  (** ⟨SOURCE, bᵢ⟩; the index is the stream order *)

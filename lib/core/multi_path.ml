@@ -49,13 +49,19 @@ type ctx = {
 }
 
 let make_ctx config ~topology ~source =
-  let conflict_range =
-    max (3.0 *. config.radius) (2.0 *. Propagation.sense_range topology.Topology.prop)
+  (* Geometric topologies keep the spatial conflict colouring; an explicit
+     graph has no distances to colour by, so conflicts are read off the
+     decode graph itself (shared-receiver = within two hops). *)
+  let schedule =
+    if Topology.is_geometric topology then begin
+      let conflict_range = max (3.0 *. config.radius) (2.0 *. Topology.sense_reach topology) in
+      Schedule.for_nodes topology ~conflict_range ~source
+    end
+    else Schedule.for_graph topology ~source
   in
-  let schedule = Schedule.for_nodes topology ~conflict_range ~source in
   let codec =
     Frame.codec ~msg_len:config.msg_len
-      ~coord_range:(Propagation.sense_range topology.Topology.prop)
+      ~coord_range:(Topology.sense_reach topology)
       ~coord_step:config.coord_step
   in
   { config; topology; schedule; source; codec; states = Hashtbl.create 64 }
@@ -241,7 +247,7 @@ let machine ctx id role =
           parsed = 0;
           poisoned = false;
         })
-      ctx.topology.Topology.sensed.(id)
+      (Topology.sensed ctx.topology).(id)
   in
   (* The schedule gives conflicting (hence mutually sensed) nodes distinct
      slots, so this map is injective; first-wins mirrors the defunct assoc

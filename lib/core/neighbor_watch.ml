@@ -159,7 +159,7 @@ type ctx = {
 }
 
 let make_ctx config ~topology ~source =
-  let deployment = topology.Topology.deployment in
+  let deployment = Topology.deployment topology in
   let squares =
     Squares.make ~side:config.square_side
       ~width:(deployment.Deployment.width +. 1e-6)
@@ -319,7 +319,7 @@ let machine ?initial_commit ctx id role =
   let my_square = Squares.square_of ctx.squares pos in
   let is_source = id = ctx.source in
   let senses_source =
-    Array.exists (fun { Topology.peer; _ } -> peer = ctx.source) ctx.topology.Topology.sensed.(id)
+    Array.exists (fun { Topology.peer; _ } -> peer = ctx.source) (Topology.sensed ctx.topology).(id)
   in
   let adjacent = Squares.neighbors ctx.squares my_square in
   let listen =

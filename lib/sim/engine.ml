@@ -45,6 +45,7 @@ let run ?(mode : mode = `Sparse) ?rng ?(channel = Channel.ideal) ?stop_when ?(st
     invalid_arg "Engine.run: machines/waiters size mismatch";
   let broadcasts = Array.make n 0 in
   let completion_round = Array.make n (-1) in
+  let sensed = Topology.sensed topology in
   (* Outgoing links in CSR form: out_rcv/out_pow.(out_off.(i) ..
      out_off.(i+1) - 1) are the receivers that sense node i and the power
      they receive it at, so Phase 1 fan-out walks a flat slice instead of
@@ -53,7 +54,7 @@ let run ?(mode : mode = `Sparse) ?rng ?(channel = Channel.ideal) ?stop_when ?(st
   Array.iter
     (fun links ->
       Array.iter (fun { Topology.peer; _ } -> out_off.(peer + 1) <- out_off.(peer + 1) + 1) links)
-    topology.Topology.sensed;
+    sensed;
   for i = 1 to n do
     out_off.(i) <- out_off.(i) + out_off.(i - 1)
   done;
@@ -71,7 +72,7 @@ let run ?(mode : mode = `Sparse) ?rng ?(channel = Channel.ideal) ?stop_when ?(st
         out_rcv.(k) <- receiver;
         out_pow.(k) <- power;
         cursor.(peer) <- k + 1)
-      topology.Topology.sensed.(receiver)
+      sensed.(receiver)
   done;
   (* Flat per-receiver channel aggregates instead of transmission lists:
      resolution only needs the sensed power sum, the strongest decodable

@@ -1,0 +1,50 @@
+(** The abstract decode/sense graph every simulation runs on.
+
+    This is the engine's and the protocols' actual substrate: who can decode
+    whom ([rx]) and who puts detectable energy on whose channel ([sensed]),
+    plus the graph-theoretic measurements the experiments report against.
+    It carries no geometry — {!Topology} pairs a graph with a node embedding
+    and records how the graph was obtained (a radio propagation model, or
+    one of the explicit generated families in {!Graphs}). *)
+
+type link = { peer : Node.id; power : float }
+(** An incoming link: transmissions of [peer] arrive with the given
+    normalised power (1.0 = decode threshold). *)
+
+type t = {
+  sensed : link array array;
+      (** [sensed.(i)] lists every node whose transmissions put detectable
+          energy on [i]'s channel, with power, sorted by peer id. *)
+  rx : Node.id array array;
+      (** [rx.(i)] lists nodes that [i] can decode (power ≥ 1.0), sorted
+          ascending — [can_decode] binary-searches these rows. *)
+}
+
+val make : sensed:link array array -> rx:Node.id array array -> t
+(** Copy, sort and validate the rows.  Raises [Invalid_argument] on
+    out-of-range peers, self-loops, duplicate links, negative powers, or an
+    [rx] edge absent from [sensed]. *)
+
+val of_rx : Node.id array array -> t
+(** Decode-only graph: [sensed] mirrors [rx] at exactly the decode
+    threshold (the shape every generated graph family uses). *)
+
+val of_edges : n:int -> (Node.id * Node.id) list -> t
+(** Undirected graph from an edge list; duplicate edges are merged. *)
+
+val size : t -> int
+val can_decode : t -> rx:Node.id -> tx:Node.id -> bool
+val degree : t -> Node.id -> int
+
+val hops_from : t -> Node.id -> int array
+(** BFS hop counts over the decode graph; [-1] marks unreachable nodes. *)
+
+val hop_diameter_from : t -> Node.id -> int
+val reachable_from : t -> Node.id -> int
+val is_connected : t -> bool
+val avg_degree : t -> float
+val max_degree : t -> int
+
+val is_symmetric : t -> bool
+(** Every decode edge has its reverse (all generated families are
+    undirected; radio graphs under asymmetric power need not be). *)

@@ -1,0 +1,236 @@
+(* Deterministic generators for the synthetic graph families the
+   graph-class experiments run on.  Every generator draws exclusively from
+   the splittable Rng it is handed and returns a {!Topology.t} whose
+   embedding is the layout the edges were defined over, so ASCII maps and
+   hop metrics remain meaningful. *)
+
+let deployment_of_points points =
+  let width = Array.fold_left (fun acc (p : Point.t) -> Float.max acc p.x) 1.0 points in
+  let height = Array.fold_left (fun acc (p : Point.t) -> Float.max acc p.y) 1.0 points in
+  let nodes = Array.mapi (fun i p -> Node.make i p) points in
+  { Deployment.width; height; nodes }
+
+let topology ~family points edges =
+  let n = Array.length points in
+  Topology.synthetic ~family (deployment_of_points points) (Graph.of_edges ~n edges)
+
+(* --- grid with holes -------------------------------------------------- *)
+
+(* Unit grid under 4-adjacency with up to [holes] nodes knocked out.
+   Candidates are visited in a shuffled order; a removal that would
+   disconnect the surviving graph is rejected, so the result is connected
+   by construction (which the fail-fast check in Scenario.run relies on).
+   Fewer than [holes] nodes are removed when no candidate can go without
+   splitting the grid. *)
+let grid_with_holes rng ~width ~height ~holes =
+  if width < 2 || height < 2 then invalid_arg "Graphs.grid_with_holes: grid too small";
+  if holes < 0 || holes >= (width * height) - 1 then
+    invalid_arg "Graphs.grid_with_holes: bad hole count";
+  let n = width * height in
+  let removed = Array.make n false in
+  let live = ref n in
+  let neighbours i =
+    let x = i mod width and y = i / width in
+    List.filter
+      (fun j -> j >= 0)
+      [
+        (if x > 0 then i - 1 else -1);
+        (if x < width - 1 then i + 1 else -1);
+        (if y > 0 then i - width else -1);
+        (if y < height - 1 then i + width else -1);
+      ]
+  in
+  let connected_without cand =
+    removed.(cand) <- true;
+    let target = !live - 1 in
+    let start = ref (-1) in
+    (try
+       for i = 0 to n - 1 do
+         if not removed.(i) then begin
+           start := i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    let ok =
+      !start >= 0
+      &&
+      let seen = Array.make n false in
+      let queue = Queue.create () in
+      seen.(!start) <- true;
+      Queue.add !start queue;
+      let count = ref 0 in
+      while not (Queue.is_empty queue) do
+        let u = Queue.pop queue in
+        incr count;
+        List.iter
+          (fun v ->
+            if (not removed.(v)) && not seen.(v) then begin
+              seen.(v) <- true;
+              Queue.add v queue
+            end)
+          (neighbours u)
+      done;
+      !count = target
+    in
+    removed.(cand) <- false;
+    ok
+  in
+  let order = Array.init n (fun i -> i) in
+  Rng.shuffle rng order;
+  let dug = ref 0 in
+  Array.iter
+    (fun cand ->
+      if !dug < holes && !live > 1 && connected_without cand then begin
+        removed.(cand) <- true;
+        decr live;
+        incr dug
+      end)
+    order;
+  (* Survivors re-indexed densely in original (row-major) order. *)
+  let new_id = Array.make n (-1) in
+  let next = ref 0 in
+  for i = 0 to n - 1 do
+    if not removed.(i) then begin
+      new_id.(i) <- !next;
+      incr next
+    end
+  done;
+  let points = Array.make !next (Point.make 0.0 0.0) in
+  for i = 0 to n - 1 do
+    if new_id.(i) >= 0 then
+      points.(new_id.(i)) <- Point.make (float_of_int (i mod width)) (float_of_int (i / width))
+  done;
+  let edges = ref [] in
+  for i = 0 to n - 1 do
+    if new_id.(i) >= 0 then
+      List.iter
+        (fun j -> if j > i && new_id.(j) >= 0 then edges := (new_id.(i), new_id.(j)) :: !edges)
+        (neighbours i)
+  done;
+  topology ~family:"grid_holes" points !edges
+
+(* --- corridor / bottleneck maps --------------------------------------- *)
+
+(* [rooms] dense patches of [room_w × room_h] nodes under 8-adjacency,
+   chained left to right by 1-node-wide halls of [hall_len] nodes: the
+   halls are the bottlenecks — every room-to-room path crosses a cut of
+   width one, the loosely-connected regime of Maurer–Tixeuil.  Fully
+   deterministic (no randomness to draw). *)
+let corridor ~rooms ~room_w ~room_h ~hall_len =
+  if rooms < 1 || room_w < 2 || room_h < 1 || hall_len < 1 then
+    invalid_arg "Graphs.corridor: bad shape";
+  let mid = float_of_int ((room_h - 1) / 2) in
+  let points = ref [] in
+  for r = 0 to rooms - 1 do
+    let x0 = r * (room_w + hall_len) in
+    for y = 0 to room_h - 1 do
+      for x = 0 to room_w - 1 do
+        points := Point.make (float_of_int (x0 + x)) (float_of_int y) :: !points
+      done
+    done;
+    if r < rooms - 1 then
+      for k = 0 to hall_len - 1 do
+        points := Point.make (float_of_int (x0 + room_w + k)) mid :: !points
+      done
+  done;
+  let points = Array.of_list (List.rev !points) in
+  let n = Array.length points in
+  (* Edges by layout: any two nodes within unit L∞ distance (8-adjacency
+     inside rooms; the halls chain into the nearest boundary nodes). *)
+  let edges = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let dx = Float.abs (points.(i).Point.x -. points.(j).Point.x) in
+      let dy = Float.abs (points.(i).Point.y -. points.(j).Point.y) in
+      if Float.max dx dy <= 1.000001 then edges := (i, j) :: !edges
+    done
+  done;
+  topology ~family:"corridor" points !edges
+
+(* --- planar triangulations -------------------------------------------- *)
+
+(* Jittered (cols+1)×(rows+1) grid, each unit cell triangulated by one of
+   its two diagonals (a fair coin per cell).  The jitter is capped below
+   0.25, which keeps every cell a convex quadrilateral with disjoint
+   interiors — so side + diagonal edges cannot cross and the graph is
+   planar by construction (the QCheck suite verifies this geometrically). *)
+let triangulation rng ~cols ~rows ~jitter =
+  if cols < 1 || rows < 1 then invalid_arg "Graphs.triangulation: grid too small";
+  if jitter < 0.0 then invalid_arg "Graphs.triangulation: negative jitter";
+  let jitter = Float.min jitter 0.24 in
+  let w = cols + 1 in
+  let points =
+    Array.init
+      (w * (rows + 1))
+      (fun i ->
+        let x = i mod w and y = i / w in
+        let jx = Rng.float rng (2.0 *. jitter) -. jitter in
+        let jy = Rng.float rng (2.0 *. jitter) -. jitter in
+        Point.make (float_of_int x +. jx) (float_of_int y +. jy))
+  in
+  let edges = ref [] in
+  for cy = 0 to rows - 1 do
+    for cx = 0 to cols - 1 do
+      let a = (cy * w) + cx in
+      let b = a + 1 in
+      let c = a + w in
+      let d = c + 1 in
+      edges := (a, b) :: (a, c) :: (b, d) :: (c, d) :: !edges;
+      edges := (if Rng.bool rng then (a, d) else (b, c)) :: !edges
+    done
+  done;
+  topology ~family:"triangulated" points !edges
+
+(* --- expanders vs lattices -------------------------------------------- *)
+
+(* Ring plus [degree - 2] random matchings: the standard construction of a
+   (w.h.p.) constant-degree expander, the antithesis of the lattice's
+   √n-diameter locality.  Matching edges that duplicate a ring edge are
+   merged, so every node ends with decode degree in [2, degree].  Embedded
+   on a circle purely for drawing and coord-range purposes. *)
+let expander rng ~n ~degree =
+  if n < 4 then invalid_arg "Graphs.expander: too few nodes";
+  if degree < 3 then invalid_arg "Graphs.expander: degree must be at least 3";
+  let radius = Float.max 1.0 (float_of_int n /. 8.0) in
+  let points =
+    Array.init n (fun i ->
+        let theta = 2.0 *. Float.pi *. float_of_int i /. float_of_int n in
+        Point.make
+          (radius +. (radius *. Float.cos theta))
+          (radius +. (radius *. Float.sin theta)))
+  in
+  let edges = ref [] in
+  for i = 0 to n - 1 do
+    edges := (i, (i + 1) mod n) :: !edges
+  done;
+  let perm = Array.init n (fun i -> i) in
+  for _m = 1 to degree - 2 do
+    Rng.shuffle rng perm;
+    for k = 0 to (n / 2) - 1 do
+      edges := (perm.(2 * k), perm.((2 * k) + 1)) :: !edges
+    done
+  done;
+  topology ~family:"expander" points !edges
+
+(* Moore-neighbourhood (8-adjacent) unit grid: the maximally local control
+   for the expander — same order of degree, Θ(√n) hop diameter. *)
+let lattice ~width ~height =
+  if width < 2 || height < 2 then invalid_arg "Graphs.lattice: grid too small";
+  let points =
+    Array.init (width * height) (fun i ->
+        Point.make (float_of_int (i mod width)) (float_of_int (i / width)))
+  in
+  let edges = ref [] in
+  for y = 0 to height - 1 do
+    for x = 0 to width - 1 do
+      let i = (y * width) + x in
+      if x < width - 1 then edges := (i, i + 1) :: !edges;
+      if y < height - 1 then begin
+        edges := (i, i + width) :: !edges;
+        if x < width - 1 then edges := (i, i + width + 1) :: !edges;
+        if x > 0 then edges := (i, i + width - 1) :: !edges
+      end
+    done
+  done;
+  topology ~family:"lattice" points !edges

@@ -1,0 +1,34 @@
+(** Deterministic generators for synthetic graph families.
+
+    Each generator embeds its nodes in the plane (so maps and hop metrics
+    stay meaningful) and returns a [Synthetic] {!Topology.t}; all
+    randomness comes from the {!Rng} argument, so a seed fully determines
+    the graph.  These are the workloads of the graph-class comparison
+    experiments: related work (Maurer–Tixeuil on planar and loosely
+    connected graphs) lives exactly on such families. *)
+
+val grid_with_holes : Rng.t -> width:int -> height:int -> holes:int -> Topology.t
+(** Unit grid under 4-adjacency with up to [holes] nodes removed in a
+    shuffled order, rejecting any removal that would disconnect the
+    survivors — the result is always connected.  Requires a grid of at
+    least 2×2 and [0 <= holes < width·height - 1]. *)
+
+val corridor : rooms:int -> room_w:int -> room_h:int -> hall_len:int -> Topology.t
+(** [rooms] dense 8-adjacent patches of [room_w × room_h] nodes chained by
+    1-node-wide halls of [hall_len] nodes: every room-to-room path crosses
+    a width-one cut (the loosely-connected regime).  Deterministic. *)
+
+val triangulation : Rng.t -> cols:int -> rows:int -> jitter:float -> Topology.t
+(** Planar triangulation of a jittered [(cols+1) × (rows+1)] point grid:
+    cell sides plus one coin-flipped diagonal per unit cell.  [jitter] is
+    clamped below 0.25, which keeps cells convex and disjoint, hence the
+    graph planar by construction. *)
+
+val expander : Rng.t -> n:int -> degree:int -> Topology.t
+(** Ring plus [degree - 2] random matchings over [n] nodes (duplicate
+    edges merged): decode degrees lie in [2, degree] and the graph is an
+    expander with high probability.  Requires [n >= 4], [degree >= 3]. *)
+
+val lattice : width:int -> height:int -> Topology.t
+(** 8-adjacent (Moore) unit grid: the maximally local control for the
+    expander family — comparable degree, Θ(√n) hop diameter. *)

@@ -24,7 +24,7 @@ let for_squares squares ~radius =
   { cycle = (k * k) + 1; slots }
 
 let for_nodes topology ~conflict_range ~source =
-  let deployment = topology.Topology.deployment in
+  let deployment = Topology.deployment topology in
   let nodes = deployment.Deployment.nodes in
   let n = Array.length nodes in
   (* Conflict neighbours via a spatial hash of cell size [conflict_range].
@@ -66,6 +66,57 @@ let for_nodes topology ~conflict_range ~source =
     if id <> source then begin
       let used = List.filter_map (fun j -> if colors.(j) >= 0 then Some colors.(j) else None)
           (conflicts id)
+      in
+      let rec first_free c = if List.mem c used then first_free (c + 1) else c in
+      let c = first_free 0 in
+      colors.(id) <- c;
+      if c > !max_color then max_color := c
+    end
+  done;
+  let slots = Array.map (fun c -> if c < 0 then source_slot else c + 1) colors in
+  slots.(source) <- source_slot;
+  { cycle = !max_color + 2; slots }
+
+(* Graph analogue of [for_nodes] for topologies with no usable geometry:
+   two nodes conflict when they are within THREE hops of each other in
+   the decode graph.  Two hops would only keep concurrent senders from
+   sharing a receiver; the interval protocols (Two_bit) also have the
+   receiver transmit acknowledgement/veto blips, and a transmitting
+   receiver of one sender must not be audible to a listening receiver of
+   a same-slot sender — sender–receiver–receiver–sender is a length-3
+   path.  This is the graph reading of the geometric 3R rule.  Same
+   greedy ascending-id coloring and the same slot-0 reservation for the
+   source, so the two schedulers produce interchangeable cycles. *)
+let for_graph topology ~source =
+  let rx = Topology.rx topology in
+  let n = Array.length rx in
+  let conflicts id =
+    let acc = ref [] in
+    let seen = Array.make n false in
+    seen.(id) <- true;
+    let add j =
+      if not seen.(j) then begin
+        seen.(j) <- true;
+        acc := j :: !acc
+      end
+    in
+    Array.iter
+      (fun j ->
+        add j;
+        Array.iter
+          (fun k ->
+            add k;
+            Array.iter add rx.(k))
+          rx.(j))
+      rx.(id);
+    !acc
+  in
+  let colors = Array.make n (-1) in
+  let max_color = ref 0 in
+  for id = 0 to n - 1 do
+    if id <> source then begin
+      let used =
+        List.filter_map (fun j -> if colors.(j) >= 0 then Some colors.(j) else None) (conflicts id)
       in
       let rec first_free c = if List.mem c used then first_free (c + 1) else c in
       let c = first_free 0 in

@@ -41,6 +41,15 @@ val for_nodes : Topology.t -> conflict_range:float -> source:Node.id -> t
     within [conflict_range]); group ids are node ids; the source is slot 0
     regardless of its position. *)
 
+val for_graph : Topology.t -> source:Node.id -> t
+(** Per-node schedule for topologies with no usable geometry: two nodes
+    conflict when they are within three decode hops of each other — the
+    graph reading of the geometric 3R rule, wide enough that a
+    transmitting receiver (acknowledgement/veto blips) of one sender is
+    inaudible to the listening receivers of any same-slot sender —
+    coloured with the same greedy ascending-id pass as {!for_nodes}; the
+    source is slot 0. *)
+
 val next_relevant_round : t -> relevant:bool array -> int -> int
 (** [next_relevant_round t ~relevant] precomputes a wakeup function for a
     machine that participates exactly in the intervals whose slot is

@@ -1,11 +1,10 @@
-type link = { peer : Node.id; power : float }
+type link = Graph.link = { peer : Node.id; power : float }
 
-type t = {
-  deployment : Deployment.t;
-  prop : Propagation.t;
-  sensed : link array array;
-  rx : Node.id array array;
-}
+type kind =
+  | Radio of Propagation.t
+  | Synthetic of { family : string; coord_range : float }
+
+type t = { deployment : Deployment.t; kind : kind; graph : Graph.t }
 
 (* Spatial hash with cells of the sense range: all neighbours of a node lie
    in its own or the 8 surrounding cells.  The cell index must be the
@@ -74,50 +73,52 @@ let build (deployment : Deployment.t) prop =
       sensed.(node.id) <- links;
       rx.(node.id) <- decodable)
     nodes;
-  { deployment; prop; sensed; rx }
+  { deployment; kind = Radio prop; graph = { Graph.sensed; rx } }
+
+let synthetic ~family deployment graph =
+  if Deployment.size deployment <> Graph.size graph then
+    invalid_arg "Topology.synthetic: deployment/graph size mismatch";
+  (* The protocols size their geometric structures (voting windows, frame
+     coordinate lattices, watch squares) from the radio range; an explicit
+     graph has none, so the longest embedded edge stands in for it: every
+     decodable peer is within this distance of its receiver. *)
+  let nodes = deployment.Deployment.nodes in
+  let coord_range = ref 1.0 in
+  Array.iteri
+    (fun i row ->
+      Array.iter
+        (fun j ->
+          let d = Point.dist_l2 nodes.(i).Node.pos nodes.(j).Node.pos in
+          if d > !coord_range then coord_range := d)
+        row)
+    graph.Graph.rx;
+  { deployment; kind = Synthetic { family; coord_range = !coord_range }; graph }
+
+let graph t = t.graph
+let deployment t = t.deployment
+let kind t = t.kind
+let is_geometric t = match t.kind with Radio _ -> true | Synthetic _ -> false
+let family t = match t.kind with Radio _ -> "radio" | Synthetic { family; _ } -> family
+let sensed t = t.graph.Graph.sensed
+let rx t = t.graph.Graph.rx
+
+(* Range stand-ins for the protocol layers: under a radio model these are
+   the propagation ranges; on an explicit graph both collapse to the
+   longest embedded edge. *)
+let sense_reach t =
+  match t.kind with
+  | Radio prop -> Propagation.sense_range prop
+  | Synthetic { coord_range; _ } -> coord_range
+
+let rx_reach t =
+  match t.kind with
+  | Radio prop -> Propagation.rx_range prop
+  | Synthetic { coord_range; _ } -> coord_range
 
 let position t id = t.deployment.Deployment.nodes.(id).Node.pos
-let size t = Array.length t.deployment.Deployment.nodes
-
-(* [rx] rows are sorted ascending, so membership is a binary search. *)
-let can_decode t ~rx:receiver ~tx =
-  let row = t.rx.(receiver) in
-  let rec search lo hi =
-    lo < hi
-    &&
-    let mid = (lo + hi) / 2 in
-    let v = row.(mid) in
-    if v = tx then true else if v < tx then search (mid + 1) hi else search lo mid
-  in
-  search 0 (Array.length row)
-
-let hops_from t src =
-  let n = size t in
-  let dist = Array.make n (-1) in
-  let queue = Queue.create () in
-  dist.(src) <- 0;
-  Queue.add src queue;
-  while not (Queue.is_empty queue) do
-    let u = Queue.pop queue in
-    Array.iter
-      (fun v ->
-        if dist.(v) < 0 then begin
-          dist.(v) <- dist.(u) + 1;
-          Queue.add v queue
-        end)
-      t.rx.(u)
-  done;
-  dist
-
-let hop_diameter_from t src = Array.fold_left max 0 (hops_from t src)
-
-let reachable_from t src =
-  Array.fold_left (fun acc d -> if d >= 0 then acc + 1 else acc) 0 (hops_from t src)
-
-let avg_degree t =
-  let n = size t in
-  if n = 0 then 0.0
-  else begin
-    let total = Array.fold_left (fun acc a -> acc + Array.length a) 0 t.rx in
-    float_of_int total /. float_of_int n
-  end
+let size t = Graph.size t.graph
+let can_decode t ~rx ~tx = Graph.can_decode t.graph ~rx ~tx
+let hops_from t src = Graph.hops_from t.graph src
+let hop_diameter_from t src = Graph.hop_diameter_from t.graph src
+let reachable_from t src = Graph.reachable_from t.graph src
+let avg_degree t = Graph.avg_degree t.graph

@@ -12,34 +12,34 @@ let grid_setup ~side ~radius =
 
 let roles_with topology source liars fake =
   Array.init (Topology.size topology) (fun i ->
-      if i = source then Certified_propagation.Source
-      else if List.mem i liars then Certified_propagation.Liar fake
-      else Certified_propagation.Honest)
+      if i = source then Certified_propagation.Reference.Source
+      else if List.mem i liars then Certified_propagation.Reference.Liar fake
+      else Certified_propagation.Reference.Honest)
 
 let count_value result value =
   Array.fold_left
     (fun acc c -> if c = Some value then acc + 1 else acc)
-    0 result.Certified_propagation.committed
+    0 result.Certified_propagation.Reference.committed
 
 let test_floods_grid () =
   let topology, source = grid_setup ~side:9 ~radius:2.0 in
   let roles = roles_with topology source [] message in
   let result =
-    Certified_propagation.run
-      { Certified_propagation.radius = 2.0; tolerance = 1 }
+    Certified_propagation.Reference.run
+      { Certified_propagation.Reference.radius = 2.0; tolerance = 1 }
       ~topology ~source ~message ~roles ~max_rounds:1000
   in
   Alcotest.(check int) "everyone commits the message" 81 (count_value result message);
-  Alcotest.(check bool) "terminates quickly" true (result.Certified_propagation.rounds < 50)
+  Alcotest.(check bool) "terminates quickly" true (result.Certified_propagation.Reference.rounds < 50)
 
 let test_rounds_scale_with_distance () =
   let run side =
     let topology, source = grid_setup ~side ~radius:2.0 in
     let roles = roles_with topology source [] message in
-    (Certified_propagation.run
-       { Certified_propagation.radius = 2.0; tolerance = 1 }
+    (Certified_propagation.Reference.run
+       { Certified_propagation.Reference.radius = 2.0; tolerance = 1 }
        ~topology ~source ~message ~roles ~max_rounds:1000)
-      .Certified_propagation.rounds
+      .Certified_propagation.Reference.rounds
   in
   Alcotest.(check bool) "bigger grid, more rounds" true (run 15 > run 7)
 
@@ -49,8 +49,8 @@ let test_tolerance_blocks_isolated_liars () =
   (* Two liars, far apart: never t+1 = 3 concurring in a neighbourhood. *)
   let roles = roles_with topology source [ 0; 80 ] fake in
   let result =
-    Certified_propagation.run
-      { Certified_propagation.radius = 2.0; tolerance = 2 }
+    Certified_propagation.Reference.run
+      { Certified_propagation.Reference.radius = 2.0; tolerance = 2 }
       ~topology ~source ~message ~roles ~max_rounds:1000
   in
   Alcotest.(check int) "no honest node adopts the fake" 0 (count_value result fake - 2);
@@ -62,8 +62,8 @@ let test_quorum_of_liars_breaks_it () =
   (* t = 1, and two colocated liars form a fake quorum of t+1 = 2. *)
   let roles = roles_with topology source [ 0; 1 ] fake in
   let result =
-    Certified_propagation.run
-      { Certified_propagation.radius = 2.0; tolerance = 1 }
+    Certified_propagation.Reference.run
+      { Certified_propagation.Reference.radius = 2.0; tolerance = 1 }
       ~topology ~source ~message ~roles ~max_rounds:1000
   in
   Alcotest.(check bool) "some honest node is deceived" true (count_value result fake > 2)
@@ -72,13 +72,13 @@ let test_messages_bounded () =
   let topology, source = grid_setup ~side:7 ~radius:2.0 in
   let roles = roles_with topology source [] message in
   let result =
-    Certified_propagation.run
-      { Certified_propagation.radius = 2.0; tolerance = 1 }
+    Certified_propagation.Reference.run
+      { Certified_propagation.Reference.radius = 2.0; tolerance = 1 }
       ~topology ~source ~message ~roles ~max_rounds:1000
   in
   (* Every node announces at most once. *)
   Alcotest.(check bool) "at most one announcement per node" true
-    (result.Certified_propagation.messages <= Topology.size topology)
+    (result.Certified_propagation.Reference.messages <= Topology.size topology)
 
 let test_disconnected_nodes_stay_silent () =
   let nodes =
@@ -92,14 +92,14 @@ let test_disconnected_nodes_stay_silent () =
   let topology = Topology.build deployment (Propagation.disk_l2 2.0) in
   let roles = roles_with topology 0 [] message in
   let result =
-    Certified_propagation.run
-      { Certified_propagation.radius = 2.0; tolerance = 0 }
+    Certified_propagation.Reference.run
+      { Certified_propagation.Reference.radius = 2.0; tolerance = 0 }
       ~topology ~source:0 ~message ~roles ~max_rounds:100
   in
   Alcotest.(check bool) "neighbour commits" true
-    (result.Certified_propagation.committed.(1) = Some message);
+    (result.Certified_propagation.Reference.committed.(1) = Some message);
   Alcotest.(check (option Alcotest.reject)) "distant node never commits" None
-    result.Certified_propagation.committed.(2)
+    result.Certified_propagation.Reference.committed.(2)
 
 let () =
   Alcotest.run "certified_propagation"

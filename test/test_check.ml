@@ -424,7 +424,7 @@ let test_golden_codes () =
     [
       "map-dims"; "radius"; "message"; "cap"; "deployment"; "channel"; "votes"; "square-geometry";
       "sparse-squares"; "unused-field"; "tolerance"; "koo-impossibility"; "relay-limit"; "fraction";
-      "budget"; "probability"; "byz-tolerance";
+      "budget"; "probability"; "byz-tolerance"; "non-geometric-bound";
     ]
     Lint.codes;
   Alcotest.(check (list string))

@@ -19,6 +19,10 @@ let small_spec ~protocol ~faults ~seed ~n =
     protocol;
     faults;
     cap = 3_000;
+    (* Random 25-node deployments on an 8x8 map do occasionally strand a
+       node; partial coverage is fine here — equivalence, not delivery,
+       is the property under test. *)
+    allow_unreachable = true;
     seed;
   }
 

@@ -75,10 +75,10 @@ let grid_topology ~side ~radius =
 let test_topology_grid_neighbors () =
   let t = grid_topology ~side:7 ~radius:2.0 in
   let center = 24 (* (3,3) *) in
-  Alcotest.(check int) "interior degree (2R+1)^2-1" 24 (Array.length t.Topology.rx.(center));
-  Alcotest.(check int) "corner degree" 8 (Array.length t.Topology.rx.(0));
+  Alcotest.(check int) "interior degree (2R+1)^2-1" 24 (Array.length (Topology.rx t).(center));
+  Alcotest.(check int) "corner degree" 8 (Array.length (Topology.rx t).(0));
   Alcotest.(check bool) "disk: rx = sensed" true
-    (Array.length t.Topology.sensed.(center) = Array.length t.Topology.rx.(center))
+    (Array.length (Topology.sensed t).(center) = Array.length (Topology.rx t).(center))
 
 let test_topology_friis_sense_superset () =
   let d = Deployment.grid ~width:9 ~height:9 in
@@ -86,8 +86,8 @@ let test_topology_friis_sense_superset () =
   Array.iteri
     (fun i rx ->
       Alcotest.(check bool) "sensed includes rx" true
-        (Array.length t.Topology.sensed.(i) >= Array.length rx))
-    t.Topology.rx
+        (Array.length (Topology.sensed t).(i) >= Array.length rx))
+    (Topology.rx t)
 
 let test_topology_hops () =
   let t = grid_topology ~side:9 ~radius:2.0 in
@@ -165,13 +165,13 @@ let test_topology_sorted_rows_and_lookup () =
   Array.iteri
     (fun i row ->
       ascending (Array.length row) (fun k -> row.(k)) (Printf.sprintf "rx.(%d) sorted" i))
-    t.Topology.rx;
+    (Topology.rx t);
   Array.iteri
     (fun i row ->
       ascending (Array.length row)
         (fun k -> row.(k).Topology.peer)
         (Printf.sprintf "sensed.(%d) sorted" i))
-    t.Topology.sensed;
+    (Topology.sensed t);
   let n = Deployment.size d in
   for i = 0 to n - 1 do
     for j = 0 to n - 1 do
@@ -580,7 +580,7 @@ let prop_engine_matches_reference =
       let machines = Array.init (k + 1) (fun i -> if i = 0 then rx else tx_once_machine i) in
       ignore (Engine.run ~topology ~machines ~waiters:(Array.make (k + 1) true) ~cap:1 ());
       let txs =
-        Array.to_list topology.Topology.sensed.(0)
+        Array.to_list (Topology.sensed topology).(0)
         |> List.map (fun { Topology.peer; power } -> { Channel.power; payload = peer })
       in
       let expected = Channel.resolve Channel.ideal ~sense_threshold:(Propagation.sense_threshold prop) txs in
