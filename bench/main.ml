@@ -219,6 +219,7 @@ let () =
   let options = ref { (Bench.default_options ()) with json_path = Some "BENCH_results.json" } in
   let compare_base = ref None in
   let no_micro = ref false in
+  let campaign = ref Campaign.default in
   let anons = ref [] in
   let set_scale s =
     match String.lowercase_ascii s with
@@ -256,13 +257,81 @@ let () =
         Arg.String (fun p -> compare_base := Some p),
         "BASE.json  after the run, diff wall times against this baseline; exit 1 on a >20% \
          regression" );
+      (* `scale` campaign options (ignored without the scale subcommand). *)
+      ( "--nodes",
+        Arg.String
+          (fun s ->
+            campaign :=
+              { !campaign with
+                Campaign.node_counts = List.map int_of_string (String.split_on_char ',' s) }),
+        "N,N,...  (scale) node counts to sweep" );
+      ( "--density",
+        Arg.String
+          (fun s ->
+            campaign :=
+              { !campaign with
+                Campaign.densities = List.map float_of_string (String.split_on_char ',' s) }),
+        "D,D,...  (scale) target average degrees to sweep" );
+      ( "--adversaries",
+        Arg.String
+          (fun s ->
+            campaign := { !campaign with Campaign.adversaries = String.split_on_char ',' s }),
+        "A,A,...  (scale) adversary mixes: honest, crash, lying, jam" );
+      ( "--classes",
+        Arg.String
+          (fun s ->
+            campaign :=
+              { !campaign with
+                Campaign.classes =
+                  List.map
+                    (function
+                      | "uniform" -> Campaign.Uniform_radio
+                      | "expander" -> Campaign.Expander_synthetic
+                      | other ->
+                        raise (Arg.Bad (Printf.sprintf "--classes %s (expected uniform or expander)" other)))
+                    (String.split_on_char ',' s) }),
+        "C,C,...  (scale) graph classes: uniform, expander" );
+      ( "--tiles",
+        Arg.Int (fun k -> campaign := { !campaign with Campaign.tiles = k }),
+        "K  (scale) engine tiles; 1 = the serial sparse loop" );
+      ( "--warm",
+        Arg.Int (fun k -> campaign := { !campaign with Campaign.warm = k }),
+        "K  (scale) warm runs per cell on the cold run's topology" );
+      ( "--label",
+        Arg.String (fun l -> campaign := { !campaign with Campaign.label = l }),
+        "NAME  (scale) campaign label / archive subdirectory" );
+      ( "--out",
+        Arg.String (fun d -> campaign := { !campaign with Campaign.out_dir = Some d }),
+        "DIR  (scale) archive one JSON per run plus a manifest under DIR/label/" );
+      ( "--mem-ceiling",
+        Arg.Float
+          (fun mw ->
+            campaign :=
+              { !campaign with Campaign.mem_ceiling_words = Some (int_of_float (mw *. 1e6)) }),
+        "MWORDS  (scale) fail if any run peaks above this many million heap words" );
+      ( "--check",
+        Arg.Unit (fun () -> campaign := { !campaign with Campaign.check = true }),
+        " (scale) re-run each campaign run on the serial engine and diff the traces" );
+      ( "--dry-run",
+        Arg.Unit (fun () -> campaign := { !campaign with Campaign.dry_run = true }),
+        " (scale) print the planned runs and execute nothing" );
     ]
   in
   Arg.parse speclist
     (fun anon -> anons := !anons @ [ anon ])
     "bench/main.exe [--scale quick|paper] [--jobs N] [--only e1,e2,...] [--json PATH]\n\
-     bench/main.exe compare BASE.json [CURRENT.json]";
+     bench/main.exe compare BASE.json [CURRENT.json]\n\
+     bench/main.exe scale [--nodes N,N] [--density D,D] [--tiles K] [--dry-run] ...";
   match !anons with
+  | [ "scale" ] -> (
+    match Campaign.run !campaign with
+    | Ok (_, failed) -> if failed then exit 1
+    | Error message ->
+      prerr_endline message;
+      exit 2)
+  | "scale" :: _ ->
+    prerr_endline "scale takes no further positional arguments";
+    exit 2
   | [ "compare"; base ] ->
     finish_compare (Bench.compare_files ~base ~current:"BENCH_results.json" ())
   | [ "compare"; base; current ] -> finish_compare (Bench.compare_files ~base ~current ())

@@ -308,6 +308,128 @@ let bench_cmd =
       const run $ scale_arg $ jobs_arg $ only_arg $ json_arg $ no_json_arg $ compare_arg
       $ profile_arg $ sanitize_arg)
 
+(* --- scale -------------------------------------------------------------- *)
+
+let scale_cmd =
+  let ints_conv = Arg.(list int) in
+  let floats_conv = Arg.(list float) in
+  let strings_conv = Arg.(list string) in
+  let label_arg =
+    Arg.(
+      value
+      & opt string Campaign.default.Campaign.label
+      & info [ "label" ] ~docv:"NAME" ~doc:"Campaign label (archive subdirectory).")
+  in
+  let nodes_list_arg =
+    Arg.(
+      value
+      & opt ints_conv Campaign.default.Campaign.node_counts
+      & info [ "nodes" ] ~docv:"N,N,..." ~doc:"Node counts to sweep.")
+  in
+  let density_arg =
+    Arg.(
+      value
+      & opt floats_conv Campaign.default.Campaign.densities
+      & info [ "density" ] ~docv:"D,D,..." ~doc:"Target average degrees to sweep.")
+  in
+  let adversaries_arg =
+    Arg.(
+      value
+      & opt strings_conv Campaign.default.Campaign.adversaries
+      & info [ "adversaries" ] ~docv:"A,A,..."
+          ~doc:
+            (Printf.sprintf "Adversary mixes to sweep (known: %s)."
+               (String.concat ", " Campaign.known_adversaries)))
+  in
+  let classes_conv =
+    Arg.(list (enum [ ("uniform", Campaign.Uniform_radio); ("expander", Campaign.Expander_synthetic) ]))
+  in
+  let classes_arg =
+    Arg.(
+      value
+      & opt classes_conv Campaign.default.Campaign.classes
+      & info [ "classes" ] ~docv:"C,C,..." ~doc:"Graph classes: uniform, expander.")
+  in
+  let tiles_arg =
+    Arg.(
+      value
+      & opt int Campaign.default.Campaign.tiles
+      & info [ "tiles"; "domains" ] ~docv:"K"
+          ~doc:"Engine tiles (domains); 1 runs the serial sparse loop.")
+  in
+  let warm_arg =
+    Arg.(
+      value
+      & opt int Campaign.default.Campaign.warm
+      & info [ "warm" ] ~docv:"K" ~doc:"Warm runs per cell on the cold run's topology.")
+  in
+  let cap_arg =
+    Arg.(
+      value
+      & opt int Campaign.default.Campaign.cap
+      & info [ "cap" ] ~docv:"ROUNDS" ~doc:"Engine round cap per run.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"DIR" ~doc:"Archive one JSON per run plus a manifest under DIR/label/.")
+  in
+  let mem_ceiling_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "mem-ceiling" ] ~docv:"MWORDS"
+          ~doc:"Fail if any run's peak major heap exceeds this many million words.")
+  in
+  let check_arg =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Re-run every campaign run on the serial sparse engine and fail unless the \
+             round-by-round traces are byte-identical.")
+  in
+  let dry_run_arg =
+    Arg.(value & flag & info [ "dry-run" ] ~doc:"Print the planned runs and execute nothing.")
+  in
+  let run label nodes density adversaries classes protocol tiles seed cap warm message out
+      mem_ceiling check dry_run =
+    let config =
+      {
+        Campaign.label;
+        node_counts = nodes;
+        densities = density;
+        adversaries;
+        classes;
+        protocol;
+        tiles;
+        seed;
+        cap;
+        warm;
+        message;
+        out_dir = out;
+        mem_ceiling_words = Option.map (fun mw -> int_of_float (mw *. 1e6)) mem_ceiling;
+        check;
+        dry_run;
+      }
+    in
+    match Campaign.run config with
+    | Ok (_, failed) -> if failed then exit 1
+    | Error message ->
+      prerr_endline message;
+      exit 2
+  in
+  Cmd.v
+    (Cmd.info "scale"
+       ~doc:
+         "Run a scale campaign: sweep node count x density x adversary mix over uniform-radio \
+          and expander graphs on the sharded engine, with cold/warm runs and archived results.")
+    Term.(
+      const run $ label_arg $ nodes_list_arg $ density_arg $ adversaries_arg $ classes_arg
+      $ protocol_arg $ tiles_arg $ seed_arg $ cap_arg $ warm_arg $ message_arg $ out_arg
+      $ mem_ceiling_arg $ check_arg $ dry_run_arg)
+
 (* --- topo --------------------------------------------------------------- *)
 
 let topo_cmd =
@@ -332,4 +454,4 @@ let topo_cmd =
 let () =
   let doc = "authenticated broadcast in radio networks (SPAA 2010 reproduction)" in
   let info = Cmd.info "securebit" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; fig_cmd; bench_cmd; topo_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ run_cmd; fig_cmd; bench_cmd; scale_cmd; topo_cmd ]))

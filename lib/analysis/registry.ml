@@ -64,8 +64,8 @@ let mobile =
 
 (* The canonical experiment order: the paper's evaluation (E1–E7), the
    Theorem 5 sweeps (E8a–E8c), the DESIGN.md ablations (A1–A5), then the
-   analytic bounds table, the mobile extension, and the graph-class
-   comparison (G1). *)
+   analytic bounds table, the mobile extension, the graph-class
+   comparison (G1), and the scale sweep (S1). *)
 let all =
   [
     Figures.fig5_crash;
@@ -86,6 +86,7 @@ let all =
       bounds;
       mobile;
       Graph_family.comparison;
+      Scale_sweep.sweep;
     ]
 
 let ids = List.map (fun job -> job.Experiment.id) all

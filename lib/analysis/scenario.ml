@@ -150,12 +150,23 @@ let assign_machines ~n ~source ~byzantine ~faults ~fake ~adversary_machine make 
       end
       else make i Role_relay)
 
-let run ?tap ?(mode = (`Sparse : Engine.mode)) spec =
+let run ?tap ?(mode = (`Sparse : Engine.mode)) ?tile_of ?topology spec =
   let rng = Rng.create spec.seed in
+  (* The split order is part of the deterministic contract: it must stay
+     fixed — and the splits must happen — whether or not a prebuilt
+     topology is supplied, or a warm re-run would draw different fault and
+     channel streams than the cold run it repeats. *)
   let deployment_rng = Rng.split rng in
   let faults_rng = Rng.split rng in
   let channel_rng = Rng.split rng in
-  let topology = build_topology deployment_rng spec in
+  let topology =
+    (* An override must be the topology this spec builds (same seed, same
+       deployment) or results are meaningless; campaign warm rounds reuse
+       the cold round's topology this way to skip the rebuild. *)
+    match topology with
+    | Some t -> t
+    | None -> build_topology deployment_rng spec
+  in
   let deployment = Topology.deployment topology in
   let n = Deployment.size deployment in
   let source = Deployment.center_node deployment in
@@ -290,8 +301,8 @@ let run ?tap ?(mode = (`Sparse : Engine.mode)) spec =
       end
   in
   let engine =
-    Engine.run ~mode ~rng:channel_rng ~channel:spec.channel ~idle_stop ~stop_when ?tap ~topology
-      ~machines ~waiters ~cap:spec.cap ()
+    Engine.run ~mode ~rng:channel_rng ~channel:spec.channel ~idle_stop ~stop_when ?tap ?tile_of
+      ~topology ~machines ~waiters ~cap:spec.cap ()
   in
   { spec; topology; source; honest; fake; engine }
 

@@ -88,11 +88,24 @@ type result = {
   engine : Engine.result;
 }
 
-val run : ?tap:(Engine.round_digest -> unit) -> ?mode:Engine.mode -> spec -> result
+val run :
+  ?tap:(Engine.round_digest -> unit) ->
+  ?mode:Engine.mode ->
+  ?tile_of:int array ->
+  ?topology:Topology.t ->
+  spec ->
+  result
 (** [tap] is forwarded to {!Engine.run}: one digest per executed round.
     [mode] selects the engine loop (default [`Sparse]; results are
-    mode-independent — the equivalence property test holds the two loops
-    byte-identical, so [`Dense] is only interesting as the reference). *)
+    mode-independent — the equivalence suite holds all loops, including
+    every [`Sharded] tile count, byte-identical — so [`Dense] is only
+    interesting as the reference and [`Sharded] as the parallel engine).
+    [tile_of] is forwarded to {!Engine.run} (sharded runs only).
+    [topology], if given, skips the deployment build and runs on the
+    supplied topology instead: it must be the very topology this spec
+    builds (campaign warm rounds reuse the cold round's); the rng split
+    order is unchanged either way, so faults and channel draws are
+    identical. *)
 
 val presets : (string * spec) list
 (** Named specs mirroring the bundled examples ([examples/<name>.ml]); the

@@ -26,17 +26,24 @@ let codes =
     "parse-error";
   ]
 
-(* Audited-sound uses.  The two protocol [progress] counters fold a
-   commutative sum; the engine's fingerprint hashes an explicit canonical
-   encoding; the bench table folds into a list it immediately sorts; the
-   pool's sanitizer digest is compared only against another digest of the
-   same in-memory representation within one process, so representation
-   dependence cannot flip a verdict. *)
+(* Audited-sound uses.  The protocol [progress] counters (multi_path,
+   neighbor_watch, certified_propagation) fold a commutative sum or
+   count; the engine's fingerprint hashes an explicit canonical encoding;
+   the bench table folds into a list it immediately sorts; the pool's
+   sanitizer digest is compared only against another digest of the same
+   in-memory representation within one process, so representation
+   dependence cannot flip a verdict.  shard.ml is the one sanctioned home
+   for intra-run parallelism outside lib/run: its barrier totally orders
+   every cross-tile access (the equivalence suite holds all tile counts
+   byte-identical to the serial engines), and its single Atomic is a
+   write-once failure slot read only after the final barrier. *)
 let allowlist =
   [
     ("lib/core/multi_path.ml", "hashtbl-order");
     ("lib/core/neighbor_watch.ml", "hashtbl-order");
+    ("lib/core/certified_propagation.ml", "hashtbl-order");
     ("lib/sim/engine.ml", "poly-hash");
+    ("lib/sim/shard.ml", "domain-outside-run");
     ("bench/main.ml", "hashtbl-order");
     ("lib/run/pool.ml", "poly-hash");
   ]

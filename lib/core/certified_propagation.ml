@@ -26,7 +26,6 @@ type ctx = {
   schedule : Schedule.t;
   source : Node.id;
   states : (Node.id, state) Hashtbl.t;
-  mutable commits : int;  (** monotone commit counter, the progress signal *)
 }
 
 let make_ctx config ~topology ~source =
@@ -37,12 +36,19 @@ let make_ctx config ~topology ~source =
     end
     else Schedule.for_graph topology ~source
   in
-  { config; topology; schedule; source; states = Hashtbl.create 64; commits = 0 }
+  { config; topology; schedule; source; states = Hashtbl.create 64 }
 
 let schedule ctx = ctx.schedule
 let cycle ctx = Schedule.cycle ctx.schedule
 let cycle_rounds ctx = cycle ctx * ctx.config.slot_rounds
-let progress ctx = ctx.commits
+(* Derived from the states instead of a counter the machines would bump:
+   commits can land on different engine tiles in the same round, and a
+   shared increment would race.  The count includes construction-time
+   commitments (source, liars) the old counter skipped — a constant offset
+   the stall detector, which only watches for change, cannot see.  The fold
+   is a commutative count, so table order does not matter. *)
+let progress ctx =
+  Hashtbl.fold (fun _ s acc -> if s.committed <> None then acc + 1 else acc) ctx.states 0
 
 type role = Source of Bitvec.t | Relay | Liar of Bitvec.t
 
@@ -73,12 +79,7 @@ let machine ctx id role =
   in
   Hashtbl.replace ctx.states id s;
   let slot_rounds = ctx.config.slot_rounds in
-  let commit value =
-    if s.committed = None then begin
-      s.committed <- Some value;
-      ctx.commits <- ctx.commits + 1
-    end
-  in
+  let commit value = if s.committed = None then s.committed <- Some value in
   let vouch voucher value =
     let key = Bitvec.to_string value in
     let entry = match List.assoc_opt key s.vouches with Some e -> e | None -> [] in

@@ -72,6 +72,76 @@ let regressed ?(tolerance = regression_tolerance) c =
     (b >= noise_floor || cur >= noise_floor) && cur > b *. (1.0 +. tolerance)
   | Some _, None | None, Some _ | None, None -> false
 
+(* --- peak-memory ceilings ---------------------------------------------- *)
+
+type memory_check = { mem_id : string; ceiling_words : int; peak_words : int option }
+
+let memory_exceeded m =
+  match m.peak_words with Some peak -> peak > m.ceiling_words | None -> false
+
+let int_member name json =
+  Option.bind (Json.member name json) Json.to_float_opt |> Option.map int_of_float
+
+(* Committed per-experiment ceilings out of a baseline file: optional
+   [max_heap_words] per experiment entry, so the baseline can gate memory
+   without every historical file growing one. *)
+let heap_ceilings_of_results json =
+  match Json.member "experiments" json |> Option.map Json.to_list_opt with
+  | Some (Some experiments) ->
+    List.filter_map
+      (fun e ->
+        match (Option.bind (Json.member "id" e) Json.to_string_opt, int_member "max_heap_words" e) with
+        | Some id, Some ceiling -> Some (id, ceiling)
+        | _ -> None)
+      experiments
+  | Some None | None -> []
+
+(* Measured peaks out of a current run: [profile.top_heap_words], present
+   only when the run was profiled. *)
+let heap_peaks_of_results json =
+  match Json.member "experiments" json |> Option.map Json.to_list_opt with
+  | Some (Some experiments) ->
+    List.filter_map
+      (fun e ->
+        match
+          ( Option.bind (Json.member "id" e) Json.to_string_opt,
+            Option.bind (Json.member "profile" e) (int_member "top_heap_words") )
+        with
+        | Some id, Some peak -> Some (id, peak)
+        | _ -> None)
+      experiments
+  | Some None | None -> []
+
+let memory_checks ~ceilings ~peaks =
+  List.map
+    (fun (id, ceiling_words) ->
+      { mem_id = id; ceiling_words; peak_words = List.assoc_opt id peaks })
+    ceilings
+
+let render_memory checks =
+  if checks = [] then ""
+  else begin
+    let table =
+      Table.create ~title:"peak-heap ceiling check"
+        ~columns:[ "experiment"; "ceiling (Mw)"; "peak (Mw)"; "verdict" ]
+    in
+    List.iter
+      (fun m ->
+        let mw w = Table.cell_f ~decimals:1 (float_of_int w /. 1e6) in
+        Table.add_row table
+          [
+            m.mem_id;
+            mw m.ceiling_words;
+            (match m.peak_words with Some p -> mw p | None -> "-");
+            (match m.peak_words with
+            | Some p when p > m.ceiling_words -> "OVER CEILING"
+            | Some _ -> "ok"
+            | None -> "not profiled");
+          ])
+      checks;
+    Table.render table
+  end
+
 let wall_times_of_results json =
   match Json.member "experiments" json |> Option.map Json.to_list_opt with
   | Some (Some experiments) ->
@@ -93,13 +163,15 @@ let wall_times_of_results json =
     |> Result.map List.rev
   | Some None | None -> Error "no \"experiments\" list (not a securebit-bench results file?)"
 
-let load_wall_times path =
+let load_results path =
   match In_channel.with_open_text path In_channel.input_all with
   | contents -> (
     match Json.of_string contents with
-    | Ok json -> wall_times_of_results json
+    | Ok json -> Ok json
     | Error message -> Error (Printf.sprintf "%s: %s" path message))
   | exception Sys_error message -> Error message
+
+let load_wall_times path = Result.bind (load_results path) wall_times_of_results
 
 (* Pair the two runs up, keeping the current run's order; baseline-only
    experiments are appended so nothing disappears silently. *)
@@ -157,31 +229,68 @@ let render_comparison ?(tolerance = regression_tolerance) comparisons =
 let regressions ?tolerance comparisons = List.filter (regressed ?tolerance) comparisons
 
 (* Shared driver for the two compare entry points: report text plus whether
-   anything regressed (callers turn that into a non-zero exit). *)
-let compare_against ?tolerance ~base current =
-  match load_wall_times base with
+   anything failed (callers turn that into a non-zero exit).  A compare
+   fails on a wall-time regression or a peak-heap ceiling breach; a
+   ceiling the current run did not measure (no [--profile]) is reported
+   as a warning, never a failure, so unprofiled comparisons still gate
+   wall time alone. *)
+let compare_against ?tolerance ?(peaks = []) ~base current =
+  match load_results base with
   | Error message -> Error (Printf.sprintf "baseline %s: %s" base message)
-  | Ok base_times ->
-    let comparisons = compare_wall_times ~base:base_times ~current in
-    let regressed = regressions ?tolerance comparisons in
-    let report =
-      render_comparison ?tolerance comparisons
-      ^
-      match regressed with
-      | [] -> "no wall-time regressions\n"
-      | some ->
-        Printf.sprintf "%d experiment(s) regressed: %s\n" (List.length some)
-          (String.concat ", " (List.map (fun c -> c.cmp_id) some))
-    in
-    Ok (report, regressed <> [])
+  | Ok base_json -> (
+    match wall_times_of_results base_json with
+    | Error message -> Error (Printf.sprintf "baseline %s: %s" base message)
+    | Ok base_times ->
+      let comparisons = compare_wall_times ~base:base_times ~current in
+      let regressed = regressions ?tolerance comparisons in
+      let checks = memory_checks ~ceilings:(heap_ceilings_of_results base_json) ~peaks in
+      let exceeded = List.filter memory_exceeded checks in
+      let unmeasured = List.filter (fun m -> m.peak_words = None) checks in
+      let names of_what items = String.concat ", " (List.map of_what items) in
+      let report =
+        render_comparison ?tolerance comparisons
+        ^ (match regressed with
+          | [] -> "no wall-time regressions\n"
+          | some ->
+            Printf.sprintf "%d experiment(s) regressed: %s\n" (List.length some)
+              (names (fun c -> c.cmp_id) some))
+        ^ render_memory checks
+        ^ (match exceeded with
+          | [] when checks <> [] -> "no peak-heap ceilings exceeded\n"
+          | [] -> ""
+          | some ->
+            Printf.sprintf "%d experiment(s) over peak-heap ceiling: %s\n" (List.length some)
+              (names (fun m -> m.mem_id) some))
+        ^
+        match unmeasured with
+        | [] -> ""
+        | some ->
+          Printf.sprintf
+            "warning: %d ceiling(s) not checked (current run lacks --profile data): %s\n"
+            (List.length some)
+            (names (fun m -> m.mem_id) some)
+      in
+      Ok (report, regressed <> [] || exceeded <> []))
 
 let compare_files ?tolerance ~base ~current () =
-  match load_wall_times current with
+  match load_results current with
   | Error message -> Error (Printf.sprintf "current %s: %s" current message)
-  | Ok current_times -> compare_against ?tolerance ~base current_times
+  | Ok current_json -> (
+    match wall_times_of_results current_json with
+    | Error message -> Error (Printf.sprintf "current %s: %s" current message)
+    | Ok current_times ->
+      compare_against ?tolerance ~peaks:(heap_peaks_of_results current_json) ~base current_times)
 
 let compare_outcomes ?tolerance ~base outcomes =
-  compare_against ?tolerance ~base
+  let peaks =
+    List.filter_map
+      (fun o ->
+        Option.map
+          (fun (p : Runner.profile) -> (o.Runner.job.Experiment.id, p.Runner.top_heap_words))
+          o.Runner.profile)
+      outcomes
+  in
+  compare_against ?tolerance ~peaks ~base
     (List.map (fun o -> (o.Runner.job.Experiment.id, o.Runner.wall_seconds)) outcomes)
 
 let run options =

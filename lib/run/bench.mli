@@ -31,13 +31,15 @@ val run : options -> (Runner.outcome list, string) result
 (** Run the selected jobs, printing tables, fits, notes and per-job wall
     times; write [json_path] if given.  [Error] on unknown ids. *)
 
-(** {1 Wall-time comparison (["bench compare"])}
+(** {1 Comparison (["bench compare"])}
 
     Diffs two [BENCH_results.json] files (or a fresh run against one) and
     reports per-experiment speedups; anything more than
     {!regression_tolerance} slower than the baseline is a regression,
     which callers turn into a non-zero exit so perf regressions fail the
-    build. *)
+    build.  Baseline entries may also carry a [max_heap_words] peak-heap
+    ceiling; when the current run was profiled, a peak above the ceiling
+    fails the compare the same way a wall-time regression does. *)
 
 val regression_tolerance : float
 (** Default regression threshold: 0.20 (20% slower fails). *)
@@ -57,8 +59,37 @@ val speedup : comparison -> float option
 
 val regressed : ?tolerance:float -> comparison -> bool
 
+type memory_check = {
+  mem_id : string;
+  ceiling_words : int;  (** committed [max_heap_words] from the baseline *)
+  peak_words : int option;
+      (** measured [profile.top_heap_words]; [None] when the current run
+          was not profiled — reported as a warning, never a failure *)
+}
+
+val memory_exceeded : memory_check -> bool
+(** True iff a measured peak is above its ceiling. *)
+
 val wall_times_of_results : Json.t -> ((string * float) list, string) result
 (** Per-experiment wall seconds out of a parsed results file. *)
+
+val heap_ceilings_of_results : Json.t -> (string * int) list
+(** Per-experiment [max_heap_words] ceilings out of a parsed baseline;
+    experiments without one are simply absent. *)
+
+val heap_peaks_of_results : Json.t -> (string * int) list
+(** Per-experiment [profile.top_heap_words] peaks out of a parsed results
+    file; absent for runs made without [--profile]. *)
+
+val memory_checks :
+  ceilings:(string * int) list -> peaks:(string * int) list -> memory_check list
+(** One check per ceiling, paired with the matching peak if measured. *)
+
+val render_memory : memory_check list -> string
+(** ASCII ceiling-check table; empty string when there are no ceilings. *)
+
+val load_results : string -> (Json.t, string) result
+(** Read and parse a results file. *)
 
 val load_wall_times : string -> ((string * float) list, string) result
 
@@ -72,8 +103,10 @@ val regressions : ?tolerance:float -> comparison list -> comparison list
 
 val compare_files :
   ?tolerance:float -> base:string -> current:string -> unit -> (string * bool, string) result
-(** [Ok (report, any_regression)]; [Error] on unreadable/invalid files. *)
+(** [Ok (report, failed)] where [failed] is any wall-time regression or
+    peak-heap ceiling breach; [Error] on unreadable/invalid files. *)
 
 val compare_outcomes :
   ?tolerance:float -> base:string -> Runner.outcome list -> (string * bool, string) result
-(** Compare a just-finished run against a baseline file. *)
+(** Compare a just-finished run against a baseline file; profiled
+    outcomes also have their peaks gated against baseline ceilings. *)

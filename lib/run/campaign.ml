@@ -1,0 +1,330 @@
+type klass = Scale_sweep.klass = Uniform_radio | Expander_synthetic
+
+let klass_name = Scale_sweep.klass_name
+let all_classes = Scale_sweep.all_classes
+
+type config = {
+  label : string;
+  node_counts : int list;
+  densities : float list;
+  adversaries : string list;
+  classes : klass list;
+  protocol : Scenario.protocol;
+  tiles : int;
+  seed : int;
+  cap : int;
+  warm : int;
+  message : string;
+  out_dir : string option;
+  mem_ceiling_words : int option;
+  check : bool;
+  dry_run : bool;
+}
+
+(* A cell every machine can finish in seconds per run: the full sweep is
+   the caller's to scale up (`--nodes 10000,100000 ...`). *)
+let default =
+  {
+    label = "scale";
+    node_counts = [ 1_000; 4_000 ];
+    densities = [ 12.0; 40.0 ];
+    adversaries = [ "honest"; "lying" ];
+    classes = all_classes;
+    protocol = Scenario.Neighbor_watch { votes = 1 };
+    tiles = 1;
+    seed = 42;
+    cap = 2_000_000;
+    warm = 1;
+    message = "1011";
+    out_dir = None;
+    mem_ceiling_words = None;
+    check = false;
+    dry_run = false;
+  }
+
+let known_adversaries = Scale_sweep.known_adversaries
+let faults_of_adversary = Scale_sweep.faults_of_adversary
+
+type phase = Cold | Warm of int
+
+let phase_name = function Cold -> "cold" | Warm k -> Printf.sprintf "warm%d" k
+
+type cell = { klass : klass; nodes : int; density : float; adversary : string }
+
+type planned = { run_id : string; cell : cell; phase : phase }
+
+let run_id_of cell phase =
+  Printf.sprintf "n%d-d%g-%s-%s-%s" cell.nodes cell.density cell.adversary
+    (klass_name cell.klass) (phase_name phase)
+
+(* The cell geometry lives in {!Scale_sweep.cell_spec}, shared with the
+   registered S1 experiment, so a campaign run and the registry row of
+   the same cell simulate the same spec. *)
+let spec_of_cell config cell =
+  let faults =
+    match faults_of_adversary cell.adversary with
+    | Some faults -> faults
+    | None -> invalid_arg (Printf.sprintf "Campaign: unknown adversary %s" cell.adversary)
+  in
+  let base =
+    {
+      Scenario.default with
+      message = Bitvec.of_string config.message;
+      protocol = config.protocol;
+      faults;
+      cap = config.cap;
+      seed = config.seed;
+    }
+  in
+  Scale_sweep.cell_spec ~base ~klass:cell.klass ~nodes:cell.nodes ~density:cell.density
+
+let validate config =
+  if config.tiles < 1 then Error "tiles must be >= 1"
+  else if config.warm < 0 then Error "warm rounds must be >= 0"
+  else if config.node_counts = [] || List.exists (fun n -> n <= 0) config.node_counts then
+    Error "node counts must be a non-empty list of positive ints"
+  else if config.densities = [] || List.exists (fun d -> d <= 0.0) config.densities then
+    Error "densities must be a non-empty list of positive numbers"
+  else if config.classes = [] then Error "at least one graph class"
+  else begin
+    match List.filter (fun a -> faults_of_adversary a = None) config.adversaries with
+    | [] when config.adversaries <> [] -> Ok ()
+    | [] -> Error "at least one adversary mix"
+    | unknown ->
+      Error
+        (Printf.sprintf "unknown adversary mix%s: %s (known: %s)"
+           (if List.length unknown > 1 then "es" else "")
+           (String.concat ", " unknown)
+           (String.concat " " known_adversaries))
+  end
+
+(* The full sweep in execution order: every (class, n, density, adversary)
+   cell, each as one cold run followed by [warm] warm runs on the cold
+   run's topology.  [--dry-run] prints exactly this list, so the preview
+   and a real invocation can never disagree (test_campaign holds them
+   equal). *)
+let plan config =
+  let phases = Cold :: List.init config.warm (fun k -> Warm (k + 1)) in
+  List.concat_map
+    (fun klass ->
+      List.concat_map
+        (fun nodes ->
+          List.concat_map
+            (fun density ->
+              List.concat_map
+                (fun adversary ->
+                  let cell = { klass; nodes; density; adversary } in
+                  List.map (fun phase -> { run_id = run_id_of cell phase; cell; phase }) phases)
+                config.adversaries)
+            config.densities)
+        config.node_counts)
+    config.classes
+
+type executed = {
+  planned : planned;
+  wall_seconds : float;
+  rounds : int;
+  rounds_per_second : float;
+  avg_degree : float;
+  peak_heap_words : int;
+  summary : Scenario.summary;
+}
+
+(* --- archived results --------------------------------------------------- *)
+
+let rec mkdirs path =
+  if path <> "" && path <> "." && path <> "/" && not (Sys.file_exists path) then begin
+    mkdirs (Filename.dirname path);
+    try Unix.mkdir path 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let json_of_executed config e =
+  let s = e.summary in
+  Json.Obj
+    [
+      ("schema", Json.String "securebit-campaign/1");
+      ("run_id", Json.String e.planned.run_id);
+      ("label", Json.String config.label);
+      ("class", Json.String (klass_name e.planned.cell.klass));
+      ("nodes", Json.Int e.planned.cell.nodes);
+      ("density", Json.Float e.planned.cell.density);
+      ("adversary", Json.String e.planned.cell.adversary);
+      ("phase", Json.String (phase_name e.planned.phase));
+      ("tiles", Json.Int config.tiles);
+      ("seed", Json.Int config.seed);
+      ("wall_seconds", Json.Float e.wall_seconds);
+      ("rounds", Json.Int e.rounds);
+      ("rounds_per_second", Json.Float e.rounds_per_second);
+      ("avg_degree", Json.Float e.avg_degree);
+      ("peak_heap_words", Json.Int e.peak_heap_words);
+      ( "summary",
+        Json.Obj
+          [
+            ("honest_nodes", Json.Int s.Scenario.honest_nodes);
+            ("completion_rate", Json.Float s.Scenario.completion_rate);
+            ("correct_rate", Json.Float s.Scenario.correct_rate);
+            ("total_broadcasts", Json.Int s.Scenario.total_broadcasts);
+            ("hit_cap", Json.String (string_of_bool s.Scenario.hit_cap));
+          ] );
+    ]
+
+let write_json path json =
+  let oc = open_out path in
+  output_string oc (Json.to_string_pretty json);
+  close_out oc
+
+let archive config executed =
+  Option.map
+    (fun out_dir ->
+      let dir = Filename.concat out_dir config.label in
+      mkdirs dir;
+      List.iter
+        (fun e ->
+          write_json (Filename.concat dir (e.planned.run_id ^ ".json")) (json_of_executed config e))
+        executed;
+      let manifest =
+        Json.Obj
+          [
+            ("schema", Json.String "securebit-campaign-manifest/1");
+            ("label", Json.String config.label);
+            ("tiles", Json.Int config.tiles);
+            ("runs", Json.List (List.map (fun e -> Json.String e.planned.run_id) executed));
+          ]
+      in
+      write_json (Filename.concat dir "manifest.json") manifest;
+      dir)
+    config.out_dir
+
+(* --- execution ---------------------------------------------------------- *)
+
+let mode config : Engine.mode = if config.tiles > 1 then `Sharded config.tiles else `Sparse
+
+exception Check_failed of string
+
+(* One cell: a cold run (builds the deployment and topology) then [warm]
+   runs reusing the cold topology, so the cold/warm delta isolates the
+   deployment-build and CSR-cache cost from the steady-state engine rate.
+   Under [--check] every run is re-executed on the serial sparse loop and
+   the round-by-round channel traces are diffed — the campaign-sized
+   version of the equivalence suite's byte-identity guarantee. *)
+let execute_cell config cell plans =
+  let spec = spec_of_cell config cell in
+  let topology = ref None in
+  List.map
+    (fun planned ->
+      let collect = if config.check then Some (Determinism.collector ()) else None in
+      let tap = Option.map fst collect in
+      let t0 = Unix.gettimeofday () in
+      let result = Scenario.run ?tap ~mode:(mode config) ?topology:!topology spec in
+      let wall_seconds = Unix.gettimeofday () -. t0 in
+      if !topology = None then topology := Some result.Scenario.topology;
+      Option.iter
+        (fun (_, trace_of) ->
+          let ref_tap, ref_trace = Determinism.collector () in
+          ignore (Scenario.run ~tap:ref_tap ~mode:`Sparse ?topology:!topology spec);
+          match Determinism.diff (trace_of ()) (ref_trace ()) with
+          | Determinism.Deterministic _ -> ()
+          | Determinism.Diverged _ as outcome ->
+            raise
+              (Check_failed
+                 (Printf.sprintf "%s: sharded and sparse traces differ: %s" planned.run_id
+                    (Determinism.outcome_to_string outcome))))
+        collect;
+      let summary = Scenario.summarize result in
+      let peak_heap_words = (Gc.quick_stat ()).Gc.top_heap_words in
+      {
+        planned;
+        wall_seconds;
+        rounds = summary.Scenario.rounds;
+        rounds_per_second =
+          (if wall_seconds > 0.0 then float_of_int summary.Scenario.rounds /. wall_seconds
+           else 0.0);
+        avg_degree = Topology.avg_degree result.Scenario.topology;
+        peak_heap_words;
+        summary;
+      })
+    plans
+
+let render executed =
+  let table =
+    Table.create ~title:"scale campaign"
+      ~columns:
+        [ "run"; "deg"; "rounds"; "wall (s)"; "rounds/s"; "peak (Mw)"; "delivered"; "correct" ]
+  in
+  List.iter
+    (fun e ->
+      Table.add_row table
+        [
+          e.planned.run_id;
+          Table.cell_f ~decimals:1 e.avg_degree;
+          Table.cell_i e.rounds;
+          Table.cell_f ~decimals:2 e.wall_seconds;
+          Table.cell_f ~decimals:0 e.rounds_per_second;
+          Table.cell_f ~decimals:1 (float_of_int e.peak_heap_words /. 1e6);
+          Table.cell_pct e.summary.Scenario.completion_rate;
+          Table.cell_pct e.summary.Scenario.correct_rate;
+        ])
+    executed;
+  Table.render table
+
+let render_plan config plans =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "campaign %s: %d runs (tiles=%d, seed=%d, warm=%d%s%s)\n" config.label
+       (List.length plans) config.tiles config.seed config.warm
+       (if config.check then ", check" else "")
+       (match config.out_dir with
+       | Some d -> Printf.sprintf ", out=%s" (Filename.concat d config.label)
+       | None -> ""));
+  List.iter (fun p -> Buffer.add_string buf ("  " ^ p.run_id ^ "\n")) plans;
+  Buffer.contents buf
+
+(* Group a plan back into per-cell chunks, preserving order. *)
+let cells_of_plan plans =
+  List.rev
+    (List.fold_left
+       (fun acc p ->
+         match acc with
+         | (cell, runs) :: rest when cell = p.cell -> (cell, runs @ [ p ]) :: rest
+         | _ -> (p.cell, [ p ]) :: acc)
+       [] plans)
+
+let run config =
+  match validate config with
+  | Error message -> Error message
+  | Ok () ->
+    let plans = plan config in
+    print_string (render_plan config plans);
+    if config.dry_run then Ok ([], false)
+    else begin
+      match
+        List.concat_map
+          (fun (cell, cell_plans) ->
+            let executed = execute_cell config cell cell_plans in
+            List.iter
+              (fun e ->
+                Printf.printf "[%s: %d rounds, %.2fs, %.1fM peak words]\n%!" e.planned.run_id
+                  e.rounds e.wall_seconds
+                  (float_of_int e.peak_heap_words /. 1e6))
+              executed;
+            executed)
+          (cells_of_plan plans)
+      with
+      | executed ->
+        print_string (render executed);
+        Option.iter (Printf.printf "results archived to %s\n%!") (archive config executed);
+        let over_ceiling =
+          match config.mem_ceiling_words with
+          | None -> []
+          | Some ceiling ->
+            List.filter (fun e -> e.peak_heap_words > ceiling) executed
+        in
+        List.iter
+          (fun e ->
+            Printf.printf "OVER CEILING: %s peaked at %d words (ceiling %d)\n" e.planned.run_id
+              e.peak_heap_words
+              (Option.get config.mem_ceiling_words))
+          over_ceiling;
+        Ok (executed, over_ceiling <> [])
+      | exception Check_failed message -> Error message
+    end

@@ -1,0 +1,89 @@
+(** Scale campaign driver (["bench/main.exe scale"], ["securebit scale"]).
+
+    Sweeps node count × target density × adversary mix over two graph
+    classes — geometric uniform deployments under a disk radio, and
+    synthetic expanders — timing one broadcast per cell on the sharded
+    engine.  Each cell runs once cold (deployment + topology build
+    included) and [warm] more times on the cold run's cached topology, so
+    the cold/warm delta isolates setup cost from the steady-state engine
+    rate.  Results can be archived as one labelled JSON file per run plus
+    a manifest, and a peak-heap ceiling turns memory growth into a
+    failing exit the same way [bench compare] gates the registry. *)
+
+type klass = Scale_sweep.klass = Uniform_radio | Expander_synthetic
+
+val klass_name : klass -> string
+val all_classes : klass list
+
+type config = {
+  label : string;  (** archive subdirectory and report heading *)
+  node_counts : int list;
+  densities : float list;  (** target average degree per node count *)
+  adversaries : string list;  (** subset of {!known_adversaries} *)
+  classes : klass list;
+  protocol : Scenario.protocol;
+  tiles : int;  (** engine tiles; 1 = the serial sparse loop *)
+  seed : int;
+  cap : int;  (** engine round cap *)
+  warm : int;  (** warm runs per cell after the cold one *)
+  message : string;  (** broadcast payload bits *)
+  out_dir : string option;  (** archive under [out_dir/label/], if given *)
+  mem_ceiling_words : int option;
+      (** any run peaking above this many major-heap words fails the
+          campaign (reported after the table) *)
+  check : bool;
+      (** re-run every campaign run on the serial sparse loop and fail
+          unless the round traces are byte-identical *)
+  dry_run : bool;  (** print the plan and execute nothing *)
+}
+
+val default : config
+(** A small smoke sweep every machine finishes in seconds per run;
+    callers scale node counts up explicitly. *)
+
+val known_adversaries : string list
+(** ["honest"; "crash"; "lying"; "jam"]. *)
+
+val faults_of_adversary : string -> Scenario.faults option
+
+type phase = Cold | Warm of int
+
+val phase_name : phase -> string
+
+type cell = { klass : klass; nodes : int; density : float; adversary : string }
+
+type planned = { run_id : string; cell : cell; phase : phase }
+
+val run_id_of : cell -> phase -> string
+(** E.g. ["n10000-d4-lying-uniform-cold"]. *)
+
+val spec_of_cell : config -> cell -> Scenario.spec
+(** {!Scale_sweep.cell_spec} on a base built from the config — the same
+    cell construction the registered S1 experiment uses. *)
+
+val validate : config -> (unit, string) result
+
+val plan : config -> planned list
+(** The exact runs {!run} executes, in execution order — the [--dry-run]
+    preview prints this list and nothing else, so preview and execution
+    cannot disagree. *)
+
+type executed = {
+  planned : planned;
+  wall_seconds : float;
+  rounds : int;
+  rounds_per_second : float;
+  avg_degree : float;  (** measured, vs the cell's target density *)
+  peak_heap_words : int;
+      (** process-lifetime major-heap peak after the run — monotone
+          across a campaign, so the ceiling gates the maximum *)
+  summary : Scenario.summary;
+}
+
+val render : executed list -> string
+
+val run : config -> (executed list * bool, string) result
+(** Print the plan, execute it (unless [dry_run]), print the table,
+    archive if configured.  [Ok (runs, failed)] where [failed] means some
+    run peaked over [mem_ceiling_words]; [Error] on bad config or a
+    [check] divergence. *)

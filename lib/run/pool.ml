@@ -18,6 +18,7 @@ type worker_stat = {
   minor_words : float;
   major_words : float;
   promoted_words : float;
+  top_heap_words : int;
 }
 
 (* Structural digest of one task result, used by [~sanitize] to compare the
@@ -39,7 +40,14 @@ let run_parallel ~jobs f xs =
   let failure = Atomic.make None in
   let stats =
     Array.init jobs (fun w ->
-        { domain_index = w; tasks_run = 0; minor_words = 0.0; major_words = 0.0; promoted_words = 0.0 })
+        {
+          domain_index = w;
+          tasks_run = 0;
+          minor_words = 0.0;
+          major_words = 0.0;
+          promoted_words = 0.0;
+          top_heap_words = 0;
+        })
   in
   (* Each worker owns slot [w] of [stats] and the result slots of the task
      indices it drew — disjoint cells, never two domains on one cell. *)
@@ -68,6 +76,10 @@ let run_parallel ~jobs f xs =
         minor_words = g1.Gc.minor_words -. g0.Gc.minor_words;
         major_words = g1.Gc.major_words -. g0.Gc.major_words;
         promoted_words = g1.Gc.promoted_words -. g0.Gc.promoted_words;
+        (* Process-lifetime major-heap high-water mark as this domain saw
+           it when it finished — a peak, not a delta (heap space is shared
+           across domains, so no per-domain subtraction is meaningful). *)
+        top_heap_words = g1.Gc.top_heap_words;
       }
   in
   let spawned = List.init (jobs - 1) (fun k -> Domain.spawn (fun () -> worker (k + 1))) in
@@ -93,6 +105,7 @@ let run_sequential f xs =
         minor_words = g1.Gc.minor_words -. g0.Gc.minor_words;
         major_words = g1.Gc.major_words -. g0.Gc.major_words;
         promoted_words = g1.Gc.promoted_words -. g0.Gc.promoted_words;
+        top_heap_words = g1.Gc.top_heap_words;
       };
     ] )
 

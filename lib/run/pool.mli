@@ -28,6 +28,9 @@ type worker_stat = {
   minor_words : float;  (** {!Gc.quick_stat} delta on that domain *)
   major_words : float;
   promoted_words : float;
+  top_heap_words : int;
+      (** process-lifetime major-heap high-water mark when this domain
+          finished — a peak, not a delta (the major heap is shared) *)
 }
 (** Per-domain execution counters, exact on every domain (each worker
     snapshots its own GC stats). *)

@@ -10,6 +10,7 @@ type profile = {
   minor_words : float;
   major_words : float;
   promoted_words : float;
+  top_heap_words : int;
   rounds_simulated : int;
   rounds_per_second : float;
   workers : Pool.worker_stat list;
@@ -109,6 +110,10 @@ let run_job ?(jobs = 1) ?(profile = false) ?(sanitize = false) ~scale (job : Exp
           minor_words = g1.Gc.minor_words -. g0.Gc.minor_words;
           major_words = g1.Gc.major_words -. g0.Gc.major_words;
           promoted_words = g1.Gc.promoted_words -. g0.Gc.promoted_words;
+          (* Process-lifetime peak, monotone across jobs of one process:
+             comparable against a baseline only when both runs execute the
+             same jobs in the same order, which the registry guarantees. *)
+          top_heap_words = g1.Gc.top_heap_words;
           rounds_simulated;
           rounds_per_second =
             (if wall_seconds > 0.0 then float_of_int rounds_simulated /. wall_seconds else 0.0);
@@ -173,6 +178,7 @@ let json_of_worker (w : Pool.worker_stat) =
       ("minor_words", Json.Float w.Pool.minor_words);
       ("major_words", Json.Float w.Pool.major_words);
       ("promoted_words", Json.Float w.Pool.promoted_words);
+      ("top_heap_words", Json.Int w.Pool.top_heap_words);
     ]
 
 let json_of_profile p =
@@ -181,6 +187,7 @@ let json_of_profile p =
       ("minor_words", Json.Float p.minor_words);
       ("major_words", Json.Float p.major_words);
       ("promoted_words", Json.Float p.promoted_words);
+      ("top_heap_words", Json.Int p.top_heap_words);
       ("rounds_simulated", Json.Int p.rounds_simulated);
       ("rounds_per_second", Json.Float p.rounds_per_second);
       ("workers", Json.List (List.map json_of_worker p.workers));

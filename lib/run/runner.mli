@@ -9,6 +9,12 @@ type profile = {
   minor_words : float;  (** minor-heap words allocated while the job ran *)
   major_words : float;
   promoted_words : float;
+  top_heap_words : int;
+      (** process-lifetime major-heap high-water mark ({!Gc.quick_stat})
+          when the job finished — monotone across the jobs of one run, so
+          per-job values compare against a baseline only when both runs
+          execute the same jobs in the same order (the registry order);
+          [bench compare] gates this against committed ceilings *)
   rounds_simulated : int;  (** engine rounds across the job's Grid trials *)
   rounds_per_second : float;  (** rounds_simulated / wall_seconds *)
   workers : Pool.worker_stat list;

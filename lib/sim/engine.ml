@@ -18,7 +18,7 @@ let silent_machine =
     next_active = never_active;
   }
 
-type mode = [ `Dense | `Sparse ]
+type mode = [ `Dense | `Sparse | `Sharded of int ]
 
 type result = {
   rounds_used : int;
@@ -38,366 +38,780 @@ let fingerprint_observation = function
        payloads would alias in determinism-checker traces. *)
     2 + (Hashtbl.hash_param 64 128 payload land 0x3FFFFFFF)
 
+(* One tile of a sharded run: a disjoint slice of the machines plus every
+   piece of per-round state the serial sparse loop keeps globally, sized to
+   the tile and touched only by the tile's own domain between barriers.
+   [members] is ascending, and every array indexed by "local index" li
+   refers to machine [members.(li)]. *)
+type 'm tile = {
+  t_id : int;
+  members : int array;
+  cal : Calendar.t;  (* wakeup rounds -> local indices *)
+  stamp : int array;
+  mutable pre : int;
+  mutable pre_next : int;
+  mutable t_pending : int;
+  completed : bool array;
+  (* channel scratch, mirroring the serial per-receiver aggregates *)
+  sum_power : float array;
+  n_decodable : int array;
+  best_power : float array;
+  best_payload : 'm option array;
+  has_rx : bool array;
+  touched : int array;
+  mutable n_touched : int;
+  (* phase-A output: this tile's transmitters (ascending) and payloads *)
+  tx_ids : int array;
+  tx_payloads : 'm option array;
+  mutable n_tx : int;
+  mutable any_tx : bool;
+  (* machines polled this round, for tap fingerprint resets *)
+  polled : int array;
+  mutable n_polled : int;
+}
+
 let run ?(mode : mode = `Sparse) ?rng ?(channel = Channel.ideal) ?stop_when ?(stop_stride = 96)
-    ?idle_stop ?tap ~topology ~machines ~waiters ~cap () =
+    ?idle_stop ?tap ?tile_of ~topology ~machines ~waiters ~cap () =
   let n = Topology.size topology in
   if Array.length machines <> n || Array.length waiters <> n then
     invalid_arg "Engine.run: machines/waiters size mismatch";
   let broadcasts = Array.make n 0 in
   let completion_round = Array.make n (-1) in
-  let sensed = Topology.sensed topology in
-  (* Outgoing links in CSR form: out_rcv/out_pow.(out_off.(i) ..
-     out_off.(i+1) - 1) are the receivers that sense node i and the power
-     they receive it at, so Phase 1 fan-out walks a flat slice instead of
-     chasing list cells. *)
-  let out_off = Array.make (n + 1) 0 in
-  Array.iter
-    (fun links ->
-      Array.iter (fun { Topology.peer; _ } -> out_off.(peer + 1) <- out_off.(peer + 1) + 1) links)
-    sensed;
-  for i = 1 to n do
-    out_off.(i) <- out_off.(i) + out_off.(i - 1)
-  done;
-  let links_total = out_off.(n) in
-  let out_rcv = Array.make (max 1 links_total) 0 in
-  let out_pow = Array.make (max 1 links_total) 0.0 in
-  (* Receivers descending within each row — the order the former cons-list
-     representation iterated them in — so per-link loss draws and capture
-     tie-breaks reproduce the reference results bit for bit. *)
-  let cursor = Array.init n (fun i -> out_off.(i)) in
-  for receiver = n - 1 downto 0 do
-    Array.iter
-      (fun { Topology.peer; power } ->
-        let k = cursor.(peer) in
-        out_rcv.(k) <- receiver;
-        out_pow.(k) <- power;
-        cursor.(peer) <- k + 1)
-      sensed.(receiver)
-  done;
-  (* Flat per-receiver channel aggregates instead of transmission lists:
-     resolution only needs the sensed power sum, the strongest decodable
-     signal, and the signal counts, so the hot loop allocates (almost)
-     nothing.  Equivalence with the reference [Channel.resolve] is covered
-     by a property test. *)
-  let sum_power = Array.make n 0.0 in
-  let n_decodable = Array.make n 0 in
-  let best_power = Array.make n 0.0 in
-  let best_payload = Array.make n None in
-  let has_rx = Array.make n false in
-  (* The receivers touched this round, as a preallocated stack: Phase 1
-     pushes each receiver at most once (guarded by [has_rx]), the
-     after-round reset pops them all. *)
-  let touched = Array.make (max 1 n) 0 in
-  let n_touched = ref 0 in
+  (* Outgoing links in CSR form, built once per topology and cached on the
+     graph (receivers descending within each row — see Graph.csr): repeated
+     runs over one topology stop paying the O(links) rebuild. *)
+  let { Graph.out_off; out_rcv; out_pow } = Graph.csr (Topology.graph topology) in
   let loss = channel.Channel.loss_prob in
   let capture_ratio = channel.Channel.capture_ratio in
-  (* Trace capture is allocated only when a tap is installed, so the hot
-     path of untraced runs is untouched. *)
-  let tap_fp = match tap with None -> [||] | Some _ -> Array.make n 0 in
-  let tap_tx = ref [] in
   let pending = ref 0 in
   Array.iter (fun w -> if w then incr pending) waiters;
   let round = ref 0 in
-  let fan_out i payload =
-    broadcasts.(i) <- broadcasts.(i) + 1;
-    if tap <> None then tap_tx := i :: !tap_tx;
-    let payload_opt = Some payload in
-    for k = out_off.(i) to out_off.(i + 1) - 1 do
-      let receiver = out_rcv.(k) and power = out_pow.(k) in
-      if not has_rx.(receiver) then begin
-        has_rx.(receiver) <- true;
-        touched.(!n_touched) <- receiver;
-        incr n_touched
-      end;
-      sum_power.(receiver) <- sum_power.(receiver) +. power;
-      let lost =
-        power >= 1.0 && loss > 0.0
-        &&
-        match rng with
-        | Some r -> Rng.bernoulli r loss
-        | None -> invalid_arg "Engine.run: loss_prob > 0 requires an rng"
-      in
-      if power >= 1.0 && not lost then begin
-        n_decodable.(receiver) <- n_decodable.(receiver) + 1;
-        if power > best_power.(receiver) then begin
-          best_power.(receiver) <- power;
-          best_payload.(receiver) <- payload_opt
-        end
-      end
-    done
+  (* Stop machinery shared by the sparse and sharded loops (the dense
+     reference keeps its own simple counter).  [check_stop r] is the dense
+     loop's [stopped] at the top of round r, with its idle counter
+     reconstructed as r - 1 - last_tx (consecutive silent rounds ending at
+     r - 1), and the same short-circuit order. *)
+  let last_tx = ref (-1) in
+  let idle_limit = match idle_stop with Some k -> k | None -> max_int in
+  let has_idle_stop = idle_stop <> None in
+  let check_stop r =
+    !pending = 0
+    || (has_idle_stop && r - 1 - !last_tx >= idle_limit)
+    ||
+    match stop_when with
+    | Some f when r mod stop_stride = 0 -> f ()
+    | Some _ | None -> false
   in
-  let resolve i =
-    if not has_rx.(i) then Channel.Silence
-    else if n_decodable.(i) = 0 then Channel.Busy
+  let stopping = ref false in
+  let silent_digest r = { round = r; transmitters = []; observations = Array.make n 0 } in
+  (* Skip the all-silent rounds in [!round, target) in O(1) per stride
+     check, stopping where the dense loop would have. *)
+  let advance_silent target =
+    if !pending = 0 then stopping := true
     else begin
-      let interference = sum_power.(i) -. best_power.(i) in
-      if
-        interference <= 1e-12
-        || (capture_ratio < infinity && best_power.(i) >= capture_ratio *. interference)
-      then begin
-        match best_payload.(i) with
-        | Some payload -> Channel.Clear payload
-        | None -> assert false
-      end
-      else Channel.Busy
+      (* First round at which the idle cut-off fires, absent further
+         transmissions. *)
+      let idle_bound = if has_idle_stop then !last_tx + idle_limit + 1 else max_int in
+      let bound = min target idle_bound in
+      let stop_round = ref bound in
+      (match stop_when with
+      | Some f ->
+        (* stop_when is stateful (progress counters): call it at every
+           stride multiple the dense loop would have, in order. *)
+        let r = ref ((!round + stop_stride - 1) / stop_stride * stop_stride) in
+        let checking = ref true in
+        while !checking && !r < bound do
+          if f () then begin
+            stop_round := !r;
+            checking := false
+          end
+          else r := !r + stop_stride
+        done
+      | None -> ());
+      (match tap with
+      | Some g ->
+        for q = !round to !stop_round - 1 do
+          g (silent_digest q)
+        done
+      | None -> ());
+      round := !stop_round;
+      if !stop_round < target then stopping := true
     end
   in
-  let reset_touched () =
-    for k = 0 to !n_touched - 1 do
-      let i = touched.(k) in
-      sum_power.(i) <- 0.0;
-      n_decodable.(i) <- 0;
-      best_power.(i) <- 0.0;
-      best_payload.(i) <- None;
-      has_rx.(i) <- false
-    done;
-    n_touched := 0
-  in
-  (match mode with
-  | `Dense ->
-    (* Reference implementation: every machine polled every round. *)
-    let idle_rounds = ref 0 in
-    let stopped () =
-      !pending = 0
-      || (match idle_stop with Some k -> !idle_rounds >= k | None -> false)
-      ||
-      match stop_when with
-      | Some f when !round mod stop_stride = 0 -> f ()
-      | Some _ | None -> false
-    in
-    (* Nodes still being polled for completion; completed ones are
-       swap-removed so Phase 3 stops scanning them every round. *)
-    let active = Array.init n (fun i -> i) in
-    let n_active = ref n in
-    while (not (stopped ())) && !round < cap do
-      let r = !round in
-      let anyone_transmitted = ref false in
-      (* Phase 1: collect actions and fan transmissions out to receivers. *)
-      for i = 0 to n - 1 do
-        match machines.(i).act r with
-        | Silent -> ()
-        | Transmit payload ->
-          anyone_transmitted := true;
-          fan_out i payload
-      done;
-      (* Phase 2: resolve the channel at every node and deliver observations. *)
-      for i = 0 to n - 1 do
-        let obs = resolve i in
-        if tap <> None then tap_fp.(i) <- fingerprint_observation obs;
-        machines.(i).observe r obs
-      done;
-      begin
-        match tap with
-        | None -> ()
-        | Some f ->
-          f { round = r; transmitters = List.rev !tap_tx; observations = Array.copy tap_fp };
-          tap_tx := []
-      end;
-      reset_touched ();
-      (* Phase 3: completion bookkeeping over the not-yet-complete worklist. *)
-      let k = ref 0 in
-      while !k < !n_active do
-        let i = active.(!k) in
-        match machines.(i).delivered () with
-        | Some _ ->
-          completion_round.(i) <- r;
-          if waiters.(i) then decr pending;
-          decr n_active;
-          active.(!k) <- active.(!n_active)
-        | None -> incr k
-      done;
-      if !anyone_transmitted then idle_rounds := 0 else incr idle_rounds;
-      incr round
-    done
-  | `Sparse ->
-    (* Wakeup-driven loop.  Invariants tying it to the dense reference:
-       - a machine is polled (act + observe) at round r iff its wakeup
-         contract covers r or a transmission reached it; the contract
-         promises that in all other rounds act returns Silent without
-         side effects and observe of the implied Silence is a no-op;
-       - scheduled machines are processed in ascending id, like the dense
-         0..n-1 sweep, so loss draws, capture ties and tap transmitter
-         order are identical;
-       - the stop conditions (waiters, idle cut-off, strided stop_when)
-         are evaluated for skipped rounds exactly as the dense loop would
-         have, including the call count of the stateful stop_when;
-       - a tap sees one digest per round, skipped rounds fingerprinting
-         as uniform silence. *)
-    let cal = Calendar.create ~capacity:(2 * (n + 1)) () in
-    let sched_stamp = Array.make (max 1 n) (-1) in
-    (* Machines stamped directly for the very next round, bypassing the
-       heap.  Inside a relevant TDMA interval a machine wakes six rounds
-       in a row; paying a pop + push per poll would cost more than the
-       act/observe calls the sparse loop saves, so only wakeups that
-       actually jump ahead go through the calendar. *)
-    let pre = ref 0 in
-    let pre_next = ref 0 in
-    let schedule_machine i q =
-      let na = machines.(i).next_active q in
-      let na = if na < q then q else na in
-      if na < cap then begin
-        if na = q then begin
-          (* [q] is always the round after the one being processed, so a
-             same-round wakeup is a stamp for the next iteration. *)
-          if sched_stamp.(i) <> q then begin
-            sched_stamp.(i) <- q;
-            incr pre_next
+  let run_serial (mode : [ `Dense | `Sparse ]) =
+    (* Flat per-receiver channel aggregates instead of transmission lists:
+       resolution only needs the sensed power sum, the strongest decodable
+       signal, and the signal counts, so the hot loop allocates (almost)
+       nothing.  Equivalence with the reference [Channel.resolve] is covered
+       by a property test. *)
+    let sum_power = Array.make n 0.0 in
+    let n_decodable = Array.make n 0 in
+    let best_power = Array.make n 0.0 in
+    let best_payload = Array.make n None in
+    let has_rx = Array.make n false in
+    (* The receivers touched this round, as a preallocated stack: Phase 1
+       pushes each receiver at most once (guarded by [has_rx]), the
+       after-round reset pops them all. *)
+    let touched = Array.make (max 1 n) 0 in
+    let n_touched = ref 0 in
+    (* Trace capture is allocated only when a tap is installed, so the hot
+       path of untraced runs is untouched. *)
+    let tap_fp = match tap with None -> [||] | Some _ -> Array.make n 0 in
+    let tap_tx = ref [] in
+    let fan_out i payload =
+      broadcasts.(i) <- broadcasts.(i) + 1;
+      if tap <> None then tap_tx := i :: !tap_tx;
+      let payload_opt = Some payload in
+      for k = out_off.(i) to out_off.(i + 1) - 1 do
+        let receiver = out_rcv.(k) and power = out_pow.(k) in
+        if not has_rx.(receiver) then begin
+          has_rx.(receiver) <- true;
+          touched.(!n_touched) <- receiver;
+          incr n_touched
+        end;
+        sum_power.(receiver) <- sum_power.(receiver) +. power;
+        let lost =
+          power >= 1.0 && loss > 0.0
+          &&
+          match rng with
+          | Some r -> Rng.bernoulli r loss
+          | None -> invalid_arg "Engine.run: loss_prob > 0 requires an rng"
+        in
+        if power >= 1.0 && not lost then begin
+          n_decodable.(receiver) <- n_decodable.(receiver) + 1;
+          if power > best_power.(receiver) then begin
+            best_power.(receiver) <- power;
+            best_payload.(receiver) <- payload_opt
           end
         end
-        else Calendar.add cal na i
-      end
+      done
     in
-    for i = 0 to n - 1 do
-      let na = machines.(i).next_active 0 in
-      if na <= 0 then begin
-        if sched_stamp.(i) <> 0 then begin
-          sched_stamp.(i) <- 0;
-          incr pre_next
-        end
-      end
-      else if na < cap then Calendar.add cal na i
-    done;
-    (* Round 0 always executes: the dense loop's first Phase 3 scans all
-       machines, recording construction-time deliveries (sources, liars). *)
-    if cap > 0 && n > 0 && sched_stamp.(0) <> 0 then begin
-      sched_stamp.(0) <- 0;
-      incr pre_next
-    end;
-    pre := !pre_next;
-    pre_next := 0;
-    let completed = Array.make (max 1 n) false in
-    let last_tx = ref (-1) in
-    let idle_limit = match idle_stop with Some k -> k | None -> max_int in
-    let has_idle_stop = idle_stop <> None in
-    let check_complete i r =
-      if not completed.(i) then begin
-        match machines.(i).delivered () with
-        | Some _ ->
-          completed.(i) <- true;
-          completion_round.(i) <- r;
-          if waiters.(i) then decr pending
-        | None -> ()
-      end
-    in
-    (* The dense loop's [stopped] at the top of round r, with its idle
-       counter reconstructed as r - 1 - last_tx (consecutive silent rounds
-       ending at r - 1), and the same short-circuit order. *)
-    let check_stop r =
-      !pending = 0
-      || (has_idle_stop && r - 1 - !last_tx >= idle_limit)
-      ||
-      match stop_when with
-      | Some f when r mod stop_stride = 0 -> f ()
-      | Some _ | None -> false
-    in
-    let stopping = ref false in
-    let silent_digest r = { round = r; transmitters = []; observations = Array.make n 0 } in
-    (* Skip the all-silent rounds in [!round, target) in O(1) per stride
-       check, stopping where the dense loop would have. *)
-    let advance_silent target =
-      if !pending = 0 then stopping := true
+    let resolve i =
+      if not has_rx.(i) then Channel.Silence
+      else if n_decodable.(i) = 0 then Channel.Busy
       else begin
-        (* First round at which the idle cut-off fires, absent further
-           transmissions. *)
-        let idle_bound = if has_idle_stop then !last_tx + idle_limit + 1 else max_int in
-        let bound = min target idle_bound in
-        let stop_round = ref bound in
-        (match stop_when with
-        | Some f ->
-          (* stop_when is stateful (progress counters): call it at every
-             stride multiple the dense loop would have, in order. *)
-          let r = ref ((!round + stop_stride - 1) / stop_stride * stop_stride) in
-          let checking = ref true in
-          while !checking && !r < bound do
-            if f () then begin
-              stop_round := !r;
-              checking := false
-            end
-            else r := !r + stop_stride
-          done
-        | None -> ());
-        (match tap with
-        | Some g ->
-          for q = !round to !stop_round - 1 do
-            g (silent_digest q)
-          done
-        | None -> ());
-        round := !stop_round;
-        if !stop_round < target then stopping := true
+        let interference = sum_power.(i) -. best_power.(i) in
+        if
+          interference <= 1e-12
+          || (capture_ratio < infinity && best_power.(i) >= capture_ratio *. interference)
+        then begin
+          match best_payload.(i) with
+          | Some payload -> Channel.Clear payload
+          | None -> assert false
+        end
+        else Channel.Busy
       end
     in
-    let process_round r =
-      (* Drain this round's wakeups; the stamp array both dedupes multiple
-         calendar entries per machine and drives the ascending-id sweeps
-         below. *)
-      while (not (Calendar.is_empty cal)) && Calendar.min_key cal = r do
-        sched_stamp.(Calendar.pop_min cal) <- r
+    let reset_touched () =
+      for k = 0 to !n_touched - 1 do
+        let i = touched.(k) in
+        sum_power.(i) <- 0.0;
+        n_decodable.(i) <- 0;
+        best_power.(i) <- 0.0;
+        best_payload.(i) <- None;
+        has_rx.(i) <- false
       done;
-      let any_tx = ref false in
-      (* Phase 1 over the scheduled machines only. *)
-      for i = 0 to n - 1 do
-        if sched_stamp.(i) = r then begin
+      n_touched := 0
+    in
+    match mode with
+    | `Dense ->
+      (* Reference implementation: every machine polled every round. *)
+      let idle_rounds = ref 0 in
+      let stopped () =
+        !pending = 0
+        || (match idle_stop with Some k -> !idle_rounds >= k | None -> false)
+        ||
+        match stop_when with
+        | Some f when !round mod stop_stride = 0 -> f ()
+        | Some _ | None -> false
+      in
+      (* Nodes still being polled for completion; completed ones are
+         swap-removed so Phase 3 stops scanning them every round. *)
+      let active = Array.init n (fun i -> i) in
+      let n_active = ref n in
+      while (not (stopped ())) && !round < cap do
+        let r = !round in
+        let anyone_transmitted = ref false in
+        (* Phase 1: collect actions and fan transmissions out to receivers. *)
+        for i = 0 to n - 1 do
           match machines.(i).act r with
           | Silent -> ()
           | Transmit payload ->
-            any_tx := true;
+            anyone_transmitted := true;
             fan_out i payload
-        end
-      done;
-      (* Phase 2 restricted to scheduled machines and touched receivers;
-         everyone else observes the silence implied by the contract. *)
-      for i = 0 to n - 1 do
-        if sched_stamp.(i) = r || has_rx.(i) then begin
+        done;
+        (* Phase 2: resolve the channel at every node and deliver observations. *)
+        for i = 0 to n - 1 do
           let obs = resolve i in
           if tap <> None then tap_fp.(i) <- fingerprint_observation obs;
           machines.(i).observe r obs
+        done;
+        begin
+          match tap with
+          | None -> ()
+          | Some f ->
+            f { round = r; transmitters = List.rev !tap_tx; observations = Array.copy tap_fp };
+            tap_tx := []
+        end;
+        reset_touched ();
+        (* Phase 3: completion bookkeeping over the not-yet-complete worklist. *)
+        let k = ref 0 in
+        while !k < !n_active do
+          let i = active.(!k) in
+          match machines.(i).delivered () with
+          | Some _ ->
+            completion_round.(i) <- r;
+            if waiters.(i) then decr pending;
+            decr n_active;
+            active.(!k) <- active.(!n_active)
+          | None -> incr k
+        done;
+        if !anyone_transmitted then idle_rounds := 0 else incr idle_rounds;
+        incr round
+      done
+    | `Sparse ->
+      (* Wakeup-driven loop.  Invariants tying it to the dense reference:
+         - a machine is polled (act + observe) at round r iff its wakeup
+           contract covers r or a transmission reached it; the contract
+           promises that in all other rounds act returns Silent without
+           side effects and observe of the implied Silence is a no-op;
+         - scheduled machines are processed in ascending id, like the dense
+           0..n-1 sweep, so loss draws, capture ties and tap transmitter
+           order are identical;
+         - the stop conditions (waiters, idle cut-off, strided stop_when)
+           are evaluated for skipped rounds exactly as the dense loop would
+           have, including the call count of the stateful stop_when;
+         - a tap sees one digest per round, skipped rounds fingerprinting
+           as uniform silence. *)
+      let cal = Calendar.create ~capacity:(2 * (n + 1)) () in
+      let sched_stamp = Array.make (max 1 n) (-1) in
+      (* Machines stamped directly for the very next round, bypassing the
+         heap.  Inside a relevant TDMA interval a machine wakes six rounds
+         in a row; paying a pop + push per poll would cost more than the
+         act/observe calls the sparse loop saves, so only wakeups that
+         actually jump ahead go through the calendar. *)
+      let pre = ref 0 in
+      let pre_next = ref 0 in
+      let schedule_machine i q =
+        let na = machines.(i).next_active q in
+        let na = if na < q then q else na in
+        if na < cap then begin
+          if na = q then begin
+            (* [q] is always the round after the one being processed, so a
+               same-round wakeup is a stamp for the next iteration. *)
+            if sched_stamp.(i) <> q then begin
+              sched_stamp.(i) <- q;
+              incr pre_next
+            end
+          end
+          else Calendar.add cal na i
         end
-      done;
-      begin
-        match tap with
-        | None -> ()
-        | Some f ->
-          f { round = r; transmitters = List.rev !tap_tx; observations = Array.copy tap_fp };
-          tap_tx := [];
-          (* Restore the all-silent background the skipped-round digests
-             rely on. *)
-          for i = 0 to n - 1 do
-            if sched_stamp.(i) = r || has_rx.(i) then tap_fp.(i) <- 0
-          done
-      end;
-      (* Phase 3 + rescheduling over the polled set (all machines in round
-         0, for construction-time deliveries), before the channel scratch
-         is cleared so [has_rx] still marks the touched receivers.  A poll
-         can change any machine state, so its wakeup is re-asked after
-         every poll — e.g. an epidemic relay that just received the packet
-         now wants its own slot. *)
-      for i = 0 to n - 1 do
-        if sched_stamp.(i) = r || has_rx.(i) then begin
-          check_complete i r;
-          schedule_machine i (r + 1)
-        end
-        else if r = 0 then check_complete i 0
-      done;
-      reset_touched ();
-      if !any_tx then last_tx := r;
-      pre := !pre_next;
-      pre_next := 0
-    in
-    while (not !stopping) && !round < cap do
-      let target =
-        if !pre > 0 then !round
-        else if Calendar.is_empty cal then cap
-        else min cap (Calendar.min_key cal)
       in
-      if target > !round then advance_silent target;
-      if (not !stopping) && !round < cap && !round = target then begin
-        if check_stop !round then stopping := true
-        else begin
-          process_round !round;
-          incr round
+      for i = 0 to n - 1 do
+        let na = machines.(i).next_active 0 in
+        if na <= 0 then begin
+          if sched_stamp.(i) <> 0 then begin
+            sched_stamp.(i) <- 0;
+            incr pre_next
+          end
         end
+        else if na < cap then Calendar.add cal na i
+      done;
+      (* Round 0 always executes: the dense loop's first Phase 3 scans all
+         machines, recording construction-time deliveries (sources, liars). *)
+      if cap > 0 && n > 0 && sched_stamp.(0) <> 0 then begin
+        sched_stamp.(0) <- 0;
+        incr pre_next
+      end;
+      pre := !pre_next;
+      pre_next := 0;
+      let completed = Array.make (max 1 n) false in
+      let check_complete i r =
+        if not completed.(i) then begin
+          match machines.(i).delivered () with
+          | Some _ ->
+            completed.(i) <- true;
+            completion_round.(i) <- r;
+            if waiters.(i) then decr pending
+          | None -> ()
+        end
+      in
+      let process_round r =
+        (* Drain this round's wakeups; the stamp array both dedupes multiple
+           calendar entries per machine and drives the ascending-id sweeps
+           below. *)
+        while (not (Calendar.is_empty cal)) && Calendar.min_key cal = r do
+          sched_stamp.(Calendar.pop_min cal) <- r
+        done;
+        let any_tx = ref false in
+        (* Phase 1 over the scheduled machines only. *)
+        for i = 0 to n - 1 do
+          if sched_stamp.(i) = r then begin
+            match machines.(i).act r with
+            | Silent -> ()
+            | Transmit payload ->
+              any_tx := true;
+              fan_out i payload
+          end
+        done;
+        (* Phase 2 restricted to scheduled machines and touched receivers;
+           everyone else observes the silence implied by the contract. *)
+        for i = 0 to n - 1 do
+          if sched_stamp.(i) = r || has_rx.(i) then begin
+            let obs = resolve i in
+            if tap <> None then tap_fp.(i) <- fingerprint_observation obs;
+            machines.(i).observe r obs
+          end
+        done;
+        begin
+          match tap with
+          | None -> ()
+          | Some f ->
+            f { round = r; transmitters = List.rev !tap_tx; observations = Array.copy tap_fp };
+            tap_tx := [];
+            (* Restore the all-silent background the skipped-round digests
+               rely on. *)
+            for i = 0 to n - 1 do
+              if sched_stamp.(i) = r || has_rx.(i) then tap_fp.(i) <- 0
+            done
+        end;
+        (* Phase 3 + rescheduling over the polled set (all machines in round
+           0, for construction-time deliveries), before the channel scratch
+           is cleared so [has_rx] still marks the touched receivers.  A poll
+           can change any machine state, so its wakeup is re-asked after
+           every poll — e.g. an epidemic relay that just received the packet
+           now wants its own slot. *)
+        for i = 0 to n - 1 do
+          if sched_stamp.(i) = r || has_rx.(i) then begin
+            check_complete i r;
+            schedule_machine i (r + 1)
+          end
+          else if r = 0 then check_complete i 0
+        done;
+        reset_touched ();
+        if !any_tx then last_tx := r;
+        pre := !pre_next;
+        pre_next := 0
+      in
+      while (not !stopping) && !round < cap do
+        let target =
+          if !pre > 0 then !round
+          else if Calendar.is_empty cal then cap
+          else min cap (Calendar.min_key cal)
+        in
+        if target > !round then advance_silent target;
+        if (not !stopping) && !round < cap && !round = target then begin
+          if check_stop !round then stopping := true
+          else begin
+            process_round !round;
+            incr round
+          end
+        end
+      done
+  in
+  (* The sharded loop is the sparse loop cut into [tiles] disjoint slices
+     of machines, one domain each, synchronized by a 4-barrier round:
+
+       B0  coordinator publishes the round number (or the stop command)
+       A   every tile polls its scheduled machines and collects their
+           transmissions, in ascending id (no fan-out yet)
+       B1  all transmissions collected
+           coordinator merges them into global ascending order and draws
+           the per-link loss coins in exactly the serial sequence
+       B2  merged transmissions + loss outcomes published
+       B   every tile fans the merged transmissions into its own receivers
+           (ascending transmitter order, original within-row link order),
+           resolves, observes, completes and reschedules its machines
+       B3  round effects done; coordinator emits the tap digest, sums
+           pending, and decides stop / skip / next round
+
+     Determinism: the only RNG consumer (loss) runs serially on the
+     coordinator in the serial draw order; per-receiver float accumulation
+     and capture tie-breaks see transmitters in the same ascending order as
+     the serial sweep; and machines are only ever touched by their owning
+     tile, in ascending id within the tile.  Cross-tile visibility is by
+     barrier only: tiles write before a barrier what others read after it. *)
+  let run_sharded tiles tile_of =
+    let counts = Array.make tiles 0 in
+    for i = 0 to n - 1 do
+      counts.(tile_of.(i)) <- counts.(tile_of.(i)) + 1
+    done;
+    let local_ix = Array.make n 0 in
+    let fill = Array.make tiles 0 in
+    let members = Array.init tiles (fun t -> Array.make counts.(t) 0) in
+    for i = 0 to n - 1 do
+      let t = tile_of.(i) in
+      members.(t).(fill.(t)) <- i;
+      local_ix.(i) <- fill.(t);
+      fill.(t) <- fill.(t) + 1
+    done;
+    (* Per-(transmitter, tile) segments of the CSR rows: phase B walks only
+       the slice of each row that lands in its own tile, in the original
+       within-row order (receivers descending), via the [seg_orig]
+       indirection into out_rcv/out_pow.  Without this every tile would
+       rescan every full row. *)
+    let links_total = out_off.(n) in
+    let seg_off = Array.make ((n * tiles) + 1) 0 in
+    for i = 0 to n - 1 do
+      for k = out_off.(i) to out_off.(i + 1) - 1 do
+        let cell = (i * tiles) + tile_of.(out_rcv.(k)) in
+        seg_off.(cell + 1) <- seg_off.(cell + 1) + 1
+      done
+    done;
+    for c = 1 to n * tiles do
+      seg_off.(c) <- seg_off.(c) + seg_off.(c - 1)
+    done;
+    let seg_orig = Array.make (max 1 links_total) 0 in
+    let cursor = Array.init (n * tiles) (fun c -> seg_off.(c)) in
+    for i = 0 to n - 1 do
+      for k = out_off.(i) to out_off.(i + 1) - 1 do
+        let cell = (i * tiles) + tile_of.(out_rcv.(k)) in
+        seg_orig.(cursor.(cell)) <- k;
+        cursor.(cell) <- cursor.(cell) + 1
+      done
+    done;
+    (* Loss outcomes for the current round, indexed like the CSR links;
+       written only by the coordinator between B1 and B2. *)
+    let lost = if loss > 0.0 then Bytes.make (max 1 links_total) '\000' else Bytes.empty in
+    let tile_make t_id =
+      let m = members.(t_id) in
+      let len = Array.length m in
+      let t_pending = ref 0 in
+      Array.iter (fun i -> if waiters.(i) then incr t_pending) m;
+      {
+        t_id;
+        members = m;
+        cal = Calendar.create ~capacity:(2 * (len + 1)) ();
+        stamp = Array.make (max 1 len) (-1);
+        pre = 0;
+        pre_next = 0;
+        t_pending = !t_pending;
+        completed = Array.make (max 1 len) false;
+        sum_power = Array.make (max 1 len) 0.0;
+        n_decodable = Array.make (max 1 len) 0;
+        best_power = Array.make (max 1 len) 0.0;
+        best_payload = Array.make (max 1 len) None;
+        has_rx = Array.make (max 1 len) false;
+        touched = Array.make (max 1 len) 0;
+        n_touched = 0;
+        tx_ids = Array.make (max 1 len) 0;
+        tx_payloads = Array.make (max 1 len) None;
+        n_tx = 0;
+        any_tx = false;
+        polled = Array.make (if tap = None then 0 else len) 0;
+        n_polled = 0;
+      }
+    in
+    let tile_arr = Array.init tiles tile_make in
+    (* Initial scheduling, tile by tile: the serial init in member order. *)
+    Array.iter
+      (fun t ->
+        Array.iteri
+          (fun li i ->
+            let na = machines.(i).next_active 0 in
+            if na <= 0 then begin
+              if t.stamp.(li) <> 0 then begin
+                t.stamp.(li) <- 0;
+                t.pre_next <- t.pre_next + 1
+              end
+            end
+            else if na < cap then Calendar.add t.cal na li)
+          t.members)
+      tile_arr;
+    (* Round 0 always executes (construction-time deliveries): force-stamp
+       machine 0 in whichever tile owns it, like the serial loop does. *)
+    if cap > 0 && n > 0 then begin
+      let t = tile_arr.(tile_of.(0)) in
+      let li = local_ix.(0) in
+      if t.stamp.(li) <> 0 then begin
+        t.stamp.(li) <- 0;
+        t.pre_next <- t.pre_next + 1
       end
-    done);
+    end;
+    Array.iter
+      (fun t ->
+        t.pre <- t.pre_next;
+        t.pre_next <- 0)
+      tile_arr;
+    (* Merged transmissions of the current round, globally ascending;
+       written by the coordinator between B1 and B2. *)
+    let mtx_ids = Array.make (max 1 n) 0 in
+    let mtx_payloads = Array.make (max 1 n) None in
+    let n_mtx = ref 0 in
+    let merge_cursor = Array.make tiles 0 in
+    let tap_fp = match tap with None -> [||] | Some _ -> Array.make n 0 in
+    (* The round command, published by barrier B0: the round to process, or
+       -1 to shut the team down. *)
+    let cmd = ref 0 in
+    let team = Shard.Team.create ~tiles in
+    let phase_a t r =
+      while (not (Calendar.is_empty t.cal)) && Calendar.min_key t.cal = r do
+        t.stamp.(Calendar.pop_min t.cal) <- r
+      done;
+      t.n_tx <- 0;
+      t.any_tx <- false;
+      let m = t.members in
+      for li = 0 to Array.length m - 1 do
+        if t.stamp.(li) = r then begin
+          let i = m.(li) in
+          match machines.(i).act r with
+          | Silent -> ()
+          | Transmit payload ->
+            t.any_tx <- true;
+            broadcasts.(i) <- broadcasts.(i) + 1;
+            t.tx_ids.(t.n_tx) <- i;
+            t.tx_payloads.(t.n_tx) <- Some payload;
+            t.n_tx <- t.n_tx + 1
+        end
+      done
+    in
+    let merge_and_draw () =
+      (* Tiles partition the ids and each tile's list is ascending, so a
+         cursor merge yields the global ascending transmitter order the
+         serial Phase-1 sweep produces. *)
+      n_mtx := 0;
+      Array.fill merge_cursor 0 tiles 0;
+      let merging = ref true in
+      while !merging do
+        let best = ref (-1) in
+        let best_id = ref max_int in
+        for t = 0 to tiles - 1 do
+          if merge_cursor.(t) < tile_arr.(t).n_tx then begin
+            let id = tile_arr.(t).tx_ids.(merge_cursor.(t)) in
+            if id < !best_id then begin
+              best_id := id;
+              best := t
+            end
+          end
+        done;
+        if !best < 0 then merging := false
+        else begin
+          let t = tile_arr.(!best) in
+          let c = merge_cursor.(!best) in
+          mtx_ids.(!n_mtx) <- !best_id;
+          mtx_payloads.(!n_mtx) <- t.tx_payloads.(c);
+          t.tx_payloads.(c) <- None;
+          merge_cursor.(!best) <- c + 1;
+          incr n_mtx
+        end
+      done;
+      (* Per-link loss coins, drawn serially here in exactly the order the
+         serial fan-out consumes them: transmitters ascending, links in
+         within-row order, decodable links only. *)
+      if loss > 0.0 then
+        for m = 0 to !n_mtx - 1 do
+          let i = mtx_ids.(m) in
+          for k = out_off.(i) to out_off.(i + 1) - 1 do
+            if out_pow.(k) >= 1.0 then begin
+              let l =
+                match rng with
+                | Some r -> Rng.bernoulli r loss
+                | None -> invalid_arg "Engine.run: loss_prob > 0 requires an rng"
+              in
+              Bytes.set lost k (if l then '\001' else '\000')
+            end
+          done
+        done
+    in
+    let check_complete t li r =
+      if not t.completed.(li) then begin
+        match machines.(t.members.(li)).delivered () with
+        | Some _ ->
+          t.completed.(li) <- true;
+          completion_round.(t.members.(li)) <- r;
+          if waiters.(t.members.(li)) then t.t_pending <- t.t_pending - 1
+        | None -> ()
+      end
+    in
+    let schedule_tile t li q =
+      let na = machines.(t.members.(li)).next_active q in
+      let na = if na < q then q else na in
+      if na < cap then begin
+        if na = q then begin
+          if t.stamp.(li) <> q then begin
+            t.stamp.(li) <- q;
+            t.pre_next <- t.pre_next + 1
+          end
+        end
+        else Calendar.add t.cal na li
+      end
+    in
+    let resolve_local t li =
+      if not t.has_rx.(li) then Channel.Silence
+      else if t.n_decodable.(li) = 0 then Channel.Busy
+      else begin
+        let interference = t.sum_power.(li) -. t.best_power.(li) in
+        if
+          interference <= 1e-12
+          || (capture_ratio < infinity && t.best_power.(li) >= capture_ratio *. interference)
+        then begin
+          match t.best_payload.(li) with
+          | Some payload -> Channel.Clear payload
+          | None -> assert false
+        end
+        else Channel.Busy
+      end
+    in
+    let phase_b t r =
+      (* Fan-in: merged transmitters ascending, each row's in-tile slice in
+         original order, so per-receiver sums, capture ties and loss lookups
+         match the serial fan-out bit for bit. *)
+      for m = 0 to !n_mtx - 1 do
+        let i = mtx_ids.(m) in
+        let payload = mtx_payloads.(m) in
+        let cell = (i * tiles) + t.t_id in
+        for s = seg_off.(cell) to seg_off.(cell + 1) - 1 do
+          let k = seg_orig.(s) in
+          let power = out_pow.(k) in
+          let lr = local_ix.(out_rcv.(k)) in
+          if not t.has_rx.(lr) then begin
+            t.has_rx.(lr) <- true;
+            t.touched.(t.n_touched) <- lr;
+            t.n_touched <- t.n_touched + 1
+          end;
+          t.sum_power.(lr) <- t.sum_power.(lr) +. power;
+          let lost_link = power >= 1.0 && loss > 0.0 && Bytes.get lost k <> '\000' in
+          if power >= 1.0 && not lost_link then begin
+            t.n_decodable.(lr) <- t.n_decodable.(lr) + 1;
+            if power > t.best_power.(lr) then begin
+              t.best_power.(lr) <- power;
+              t.best_payload.(lr) <- payload
+            end
+          end
+        done
+      done;
+      let m = t.members in
+      for li = 0 to Array.length m - 1 do
+        if t.stamp.(li) = r || t.has_rx.(li) then begin
+          let obs = resolve_local t li in
+          if tap <> None then begin
+            tap_fp.(m.(li)) <- fingerprint_observation obs;
+            t.polled.(t.n_polled) <- m.(li);
+            t.n_polled <- t.n_polled + 1
+          end;
+          machines.(m.(li)).observe r obs
+        end
+      done;
+      for li = 0 to Array.length m - 1 do
+        if t.stamp.(li) = r || t.has_rx.(li) then begin
+          check_complete t li r;
+          schedule_tile t li (r + 1)
+        end
+        else if r = 0 then check_complete t li 0
+      done;
+      for k = 0 to t.n_touched - 1 do
+        let lr = t.touched.(k) in
+        t.sum_power.(lr) <- 0.0;
+        t.n_decodable.(lr) <- 0;
+        t.best_power.(lr) <- 0.0;
+        t.best_payload.(lr) <- None;
+        t.has_rx.(lr) <- false
+      done;
+      t.n_touched <- 0;
+      t.pre <- t.pre_next;
+      t.pre_next <- 0
+    in
+    let worker p =
+      let t = tile_arr.(p) in
+      let running = ref true in
+      while !running do
+        Shard.Team.await team;
+        let c = !cmd in
+        if c < 0 then running := false
+        else begin
+          Shard.Team.guard team (fun () -> phase_a t c);
+          Shard.Team.await team;
+          (* coordinator merges and draws losses *)
+          Shard.Team.await team;
+          Shard.Team.guard team (fun () -> phase_b t c);
+          Shard.Team.await team
+        end
+      done
+    in
+    let next_target () =
+      let pre_total = ref 0 in
+      Array.iter (fun t -> pre_total := !pre_total + t.pre) tile_arr;
+      if !pre_total > 0 then !round
+      else begin
+        let mn = ref cap in
+        Array.iter
+          (fun t -> if not (Calendar.is_empty t.cal) then mn := min !mn (Calendar.min_key t.cal))
+          tile_arr;
+        !mn
+      end
+    in
+    let emit_tap r =
+      match tap with
+      | None -> ()
+      | Some f ->
+        f
+          {
+            round = r;
+            transmitters = List.init !n_mtx (fun m -> mtx_ids.(m));
+            observations = Array.copy tap_fp;
+          };
+        Array.iter
+          (fun t ->
+            for j = 0 to t.n_polled - 1 do
+              tap_fp.(t.polled.(j)) <- 0
+            done;
+            t.n_polled <- 0)
+          tile_arr
+    in
+    let main () =
+      let t0 = tile_arr.(0) in
+      while (not !stopping) && !round < cap do
+        let target = next_target () in
+        if target > !round then advance_silent target;
+        if (not !stopping) && !round < cap && !round = target then begin
+          if check_stop !round then stopping := true
+          else begin
+            let r = !round in
+            cmd := r;
+            Shard.Team.await team;
+            Shard.Team.guard team (fun () -> phase_a t0 r);
+            Shard.Team.await team;
+            Shard.Team.guard team merge_and_draw;
+            Shard.Team.await team;
+            Shard.Team.guard team (fun () -> phase_b t0 r);
+            Shard.Team.await team;
+            (* Post-round, workers parked at the next B0: gather per-tile
+               outcomes and run the serial-side bookkeeping. *)
+            emit_tap r;
+            let any = ref false in
+            let p = ref 0 in
+            Array.iter
+              (fun t ->
+                if t.any_tx then any := true;
+                p := !p + t.t_pending)
+              tile_arr;
+            if !any then last_tx := r;
+            pending := !p;
+            if Shard.Team.failed team then stopping := true;
+            incr round
+          end
+        end
+      done;
+      cmd := -1;
+      Shard.Team.await team
+    in
+    Shard.Team.run team ~worker ~main
+  in
+  (match mode with
+  | (`Dense | `Sparse) as m -> run_serial m
+  | `Sharded requested ->
+    let tiles = max 1 (min requested (max 1 n)) in
+    let tile_of =
+      match tile_of with
+      | Some a ->
+        if Array.length a <> n then invalid_arg "Engine.run: tile_of length mismatch";
+        Array.iter
+          (fun t -> if t < 0 || t >= tiles then invalid_arg "Engine.run: tile_of entry out of range")
+          a;
+        a
+      | None -> Shard.partition topology ~tiles
+    in
+    if tiles <= 1 then run_serial `Sparse else run_sharded tiles tile_of);
   {
     rounds_used = !round;
     hit_cap = !round >= cap && !pending > 0;

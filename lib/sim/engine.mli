@@ -52,11 +52,16 @@ val never_active : int -> int
 val silent_machine : 'm machine
 (** A machine that never transmits and never delivers (crashed device). *)
 
-type mode = [ `Dense | `Sparse ]
+type mode = [ `Dense | `Sparse | `Sharded of int ]
 (** [`Sparse] (the default): calendar-driven wakeup loop.  [`Dense]: the
-    reference loop polling all machines every round.  Both produce
-    byte-identical results — including tap traces — for machines honouring
-    the {!machine.next_active} contract. *)
+    reference loop polling all machines every round.  [`Sharded tiles]:
+    the sparse loop cut into [tiles] disjoint tiles of machines, one
+    domain each, exchanging boundary transmissions at a deterministic
+    per-round barrier (tile count clamped to the node count; 1 tile falls
+    back to [`Sparse]).  All three produce byte-identical results —
+    including tap traces — for machines honouring the
+    {!machine.next_active} contract; the mode is purely a performance
+    choice. *)
 
 type result = {
   rounds_used : int;  (** rounds executed before stopping *)
@@ -88,6 +93,7 @@ val run :
   ?stop_stride:int ->
   ?idle_stop:int ->
   ?tap:(round_digest -> unit) ->
+  ?tile_of:int array ->
   topology:Topology.t ->
   machines:'m machine array ->
   waiters:bool array ->
@@ -101,6 +107,11 @@ val run :
     [mode] selects the loop implementation (default [`Sparse]); results
     are identical, so the choice is purely a performance one, but pass it
     explicitly — the source lint flags call sites that leave it implicit.
+    [tile_of], meaningful only with [`Sharded tiles], overrides the
+    {!Shard.partition} tile assignment: one entry per node, each in
+    [0 .. tiles - 1] (after clamping to the node count).  Any assignment
+    yields byte-identical results; only load balance and halo traffic
+    change.  Ignored by the serial modes.
     [tap], if given, receives one [round_digest] per executed round (after
     all observations of that round were delivered); rounds the sparse loop
     skips produce all-silent digests, so traces are mode-independent;

@@ -1,8 +1,56 @@
 type link = { peer : Node.id; power : float }
 
-type t = { sensed : link array array; rx : Node.id array array }
+type csr = { out_off : int array; out_rcv : int array; out_pow : float array }
+
+type t = {
+  sensed : link array array;
+  rx : Node.id array array;
+  mutable csr_cache : csr option;
+}
 
 let size t = Array.length t.rx
+
+(* Outgoing links in CSR form: out_rcv/out_pow.(out_off.(i) ..
+   out_off.(i+1) - 1) are the receivers that sense node i and the power
+   they receive it at, so engine fan-out walks a flat slice instead of
+   chasing list cells.  Receivers descending within each row — the order
+   the engine's former cons-list representation iterated them in — so
+   per-link loss draws and capture tie-breaks reproduce the reference
+   results bit for bit.  Built on first demand and cached: repeated
+   [Engine.run] calls over one topology (equivalence captures, warm
+   campaign rounds, mobility epochs re-using a topology) stop paying the
+   O(links) rebuild.  The cache is initialized from whichever single
+   domain first runs the graph — engine shards only ever read it after
+   the coordinator has forced it. *)
+let csr t =
+  match t.csr_cache with
+  | Some c -> c
+  | None ->
+    let n = size t in
+    let out_off = Array.make (n + 1) 0 in
+    Array.iter
+      (fun links ->
+        Array.iter (fun { peer; _ } -> out_off.(peer + 1) <- out_off.(peer + 1) + 1) links)
+      t.sensed;
+    for i = 1 to n do
+      out_off.(i) <- out_off.(i) + out_off.(i - 1)
+    done;
+    let links_total = out_off.(n) in
+    let out_rcv = Array.make (max 1 links_total) 0 in
+    let out_pow = Array.make (max 1 links_total) 0.0 in
+    let cursor = Array.init n (fun i -> out_off.(i)) in
+    for receiver = n - 1 downto 0 do
+      Array.iter
+        (fun { peer; power } ->
+          let k = cursor.(peer) in
+          out_rcv.(k) <- receiver;
+          out_pow.(k) <- power;
+          cursor.(peer) <- k + 1)
+        t.sensed.(receiver)
+    done;
+    let c = { out_off; out_rcv; out_pow } in
+    t.csr_cache <- Some c;
+    c
 
 (* Rows sorted by peer id: deterministic independent of construction order,
    and [can_decode] becomes a binary search. *)
@@ -40,7 +88,7 @@ let validate t =
 let make ~sensed ~rx =
   let sensed = Array.map Array.copy sensed and rx = Array.map Array.copy rx in
   sort_rows sensed rx;
-  validate { sensed; rx }
+  validate { sensed; rx; csr_cache = None }
 
 (* Decode-only graphs (every generated family): sensing and decoding
    coincide, at the normalised decode power. *)

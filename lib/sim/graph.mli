@@ -11,6 +11,17 @@ type link = { peer : Node.id; power : float }
 (** An incoming link: transmissions of [peer] arrive with the given
     normalised power (1.0 = decode threshold). *)
 
+type csr = {
+  out_off : int array;  (** row offsets, length [size + 1] *)
+  out_rcv : int array;  (** receivers sensing node [i]: slice [out_off.(i) .. out_off.(i+1) - 1] *)
+  out_pow : float array;  (** power each receiver in [out_rcv] gets [i]'s transmissions at *)
+}
+(** The sense relation transposed into compressed-sparse-row form — the
+    engine's fan-out structure.  Receivers appear {e descending} within each
+    row: the iteration order of the engine's original cons-list
+    representation, which per-link loss draws and capture tie-breaks
+    depend on bit-for-bit. *)
+
 type t = {
   sensed : link array array;
       (** [sensed.(i)] lists every node whose transmissions put detectable
@@ -18,7 +29,15 @@ type t = {
   rx : Node.id array array;
       (** [rx.(i)] lists nodes that [i] can decode (power ≥ 1.0), sorted
           ascending — [can_decode] binary-searches these rows. *)
+  mutable csr_cache : csr option;
+      (** private lazily-built cache behind {!csr}; always construct it as
+          [None] and read it only through {!csr} *)
 }
+
+val csr : t -> csr
+(** The cached CSR fan-out view of [sensed], built on first demand.  Safe
+    to call from exactly one domain at a time; the sharded engine forces it
+    on the coordinator before spawning workers. *)
 
 val make : sensed:link array array -> rx:Node.id array array -> t
 (** Copy, sort and validate the rows.  Raises [Invalid_argument] on

@@ -1,0 +1,155 @@
+(* Tile partitioning and the domain team behind [Engine.run ~mode:`Sharded].
+
+   A shard run cuts the deployment into [tiles] disjoint tiles and runs
+   each tile's machines on its own domain; the engine drives the tiles
+   through a fixed per-round barrier sequence (see DESIGN.md, "Tile/halo
+   contract") so the interleaving is deterministic and the results are
+   byte-identical to the serial loops.  This module owns the two
+   ingredients that are not engine logic:
+
+   - [partition]: the tile assignment.  Correctness never depends on the
+     cut — the engine is byte-identical under *any* assignment (a QCheck
+     property randomizes it) — only halo traffic does, so radio topologies
+     are cut into spatial strips (boundary ~ one sense range per cut) and
+     synthetic graphs into contiguous BFS blocks (neighbours tend to share
+     a block).
+   - [Team]: the generation barrier the tiles synchronize on, the
+     spawn/join wrapper, and the failure slot that lets a crashed tile
+     abandon a round without deadlocking the others.
+
+   This is the one lib/sim module allowed to name Domain/Atomic (see the
+   Source_lint allowlist): the engine's tile state is owner-partitioned
+   and every cross-tile read happens after a barrier, so the barrier's
+   mutex is the only synchronization needed — it orders the plain tile
+   writes before the reads that follow the barrier. *)
+
+let partition topology ~tiles =
+  let n = Topology.size topology in
+  let tiles = max 1 (min tiles (max 1 n)) in
+  let tile_of = Array.make (max 1 n) 0 in
+  if tiles > 1 then begin
+    let order =
+      if Topology.is_geometric topology then begin
+        (* Spatial strips: nodes sorted by x (ties by id), cut into
+           equal-count chunks.  Halo links cross only the strip borders. *)
+        let ids = Array.init n (fun i -> i) in
+        Array.sort
+          (fun a b ->
+            match
+              Float.compare (Topology.position topology a).Point.x
+                (Topology.position topology b).Point.x
+            with
+            | 0 -> Int.compare a b
+            | c -> c)
+          ids;
+        ids
+      end
+      else begin
+        (* BFS blocks: breadth-first order over the decode graph from node
+           0 (row order = ascending id), restarting from the smallest
+           unvisited id for disconnected graphs; contiguous chunks of that
+           order keep neighbourhoods together without any geometry. *)
+        let rx = Topology.rx topology in
+        let seen = Array.make n false in
+        let order = Array.make n 0 in
+        let count = ref 0 in
+        let queue = Queue.create () in
+        let push i =
+          if not seen.(i) then begin
+            seen.(i) <- true;
+            Queue.add i queue
+          end
+        in
+        for src = 0 to n - 1 do
+          push src;
+          while not (Queue.is_empty queue) do
+            let u = Queue.pop queue in
+            order.(!count) <- u;
+            incr count;
+            Array.iter push rx.(u)
+          done
+        done;
+        order
+      end
+    in
+    for k = 0 to n - 1 do
+      tile_of.(order.(k)) <- k * tiles / n
+    done
+  end;
+  tile_of
+
+module Team = struct
+  type t = {
+    size : int;
+    mutex : Mutex.t;
+    cond : Condition.t;
+    mutable arrived : int;
+    mutable generation : int;
+    failure : (exn * Printexc.raw_backtrace) option Atomic.t;
+  }
+
+  let create ~tiles =
+    if tiles < 1 then invalid_arg "Shard.Team.create: need at least one tile";
+    {
+      size = tiles;
+      mutex = Mutex.create ();
+      cond = Condition.create ();
+      arrived = 0;
+      generation = 0;
+      failure = Atomic.make None;
+    }
+
+  let size t = t.size
+
+  (* Generation barrier on a condition variable rather than a busy-wait
+     spin: a parked tile releases its core, which matters both when the
+     coordinator does serial work between rounds (merge, stop checks,
+     silent-round skips) and on machines with fewer cores than tiles.
+     The mutex hand-off also publishes every plain write made before
+     [await] to every participant after it. *)
+  let await t =
+    if t.size > 1 then begin
+      Mutex.lock t.mutex;
+      let gen = t.generation in
+      t.arrived <- t.arrived + 1;
+      if t.arrived = t.size then begin
+        t.arrived <- 0;
+        t.generation <- gen + 1;
+        Condition.broadcast t.cond
+      end
+      else
+        while t.generation = gen do
+          Condition.wait t.cond t.mutex
+        done;
+      Mutex.unlock t.mutex
+    end
+
+  let record t e bt = ignore (Atomic.compare_and_set t.failure None (Some (e, bt)))
+  let failed t = Atomic.get t.failure <> None
+
+  (* Run a phase body, trapping any exception into the failure slot so the
+     tile keeps participating in the barrier sequence — a crashed tile
+     must not leave the others parked; the coordinator checks [failed] at
+     the next round boundary and shuts the team down cleanly. *)
+  let guard t f = try f () with e -> record t e (Printexc.get_raw_backtrace ())
+
+  let run t ~worker ~main =
+    if t.size <= 1 then begin
+      let result = main () in
+      (match Atomic.get t.failure with
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ());
+      result
+    end
+    else begin
+      let domains = List.init (t.size - 1) (fun k -> Domain.spawn (fun () -> worker (k + 1))) in
+      (* [main] is responsible for releasing the workers into their stop
+         command before returning, even on failure — [guard] plus the
+         engine's command protocol guarantee that. *)
+      let result = main () in
+      List.iter Domain.join domains;
+      match Atomic.get t.failure with
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> result
+    end
+end

@@ -1,0 +1,51 @@
+(** Tile partitioning and the domain team behind [Engine.run ~mode:`Sharded].
+
+    The engine's sharded mode cuts a run's machines into disjoint tiles and
+    runs each tile on its own domain, synchronizing on a per-round barrier
+    sequence that keeps the results byte-identical to the serial modes.
+    This module provides the tile assignment heuristics and the barrier /
+    spawn-join machinery; the round protocol itself lives in {!Engine}. *)
+
+val partition : Topology.t -> tiles:int -> int array
+(** [partition topology ~tiles] assigns every node a tile in
+    [0 .. tiles - 1].  Determinism of the sharded engine never depends on
+    the assignment — any map yields byte-identical results — only halo
+    traffic does: radio topologies are cut into spatial strips along the x
+    axis, synthetic graphs into contiguous blocks of a BFS order over the
+    decode graph.  [tiles] is clamped to [1 .. max 1 n]; the result always
+    has length [max 1 n] and tiles are contiguous, non-empty chunks of the
+    chosen node order. *)
+
+(** A fixed-size team of barrier participants (participant 0 is the calling
+    domain, participants [1 .. size - 1] are spawned domains), with a
+    blocking generation barrier and a first-failure slot. *)
+module Team : sig
+  type t
+
+  val create : tiles:int -> t
+  (** Raises [Invalid_argument] if [tiles < 1]. *)
+
+  val size : t -> int
+
+  val await : t -> unit
+  (** Block until all [size t] participants have arrived.  Acts as a full
+      happens-before fence: plain writes made before [await] are visible
+      to every participant after it.  No-op when [size t <= 1]. *)
+
+  val guard : t -> (unit -> unit) -> unit
+  (** Run a phase body, trapping any exception (with backtrace) into the
+      team's failure slot instead of letting it escape — participants must
+      keep arriving at barriers even after a failure, or the rest of the
+      team spins forever.  Only the first failure is kept. *)
+
+  val failed : t -> bool
+  (** True once any participant's {!guard} recorded a failure. *)
+
+  val run : t -> worker:(int -> unit) -> main:(unit -> 'a) -> 'a
+  (** Spawn [size t - 1] domains running [worker 1 .. worker (size-1)],
+      run [main ()] on the calling domain as participant 0, join, and
+      re-raise any recorded failure with its original backtrace.  [main]
+      must drive the workers to return (the engine's stop command) even
+      when {!failed} is set.  When [size t <= 1], runs [main] inline
+      without spawning. *)
+end

@@ -73,7 +73,7 @@ let build (deployment : Deployment.t) prop =
       sensed.(node.id) <- links;
       rx.(node.id) <- decodable)
     nodes;
-  { deployment; kind = Radio prop; graph = { Graph.sensed; rx } }
+  { deployment; kind = Radio prop; graph = { Graph.sensed; rx; csr_cache = None } }
 
 let synthetic ~family deployment graph =
   if Deployment.size deployment <> Graph.size graph then

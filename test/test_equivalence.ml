@@ -1,12 +1,14 @@
-(* Dense/sparse engine equivalence.
+(* Dense/sparse/sharded engine equivalence.
 
-   The wakeup-driven sparse loop is only allowed to exist because it is
-   byte-identical to the dense reference: same delivered bits, same
-   completion rounds, same broadcast counts, same stop round, and the
-   same round-by-round channel trace (skipped rounds appearing as the
-   all-silent digests they are).  This suite drives both loops over the
-   full protocol x fault-model matrix plus a lossy-channel case, and a
-   QCheck property does the same over randomized scenarios. *)
+   The wakeup-driven sparse loop and the domain-sharded loop are only
+   allowed to exist because they are byte-identical to the dense
+   reference: same delivered bits, same completion rounds, same broadcast
+   counts, same stop round, and the same round-by-round channel trace
+   (skipped rounds appearing as the all-silent digests they are).  This
+   suite drives all three loops over the full protocol x fault-model
+   matrix plus a lossy-channel case; QCheck properties do the same over
+   randomized scenarios, randomized tile counts, and fully randomized
+   tile assignments (the sharded engine must not depend on the cut). *)
 
 let small_spec ~protocol ~faults ~seed ~n =
   {
@@ -29,23 +31,43 @@ let small_spec ~protocol ~faults ~seed ~n =
 let bits =
   Alcotest.testable (fun fmt b -> Format.pp_print_string fmt (Bitvec.to_string b)) Bitvec.equal
 
-let check_equivalent name spec =
-  let dense_trace, dense = Determinism.capture_spec ~mode:`Dense spec in
-  let sparse_trace, sparse = Determinism.capture_spec ~mode:`Sparse spec in
-  (match Determinism.diff dense_trace sparse_trace with
+let check_same_results name label (a : Scenario.result) (b : Scenario.result) =
+  let d = a.Scenario.engine and s = b.Scenario.engine in
+  let check what = Alcotest.(check what) in
+  check Alcotest.int (name ^ ": rounds_used " ^ label) d.Engine.rounds_used s.Engine.rounds_used;
+  check Alcotest.bool (name ^ ": hit_cap " ^ label) d.Engine.hit_cap s.Engine.hit_cap;
+  check
+    Alcotest.(array int)
+    (name ^ ": broadcasts " ^ label)
+    d.Engine.broadcasts s.Engine.broadcasts;
+  check
+    Alcotest.(array int)
+    (name ^ ": completion rounds " ^ label)
+    d.Engine.completion_round s.Engine.completion_round;
+  check
+    Alcotest.(array (option bits))
+    (name ^ ": delivered bits " ^ label)
+    d.Engine.delivered s.Engine.delivered
+
+let check_same_trace name label ref_trace trace =
+  match Determinism.diff ref_trace trace with
   | Determinism.Deterministic _ -> ()
   | Determinism.Diverged _ as o ->
-    Alcotest.failf "%s: dense/sparse traces differ: %s" name (Determinism.outcome_to_string o));
-  let d = dense.Scenario.engine and s = sparse.Scenario.engine in
-  Alcotest.(check int) (name ^ ": rounds_used") d.Engine.rounds_used s.Engine.rounds_used;
-  Alcotest.(check bool) (name ^ ": hit_cap") d.Engine.hit_cap s.Engine.hit_cap;
-  Alcotest.(check (array int)) (name ^ ": broadcasts") d.Engine.broadcasts s.Engine.broadcasts;
-  Alcotest.(check (array int))
-    (name ^ ": completion rounds")
-    d.Engine.completion_round s.Engine.completion_round;
-  Alcotest.(check (array (option bits)))
-    (name ^ ": delivered bits")
-    d.Engine.delivered s.Engine.delivered
+    Alcotest.failf "%s: %s traces differ: %s" name label (Determinism.outcome_to_string o)
+
+(* Three-way equivalence: dense is the reference; sparse and a sharded run
+   (with the given tile count, or a tile-assignment override) must match
+   it in trace and in every result field. *)
+let check_equivalent ?tile_of ?(tiles = 3) name spec =
+  let dense_trace, dense = Determinism.capture_spec ~mode:`Dense spec in
+  let sparse_trace, sparse = Determinism.capture_spec ~mode:`Sparse spec in
+  let sharded_trace, sharded =
+    Determinism.capture_spec ~mode:(`Sharded tiles) ?tile_of spec
+  in
+  check_same_trace name "dense/sparse" dense_trace sparse_trace;
+  check_same_trace name "dense/sharded" dense_trace sharded_trace;
+  check_same_results name "dense/sparse" dense sparse;
+  check_same_results name "dense/sharded" dense sharded
 
 let protocols =
   [
@@ -53,6 +75,7 @@ let protocols =
     ("nw2", Scenario.Neighbor_watch { votes = 2 });
     ("mp1", Scenario.Multi_path { tolerance = 1 });
     ("epi", Scenario.Epidemic);
+    ("cpa1", Scenario.Certified { tolerance = 1 });
   ]
 
 let fault_models =
@@ -69,9 +92,10 @@ let matrix_case (pname, protocol) (fname, faults) =
       let seed = String.fold_left (fun h c -> (h * 131) + Char.code c) 7 name land 0xFFFF in
       check_equivalent name (small_spec ~protocol ~faults ~seed ~n:50))
 
-(* Loss draws happen during Phase-1 fan-out, so the CSR link order and the
-   restriction of fan-out to scheduled transmitters must not perturb the
-   RNG stream. *)
+(* Loss draws happen during Phase-1 fan-out — serially on the coordinator
+   in the sharded rounds — so the CSR link order, the restriction of
+   fan-out to scheduled transmitters, and the tile merge must not perturb
+   the RNG stream. *)
 let test_lossy_channel () =
   let spec =
     {
@@ -84,9 +108,9 @@ let test_lossy_channel () =
   check_equivalent "nw1/lossy" spec
 
 (* Randomized scenarios: any protocol, any fault model, lossy or ideal
-   channel, arbitrary seed and deployment size. *)
+   channel, arbitrary seed, deployment size and tile count. *)
 let prop_random_scenarios =
-  QCheck.Test.make ~name:"dense/sparse byte-identical on random scenarios" ~count:12
+  QCheck.Test.make ~name:"all engine modes byte-identical on random scenarios" ~count:12
     QCheck.(
       quad (int_bound 100_000) (int_range 0 (List.length protocols - 1))
         (int_range 0 (List.length fault_models - 1))
@@ -98,7 +122,27 @@ let prop_random_scenarios =
       let spec =
         if seed mod 2 = 0 then { spec with Scenario.channel = Channel.realistic } else spec
       in
-      check_equivalent (Printf.sprintf "%s/%s seed %d n %d" pname fname seed n) spec;
+      let tiles = 2 + (seed mod 4) in
+      check_equivalent ~tiles (Printf.sprintf "%s/%s seed %d n %d" pname fname seed n) spec;
+      true)
+
+(* Any tile assignment, same bytes: the sharded engine's determinism must
+   not depend on the partition heuristic, so compare the serial reference
+   against a uniformly random (unbalanced, non-contiguous, possibly
+   empty-tiled) assignment. *)
+let prop_random_partition =
+  QCheck.Test.make ~name:"sharded byte-identical under arbitrary tile assignments" ~count:10
+    QCheck.(
+      quad (int_bound 100_000) (int_bound 100_000) (int_range 2 6) (int_range 25 60))
+    (fun (seed, tile_seed, tiles, n) ->
+      let protocol = List.nth protocols (seed mod List.length protocols) |> snd in
+      let faults = List.nth fault_models (tile_seed mod List.length fault_models) |> snd in
+      let spec = small_spec ~protocol ~faults ~seed ~n in
+      let tile_rng = Rng.create tile_seed in
+      let tile_of = Array.init n (fun _ -> Rng.int tile_rng tiles) in
+      check_equivalent ~tiles ~tile_of
+        (Printf.sprintf "random partition seed %d tiles %d n %d" seed tiles n)
+        spec;
       true)
 
 let () =
@@ -108,5 +152,7 @@ let () =
         List.concat_map (fun p -> List.map (matrix_case p) fault_models) protocols );
       ("lossy channel", [ Alcotest.test_case "nw1 under loss" `Quick test_lossy_channel ]);
       ( "properties",
-        List.map (fun t -> QCheck_alcotest.to_alcotest ~long:false t) [ prop_random_scenarios ] );
+        List.map
+          (fun t -> QCheck_alcotest.to_alcotest ~long:false t)
+          [ prop_random_scenarios; prop_random_partition ] );
     ]

@@ -74,7 +74,7 @@ let test_pool_worker_stats () =
 let expected_ids =
   [
     "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e7"; "e8a"; "e8b"; "e8c"; "a1"; "a2"; "a3";
-    "a4"; "a5"; "bounds"; "mobile"; "g1";
+    "a4"; "a5"; "bounds"; "mobile"; "g1"; "s1";
   ]
 
 let test_registry_complete () =
