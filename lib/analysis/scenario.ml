@@ -410,6 +410,7 @@ type summary = {
   correct_of_delivered : float;
   correct_rate : float;
   rounds : int;
+  active_rounds : int;
   hit_cap : bool;
   total_broadcasts : int;
   mean_completion_round : float;
@@ -442,6 +443,7 @@ let summarize result =
     correct_of_delivered = ratio !delivered_correct !delivered_any;
     correct_rate = ratio !delivered_correct !honest_nodes;
     rounds = result.engine.Engine.rounds_used;
+    active_rounds = result.engine.Engine.active_rounds;
     hit_cap = result.engine.Engine.hit_cap;
     total_broadcasts = Array.fold_left ( + ) 0 result.engine.Engine.broadcasts;
     mean_completion_round = Stats.mean !completion_rounds;

@@ -129,6 +129,7 @@ type summary = {
   correct_of_delivered : float;  (** delivered_correct / delivered_any (1 if none) *)
   correct_rate : float;  (** delivered_correct / honest_nodes *)
   rounds : int;
+  active_rounds : int;  (** rounds with at least one transmission *)
   hit_cap : bool;
   total_broadcasts : int;
   mean_completion_round : float;  (** over honest nodes that completed *)

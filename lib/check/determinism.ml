@@ -55,6 +55,44 @@ let check_spec ?max_rounds ?mode spec =
   let second, _ = capture_spec ?max_rounds ?mode spec in
   diff first second
 
+let mode_label : Engine.mode -> string = function
+  | `Dense -> "dense"
+  | `Sparse -> "sparse"
+  | `Sharded tiles -> Printf.sprintf "sharded:%d" tiles
+
+let mode_of_label label =
+  match String.lowercase_ascii label with
+  | "dense" -> Some `Dense
+  | "sparse" -> Some `Sparse
+  | s when String.starts_with ~prefix:"sharded:" s -> (
+    match int_of_string_opt (String.sub s 8 (String.length s - 8)) with
+    | Some tiles when tiles >= 1 -> Some (`Sharded tiles)
+    | Some _ | None -> None)
+  | _ -> None
+
+(* Mode-equivalence check: capture one trace per requested engine mode and
+   diff every pair (a single mode degenerates to the classic
+   run-twice-and-diff).  The engine promises byte-identical traces for all
+   modes, so any divergence names the two loop implementations that
+   disagree. *)
+let check_modes ?max_rounds modes spec =
+  match modes with
+  | [] -> []
+  | [ only ] ->
+    let first, _ = capture_spec ?max_rounds ~mode:only spec in
+    let second, _ = capture_spec ?max_rounds ~mode:only spec in
+    [ ((mode_label only, mode_label only), diff first second) ]
+  | _ :: _ :: _ ->
+    let traces =
+      List.map (fun mode -> (mode_label mode, fst (capture_spec ?max_rounds ~mode spec))) modes
+    in
+    let rec pairs = function
+      | [] -> []
+      | (la, ta) :: rest ->
+        List.map (fun (lb, tb) -> ((la, lb), diff ta tb)) rest @ pairs rest
+    in
+    pairs traces
+
 let pp_digest fmt (d : Engine.round_digest) =
   let obs = Array.to_list d.Engine.observations in
   let active = List.length (List.filter (fun fp -> fp <> 0) obs) in

@@ -36,5 +36,19 @@ val capture_spec :
 val check_spec : ?max_rounds:int -> ?mode:Engine.mode -> Scenario.spec -> outcome
 (** Two traced runs of the same spec, diffed. *)
 
+val mode_label : Engine.mode -> string
+(** ["dense"], ["sparse"], ["sharded:K"]. *)
+
+val mode_of_label : string -> Engine.mode option
+(** Inverse of {!mode_label} (case-insensitive); [None] on unknown
+    spellings or a non-positive tile count. *)
+
+val check_modes :
+  ?max_rounds:int -> Engine.mode list -> Scenario.spec -> ((string * string) * outcome) list
+(** One traced run per mode, every pair diffed (labels name the pair); a
+    single mode degenerates to {!check_spec}'s run-twice form.  The
+    engine's mode-equivalence promise makes any divergence a bug in one
+    of the two named loop implementations. *)
+
 val pp_outcome : Format.formatter -> outcome -> unit
 val outcome_to_string : outcome -> string

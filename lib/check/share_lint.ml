@@ -89,105 +89,17 @@ let has_errors diags = List.exists (fun d -> d.severity = Lint.Error) diags
 
 (* --- expression helpers -------------------------------------------------- *)
 
-let module_of_path path =
-  String.capitalize_ascii (Filename.remove_extension (Filename.basename path))
+(* The generic Parsetree machinery (reference/write extraction, binding
+   summaries, the same-file reachability engine) lives in {!Callgraph},
+   shared with [Alloc_lint]; this lint keeps only the mutable-state
+   specific parts. *)
 
-let line_of (loc : Location.t) = loc.Location.loc_start.Lexing.pos_lnum
+let module_of_path = Callgraph.module_of_path
+let line_of = Callgraph.line_of
+let peel = Callgraph.peel
+let head_ident = Callgraph.head_ident
 
-let rec peel (e : Parsetree.expression) =
-  match e.pexp_desc with
-  | Parsetree.Pexp_constraint (e, _) | Parsetree.Pexp_coerce (e, _, _) -> peel e
-  | _ -> e
-
-let head_ident e =
-  match (peel e).Parsetree.pexp_desc with
-  | Parsetree.Pexp_ident { txt; _ } -> Some (String.concat "." (Longident.flatten txt))
-  | _ -> None
-
-let iter_expr f e =
-  let default = Ast_iterator.default_iterator in
-  let it = { default with expr = (fun it e -> f e; default.expr it e) } in
-  it.expr it e
-
-(* All value-path references in an expression, as dotted strings. *)
-let refs_of_expr e =
-  let acc = ref [] in
-  iter_expr
-    (fun e ->
-      match e.Parsetree.pexp_desc with
-      | Parsetree.Pexp_ident { txt; _ } -> acc := String.concat "." (Longident.flatten txt) :: !acc
-      | _ -> ())
-    e;
-  !acc
-
-(* Every value name bound anywhere inside an expression: function
-   parameters, let patterns, match cases, for-loop indices.  Used to
-   separate a task's own state from captured state. *)
-let bound_names_of_expr e =
-  let acc = ref [] in
-  let default = Ast_iterator.default_iterator in
-  let it =
-    {
-      default with
-      pat =
-        (fun it (p : Parsetree.pattern) ->
-          (match p.ppat_desc with
-          | Parsetree.Ppat_var { txt; _ } | Parsetree.Ppat_alias (_, { txt; _ }) ->
-            acc := txt :: !acc
-          | _ -> ());
-          default.pat it p);
-      expr =
-        (fun it (e : Parsetree.expression) ->
-          (match e.Parsetree.pexp_desc with
-          | Parsetree.Pexp_for ({ ppat_desc = Parsetree.Ppat_var { txt; _ }; _ }, _, _, _, _) ->
-            acc := txt :: !acc
-          | _ -> ());
-          default.expr it e);
-    }
-  in
-  it.expr it e;
-  !acc
-
-(* Syntactic mutation sites: [x := e], [incr]/[decr], [a.(i) <- v] (the
-   parser spells it [Array.set]), record-field assignment, and the
-   imperative container operations.  The recorded target is the head
-   identifier being mutated. *)
-let writer_heads =
-  [
-    ":="; "incr"; "decr"; "Array.set"; "Array.unsafe_set"; "Array.fill"; "Array.blit"; "Bytes.set";
-    "Bytes.fill"; "Bytes.blit"; "Hashtbl.add"; "Hashtbl.replace"; "Hashtbl.remove"; "Hashtbl.reset";
-    "Hashtbl.clear"; "Buffer.add_string"; "Buffer.add_char"; "Buffer.add_bytes";
-    "Buffer.add_substring"; "Buffer.add_buffer"; "Buffer.clear"; "Buffer.reset"; "Queue.add";
-    "Queue.push"; "Queue.pop"; "Queue.take"; "Queue.clear"; "Queue.transfer"; "Stack.push";
-    "Stack.pop"; "Stack.clear";
-  ]
-
-let is_writer h = List.mem h writer_heads || List.mem h (List.map (( ^ ) "Stdlib.") writer_heads)
-
-type write = { target : string; wline : int }
-
-let writes_of_expr e =
-  let acc = ref [] in
-  iter_expr
-    (fun e ->
-      match e.Parsetree.pexp_desc with
-      | Parsetree.Pexp_setfield (target, _, _) -> (
-        match head_ident target with
-        | Some t -> acc := { target = t; wline = line_of e.Parsetree.pexp_loc } :: !acc
-        | None -> ())
-      | Parsetree.Pexp_apply (f, args) -> (
-        match head_ident f with
-        | Some h when is_writer h -> (
-          match List.find_opt (fun (l, _) -> l = Asttypes.Nolabel) args with
-          | Some (_, a) -> (
-            match head_ident a with
-            | Some t -> acc := { target = t; wline = line_of e.Parsetree.pexp_loc } :: !acc
-            | None -> ())
-          | None -> ())
-        | _ -> ())
-      | _ -> ())
-    e;
-  !acc
+type write = Callgraph.write = { target : string; wline : int }
 
 (* Does this right-hand side allocate a mutable value? *)
 let alloc_kind e =
@@ -208,19 +120,8 @@ let alloc_kind e =
     | _ -> None)
   | _ -> None
 
-let is_function e =
-  match (peel e).Parsetree.pexp_desc with
-  | Parsetree.Pexp_fun _ | Parsetree.Pexp_function _ | Parsetree.Pexp_newtype _ -> true
-  | _ -> false
-
-let pattern_var (p : Parsetree.pattern) =
-  let rec go (p : Parsetree.pattern) =
-    match p.ppat_desc with
-    | Parsetree.Ppat_var { txt; _ } -> Some txt
-    | Parsetree.Ppat_constraint (p, _) -> go p
-    | _ -> None
-  in
-  go p
+let is_function = Callgraph.is_function
+let pattern_var = Callgraph.pattern_var
 
 (* --- per-file facts ------------------------------------------------------ *)
 
@@ -232,7 +133,9 @@ type task_entry =
 
 type pool_site = { ps_line : int; ps_callee : string; ps_task : task_entry }
 
-type fn_summary = { fn_refs : string list; fn_writes : write list (* escaping only *) }
+(* A binding's escaping refs/writes (everything it mentions minus its own
+   bound names). *)
+type fn_summary = Callgraph.summary = { fn_refs : string list; fn_writes : write list }
 
 type facts = {
   fpath : string;
@@ -245,16 +148,10 @@ type facts = {
 
 let pool_callees = [ "Pool.map_array"; "Pool.map_list"; "Domain.spawn" ]
 
-let filtered_summary e =
-  let bound = bound_names_of_expr e in
-  let refs = List.filter (fun r -> not (List.mem r bound)) (refs_of_expr e) in
-  let writes = List.filter (fun w -> not (List.mem w.target bound)) (writes_of_expr e) in
-  (refs, writes)
-
 let task_entry_of_arg arg =
   let arg = peel arg in
   if is_function arg then begin
-    let refs, writes = filtered_summary arg in
+    let { fn_refs = refs; fn_writes = writes } = Callgraph.summarize arg in
     Lambda { refs; writes }
   end
   else
@@ -279,10 +176,8 @@ let facts_of_structure ~path structure =
             match alloc_kind vb.pvb_expr with
             | Some kind -> mutable_lets := (name, kind) :: !mutable_lets
             | None ->
-              if is_function vb.pvb_expr then begin
-                let refs, writes = filtered_summary vb.pvb_expr in
-                bindings := (name, { fn_refs = refs; fn_writes = writes }) :: !bindings
-              end)
+              if is_function vb.pvb_expr then
+                bindings := (name, Callgraph.summarize vb.pvb_expr) :: !bindings)
           | None -> ());
           default.value_binding it vb);
       expr =
@@ -359,46 +254,21 @@ let facts_of_structure ~path structure =
     fsites = List.rev !sites;
   }
 
-let parse_string ~path contents =
-  let lexbuf = Lexing.from_string contents in
-  Location.init lexbuf path;
-  match Parse.implementation lexbuf with
-  | structure -> Ok structure
-  | exception _ -> Error lexbuf.Lexing.lex_curr_p.Lexing.pos_lnum
+let parse_string = Callgraph.parse_string
 
 (* --- capture analysis ---------------------------------------------------- *)
 
-(* Transitive same-file reachability from a task entry: the union of all
-   references and escaping writes of the task and of every same-file
-   function it can call.  Duplicate binding names are unioned, which is
-   conservative in the right direction. *)
+(* Transitive same-file reachability from a task entry — the engine is
+   {!Callgraph.reach}, which preserves this lint's original traversal and
+   accumulation order exactly. *)
 let reach facts entry =
-  let visited = Hashtbl.create 16 in
-  let refs = ref [] in
-  let writes = ref [] in
-  let rec follow name =
-    if not (Hashtbl.mem visited name) then begin
-      Hashtbl.add visited name ();
-      List.iter
-        (fun (n, summary) ->
-          if n = name then begin
-            refs := summary.fn_refs @ !refs;
-            writes := summary.fn_writes @ !writes;
-            List.iter
-              (fun r -> if not (String.contains r '.') then follow r)
-              summary.fn_refs
-          end)
-        facts.fbindings
-    end
+  let entry =
+    match entry with
+    | Lambda { refs; writes } -> Callgraph.Body { fn_refs = refs; fn_writes = writes }
+    | Named name -> Callgraph.Binding name
+    | Opaque -> Callgraph.Opaque
   in
-  (match entry with
-  | Lambda { refs = r; writes = w } ->
-    refs := r;
-    writes := w;
-    List.iter (fun r -> if not (String.contains r '.') then follow r) r
-  | Named name -> follow name
-  | Opaque -> ());
-  (!refs, !writes)
+  Callgraph.reach ~bindings:facts.fbindings entry
 
 let split_qualified name =
   match List.rev (String.split_on_char '.' name) with
@@ -509,6 +379,28 @@ let lint_parsed parsed_files =
     facts;
   (!diags, !used)
 
+let finish ~parse_errors ~linted parsed =
+  let diags, used = lint_parsed parsed in
+  let unused =
+    List.map
+      (fun (entry_file, code) ->
+        {
+          severity = Lint.Error;
+          file = entry_file;
+          line = 0;
+          code = "unused-allowlist";
+          message =
+            Printf.sprintf
+              "allowlist entry (%s, %s) suppressed no diagnostic; delete the stale audit"
+              entry_file code;
+        })
+      (Lint.unused_allowlist ~allowlist ~used ~files:linted)
+  in
+  List.sort
+    (fun a b ->
+      match String.compare a.file b.file with 0 -> Int.compare a.line b.line | c -> c)
+    (parse_errors @ diags @ unused)
+
 let lint_strings files =
   let parsed, parse_errors =
     List.fold_left
@@ -527,26 +419,12 @@ let lint_strings files =
             :: errors ))
       ([], []) files
   in
-  let diags, used = lint_parsed (List.rev parsed) in
-  let unused =
-    List.map
-      (fun (entry_file, code) ->
-        {
-          severity = Lint.Error;
-          file = entry_file;
-          line = 0;
-          code = "unused-allowlist";
-          message =
-            Printf.sprintf
-              "allowlist entry (%s, %s) suppressed no diagnostic; delete the stale audit"
-              entry_file code;
-        })
-      (Lint.unused_allowlist ~allowlist ~used ~files:(List.map fst files))
-  in
-  List.sort
-    (fun a b ->
-      match String.compare a.file b.file with 0 -> Int.compare a.line b.line | c -> c)
-    (parse_errors @ diags @ unused)
+  finish ~parse_errors ~linted:(List.map fst files) (List.rev parsed)
+
+(* Shared-parse entry for `securebit_lint all`: like {!lint_strings} on
+   already-parsed files (parse failures were surfaced by the shared
+   pass). *)
+let lint_structures parsed = finish ~parse_errors:[] ~linted:(List.map fst parsed) parsed
 
 let inventory_strings files =
   let facts =
@@ -562,11 +440,7 @@ let inventory_strings files =
     fields = List.concat_map (fun f -> f.ffields) facts;
   }
 
-let read_file path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
+let read_file = Callgraph.read_file
 
 let with_contents paths =
   List.map (fun path -> (path, read_file path)) (Source_lint.source_files paths)

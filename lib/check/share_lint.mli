@@ -76,6 +76,11 @@ val lint_strings : (string * string) list -> diagnostic list
 val lint_paths : string list -> diagnostic list
 (** Expand directories via {!Source_lint.source_files}, read, lint. *)
 
+val lint_structures : (string * Parsetree.structure) list -> diagnostic list
+(** {!lint_strings} on already-parsed files — `securebit_lint all` feeds
+    every source analyzer from one shared parse of the tree (parse
+    failures are surfaced by that shared pass, not here). *)
+
 val inventory_strings : (string * string) list -> inventory
 val inventory_paths : string list -> inventory
 (** The escaping-mutable-state inventory alone (no capture analysis);

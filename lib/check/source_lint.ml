@@ -36,17 +36,26 @@ let codes =
    for intra-run parallelism outside lib/run: its barrier totally orders
    every cross-tile access (the equivalence suite holds all tile counts
    byte-identical to the serial engines), and its single Atomic is a
-   write-once failure slot read only after the final barrier. *)
-let allowlist =
+   write-once failure slot read only after the final barrier.  The lint
+   front end times its own analyzers (`securebit_lint all` prints
+   per-analyzer wall seconds), which is reporting, not protocol logic.
+
+   Each entry records its own definition line so a stale audit's
+   diagnostic can point back here instead of at the audited file. *)
+let allowlist_located =
   [
-    ("lib/core/multi_path.ml", "hashtbl-order");
-    ("lib/core/neighbor_watch.ml", "hashtbl-order");
-    ("lib/core/certified_propagation.ml", "hashtbl-order");
-    ("lib/sim/engine.ml", "poly-hash");
-    ("lib/sim/shard.ml", "domain-outside-run");
-    ("bench/main.ml", "hashtbl-order");
-    ("lib/run/pool.ml", "poly-hash");
+    (("lib/core/multi_path.ml", "hashtbl-order"), __LINE__);
+    (("lib/core/neighbor_watch.ml", "hashtbl-order"), __LINE__);
+    (("lib/core/certified_propagation.ml", "hashtbl-order"), __LINE__);
+    (("lib/sim/engine.ml", "poly-hash"), __LINE__);
+    (("lib/sim/shard.ml", "domain-outside-run"), __LINE__);
+    (("bench/main.ml", "hashtbl-order"), __LINE__);
+    (("lib/run/pool.ml", "poly-hash"), __LINE__);
+    (("bin/securebit_lint.ml", "wall-clock"), __LINE__);
   ]
+
+let allowlist = List.map fst allowlist_located
+let allowlist_file = "lib/check/source_lint.ml"
 
 let severity_of _code = Lint.Error
 
@@ -129,9 +138,11 @@ let module_code head =
         "module " ^ head ^ ": parallelism is confined to the deterministic job pool in lib/run/" )
   | _ -> None
 
-(* Lint one file, also reporting which allowlist entries suppressed
-   something — {!lint_paths} needs that to enforce allowlist hygiene. *)
-let lint_string_used ~path contents =
+(* Lint one already-parsed file, also reporting which allowlist entries
+   suppressed something — {!lint_paths} needs that to enforce allowlist
+   hygiene, and `securebit_lint all` feeds every analyzer from one shared
+   parse of the tree. *)
+let lint_structure_used ~path structure =
   let diags = ref [] in
   let used = ref [] in
   let emit code message (loc : Location.t) =
@@ -185,23 +196,23 @@ let lint_string_used ~path contents =
           default.module_expr it m);
     }
   in
-  let lexbuf = Lexing.from_string contents in
-  Location.init lexbuf path;
-  match Parse.implementation lexbuf with
-  | exception _ ->
+  iterator.structure iterator structure;
+  (List.sort (fun a b -> Int.compare a.line b.line) (List.rev !diags), !used)
+
+let lint_string_used ~path contents =
+  match Callgraph.parse_string ~path contents with
+  | Error line ->
     ( [
         {
           severity = Lint.Error;
           file = path;
-          line = lexbuf.Lexing.lex_curr_p.Lexing.pos_lnum;
+          line;
           code = "parse-error";
           message = "file does not parse as an OCaml implementation";
         };
       ],
       [] )
-  | structure ->
-    iterator.structure iterator structure;
-    (List.sort (fun a b -> Int.compare a.line b.line) (List.rev !diags), !used)
+  | Ok structure -> lint_structure_used ~path structure
 
 let lint_string ~path contents = fst (lint_string_used ~path contents)
 
@@ -229,24 +240,28 @@ let rec collect acc path =
 
 let source_files paths = List.sort String.compare (List.fold_left collect [] paths)
 
+(* Stale-audit diagnostics point at the entry's own definition line in
+   this module (that is the line to delete), naming the audited
+   (file, code) pair in the message. *)
+let unused_diagnostics ~used ~files =
+  List.map
+    (fun ((entry_file, code) as entry) ->
+      let line = match List.assoc_opt entry allowlist_located with Some l -> l | None -> 0 in
+      {
+        severity = Lint.Error;
+        file = allowlist_file;
+        line;
+        code = "unused-allowlist";
+        message =
+          Printf.sprintf
+            "allowlist entry (%s, %s) suppressed no diagnostic; delete the stale audit at %s:%d"
+            entry_file code allowlist_file line;
+      })
+    (Lint.unused_allowlist ~allowlist ~used ~files)
+
 let lint_paths paths =
   let files = source_files paths in
   let results = List.map (fun path -> lint_string_used ~path (read_file path)) files in
   let diags = List.concat_map fst results in
   let used = List.concat_map snd results in
-  let unused =
-    List.map
-      (fun (entry_file, code) ->
-        {
-          severity = Lint.Error;
-          file = entry_file;
-          line = 0;
-          code = "unused-allowlist";
-          message =
-            Printf.sprintf
-              "allowlist entry (%s, %s) suppressed no diagnostic; delete the stale audit"
-              entry_file code;
-        })
-      (Lint.unused_allowlist ~allowlist ~used ~files)
-  in
-  diags @ unused
+  diags @ unused_diagnostics ~used ~files

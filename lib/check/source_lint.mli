@@ -54,6 +54,20 @@ val allowlist : (string * string) list
     commutative [Hashtbl.fold]s and the engine's explicit fingerprint
     hash. *)
 
+val allowlist_located : ((string * string) * int) list
+(** Each {!allowlist} entry with its definition line in
+    {!allowlist_file}; stale-entry diagnostics point there — that is the
+    line to delete. *)
+
+val allowlist_file : string
+(** ["lib/check/source_lint.ml"]. *)
+
+val lint_structure_used :
+  path:string -> Parsetree.structure -> diagnostic list * (string * string) list
+(** Lint one already-parsed file.  `securebit_lint all` feeds every
+    source analyzer from a single shared parse of the tree through
+    this. *)
+
 val lint_string : path:string -> string -> diagnostic list
 (** Lint source [contents] as if read from [path] (path-based exemptions
     and allowlists apply).  Used by tests to check fixtures without
@@ -73,7 +87,14 @@ val lint_paths : string list -> diagnostic list
 (** Lint every [.ml] file under the given files/directories (recursive,
     skipping [_build]-style and hidden directories), in sorted path order;
     then append one [unused-allowlist] error per {!allowlist} entry whose
-    file was visited but which suppressed nothing. *)
+    file was visited but which suppressed nothing (located at the entry's
+    own definition line via {!allowlist_located}). *)
+
+val unused_diagnostics :
+  used:(string * string) list -> files:string list -> diagnostic list
+(** The stale-audit errors {!lint_paths} appends, exposed so a shared-
+    parse driver can run the per-file pass itself and still enforce
+    allowlist hygiene. *)
 
 val has_errors : diagnostic list -> bool
 val pp_diagnostic : Format.formatter -> diagnostic -> unit

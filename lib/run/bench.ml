@@ -112,6 +112,80 @@ let heap_peaks_of_results json =
       experiments
   | Some None | None -> []
 
+(* --- allocation-rate ceilings ------------------------------------------ *)
+
+type alloc_check = {
+  al_id : string;
+  ceiling_words_per_round : float;
+  rate : float option;  (* measured words/active-round; None: not profiled *)
+}
+
+let alloc_exceeded a =
+  match a.rate with Some rate -> rate > a.ceiling_words_per_round | None -> false
+
+(* Committed per-experiment allocation-rate ceilings: optional
+   [max_words_per_active_round] per baseline entry, mirroring the
+   [max_heap_words] peak-heap mechanism. *)
+let alloc_ceilings_of_results json =
+  match Json.member "experiments" json |> Option.map Json.to_list_opt with
+  | Some (Some experiments) ->
+    List.filter_map
+      (fun e ->
+        match
+          ( Option.bind (Json.member "id" e) Json.to_string_opt,
+            Option.bind (Json.member "max_words_per_active_round" e) Json.to_float_opt )
+        with
+        | Some id, Some ceiling -> Some (id, ceiling)
+        | _ -> None)
+      experiments
+  | Some None | None -> []
+
+(* Measured rates out of a current run: [profile.words_per_active_round],
+   present only when the run was profiled. *)
+let alloc_rates_of_results json =
+  match Json.member "experiments" json |> Option.map Json.to_list_opt with
+  | Some (Some experiments) ->
+    List.filter_map
+      (fun e ->
+        match
+          ( Option.bind (Json.member "id" e) Json.to_string_opt,
+            Option.bind (Json.member "profile" e) (fun p ->
+                Option.bind (Json.member "words_per_active_round" p) Json.to_float_opt) )
+        with
+        | Some id, Some rate -> Some (id, rate)
+        | _ -> None)
+      experiments
+  | Some None | None -> []
+
+let alloc_checks ~ceilings ~rates =
+  List.map
+    (fun (id, ceiling_words_per_round) ->
+      { al_id = id; ceiling_words_per_round; rate = List.assoc_opt id rates })
+    ceilings
+
+let render_alloc checks =
+  if checks = [] then ""
+  else begin
+    let table =
+      Table.create ~title:"allocation-rate ceiling check (minor words / active round)"
+        ~columns:[ "experiment"; "ceiling (w/round)"; "measured (w/round)"; "verdict" ]
+    in
+    List.iter
+      (fun a ->
+        Table.add_row table
+          [
+            a.al_id;
+            Table.cell_f ~decimals:0 a.ceiling_words_per_round;
+            (match a.rate with Some r -> Table.cell_f ~decimals:0 r | None -> "-");
+            (match a.rate with
+            | Some r when r > a.ceiling_words_per_round -> "OVER CEILING"
+            | Some _ -> "ok"
+            | None -> "not profiled");
+          ])
+      checks;
+    Table.render table
+  end
+
 let memory_checks ~ceilings ~peaks =
   List.map
     (fun (id, ceiling_words) ->
@@ -230,11 +304,12 @@ let regressions ?tolerance comparisons = List.filter (regressed ?tolerance) comp
 
 (* Shared driver for the two compare entry points: report text plus whether
    anything failed (callers turn that into a non-zero exit).  A compare
-   fails on a wall-time regression or a peak-heap ceiling breach; a
-   ceiling the current run did not measure (no [--profile]) is reported
-   as a warning, never a failure, so unprofiled comparisons still gate
-   wall time alone. *)
-let compare_against ?tolerance ?(peaks = []) ~base current =
+   fails on a wall-time regression, a peak-heap ceiling breach, or an
+   allocation-rate (words/active-round) ceiling breach; a ceiling the
+   current run did not measure (no [--profile]) is reported as a warning,
+   never a failure, so unprofiled comparisons still gate wall time
+   alone. *)
+let compare_against ?tolerance ?(peaks = []) ?(alloc_rates = []) ~base current =
   match load_results base with
   | Error message -> Error (Printf.sprintf "baseline %s: %s" base message)
   | Ok base_json -> (
@@ -246,6 +321,11 @@ let compare_against ?tolerance ?(peaks = []) ~base current =
       let checks = memory_checks ~ceilings:(heap_ceilings_of_results base_json) ~peaks in
       let exceeded = List.filter memory_exceeded checks in
       let unmeasured = List.filter (fun m -> m.peak_words = None) checks in
+      let allocs =
+        alloc_checks ~ceilings:(alloc_ceilings_of_results base_json) ~rates:alloc_rates
+      in
+      let alloc_over = List.filter alloc_exceeded allocs in
+      let alloc_unmeasured = List.filter (fun a -> a.rate = None) allocs in
       let names of_what items = String.concat ", " (List.map of_what items) in
       let report =
         render_comparison ?tolerance comparisons
@@ -261,16 +341,32 @@ let compare_against ?tolerance ?(peaks = []) ~base current =
           | some ->
             Printf.sprintf "%d experiment(s) over peak-heap ceiling: %s\n" (List.length some)
               (names (fun m -> m.mem_id) some))
+        ^ (match unmeasured with
+          | [] -> ""
+          | some ->
+            Printf.sprintf
+              "warning: %d ceiling(s) not checked (current run lacks --profile data): %s\n"
+              (List.length some)
+              (names (fun m -> m.mem_id) some))
+        ^ render_alloc allocs
+        ^ (match alloc_over with
+          | [] when allocs <> [] -> "no allocation-rate ceilings exceeded\n"
+          | [] -> ""
+          | some ->
+            Printf.sprintf "%d experiment(s) over words/active-round ceiling: %s\n"
+              (List.length some)
+              (names (fun a -> a.al_id) some))
         ^
-        match unmeasured with
+        match alloc_unmeasured with
         | [] -> ""
         | some ->
           Printf.sprintf
-            "warning: %d ceiling(s) not checked (current run lacks --profile data): %s\n"
+            "warning: %d allocation ceiling(s) not checked (current run lacks --profile data): \
+             %s\n"
             (List.length some)
-            (names (fun m -> m.mem_id) some)
+            (names (fun a -> a.al_id) some)
       in
-      Ok (report, regressed <> [] || exceeded <> []))
+      Ok (report, regressed <> [] || exceeded <> [] || alloc_over <> []))
 
 let compare_files ?tolerance ~base ~current () =
   match load_results current with
@@ -279,18 +375,23 @@ let compare_files ?tolerance ~base ~current () =
     match wall_times_of_results current_json with
     | Error message -> Error (Printf.sprintf "current %s: %s" current message)
     | Ok current_times ->
-      compare_against ?tolerance ~peaks:(heap_peaks_of_results current_json) ~base current_times)
+      compare_against ?tolerance
+        ~peaks:(heap_peaks_of_results current_json)
+        ~alloc_rates:(alloc_rates_of_results current_json)
+        ~base current_times)
 
 let compare_outcomes ?tolerance ~base outcomes =
-  let peaks =
+  let profiled of_profile =
     List.filter_map
       (fun o ->
         Option.map
-          (fun (p : Runner.profile) -> (o.Runner.job.Experiment.id, p.Runner.top_heap_words))
+          (fun (p : Runner.profile) -> (o.Runner.job.Experiment.id, of_profile p))
           o.Runner.profile)
       outcomes
   in
-  compare_against ?tolerance ~peaks ~base
+  let peaks = profiled (fun p -> p.Runner.top_heap_words) in
+  let alloc_rates = profiled (fun p -> p.Runner.words_per_active_round) in
+  compare_against ?tolerance ~peaks ~alloc_rates ~base
     (List.map (fun o -> (o.Runner.job.Experiment.id, o.Runner.wall_seconds)) outcomes)
 
 let run options =
@@ -310,9 +411,11 @@ let run options =
           print_string (Runner.render outcome);
           Option.iter
             (fun (p : Runner.profile) ->
-              Printf.printf "[%s profile: %d rounds, %.0f rounds/s, %.1fM minor words]\n"
+              Printf.printf
+                "[%s profile: %d rounds, %.0f rounds/s, %.1fM minor words, %.0f w/active-round]\n"
                 job.Experiment.id p.Runner.rounds_simulated p.Runner.rounds_per_second
-                (p.Runner.minor_words /. 1e6))
+                (p.Runner.minor_words /. 1e6)
+                p.Runner.words_per_active_round)
             outcome.Runner.profile;
           Printf.printf "[%s: %.1fs, elapsed %.1fs]\n\n%!" job.Experiment.id
             outcome.Runner.wall_seconds

@@ -38,8 +38,10 @@ val run : options -> (Runner.outcome list, string) result
     {!regression_tolerance} slower than the baseline is a regression,
     which callers turn into a non-zero exit so perf regressions fail the
     build.  Baseline entries may also carry a [max_heap_words] peak-heap
-    ceiling; when the current run was profiled, a peak above the ceiling
-    fails the compare the same way a wall-time regression does. *)
+    ceiling and/or a [max_words_per_active_round] allocation-rate ceiling;
+    when the current run was profiled, a peak or a minor-allocation rate
+    above its ceiling fails the compare the same way a wall-time
+    regression does. *)
 
 val regression_tolerance : float
 (** Default regression threshold: 0.20 (20% slower fails). *)
@@ -70,6 +72,19 @@ type memory_check = {
 val memory_exceeded : memory_check -> bool
 (** True iff a measured peak is above its ceiling. *)
 
+type alloc_check = {
+  al_id : string;
+  ceiling_words_per_round : float;
+      (** committed [max_words_per_active_round] from the baseline *)
+  rate : float option;
+      (** measured [profile.words_per_active_round]; [None] when the
+          current run was not profiled — reported as a warning, never a
+          failure *)
+}
+
+val alloc_exceeded : alloc_check -> bool
+(** True iff a measured allocation rate is above its ceiling. *)
+
 val wall_times_of_results : Json.t -> ((string * float) list, string) result
 (** Per-experiment wall seconds out of a parsed results file. *)
 
@@ -81,12 +96,29 @@ val heap_peaks_of_results : Json.t -> (string * int) list
 (** Per-experiment [profile.top_heap_words] peaks out of a parsed results
     file; absent for runs made without [--profile]. *)
 
+val alloc_ceilings_of_results : Json.t -> (string * float) list
+(** Per-experiment [max_words_per_active_round] ceilings out of a parsed
+    baseline; experiments without one are simply absent. *)
+
+val alloc_rates_of_results : Json.t -> (string * float) list
+(** Per-experiment [profile.words_per_active_round] rates out of a parsed
+    results file; absent for runs made without [--profile]. *)
+
 val memory_checks :
   ceilings:(string * int) list -> peaks:(string * int) list -> memory_check list
 (** One check per ceiling, paired with the matching peak if measured. *)
 
+val alloc_checks :
+  ceilings:(string * float) list -> rates:(string * float) list -> alloc_check list
+(** One check per allocation ceiling, paired with the measured rate if
+    profiled. *)
+
 val render_memory : memory_check list -> string
 (** ASCII ceiling-check table; empty string when there are no ceilings. *)
+
+val render_alloc : alloc_check list -> string
+(** ASCII allocation-rate ceiling table; empty string when there are no
+    ceilings. *)
 
 val load_results : string -> (Json.t, string) result
 (** Read and parse a results file. *)
@@ -103,10 +135,12 @@ val regressions : ?tolerance:float -> comparison list -> comparison list
 
 val compare_files :
   ?tolerance:float -> base:string -> current:string -> unit -> (string * bool, string) result
-(** [Ok (report, failed)] where [failed] is any wall-time regression or
-    peak-heap ceiling breach; [Error] on unreadable/invalid files. *)
+(** [Ok (report, failed)] where [failed] is any wall-time regression,
+    peak-heap ceiling breach, or words/active-round allocation-rate
+    ceiling breach; [Error] on unreadable/invalid files. *)
 
 val compare_outcomes :
   ?tolerance:float -> base:string -> Runner.outcome list -> (string * bool, string) result
 (** Compare a just-finished run against a baseline file; profiled
-    outcomes also have their peaks gated against baseline ceilings. *)
+    outcomes also have their peaks and allocation rates gated against
+    baseline ceilings. *)

@@ -13,6 +13,8 @@ type profile = {
   top_heap_words : int;
   rounds_simulated : int;
   rounds_per_second : float;
+  active_rounds : int;
+  words_per_active_round : float;
   workers : Pool.worker_stat list;
 }
 
@@ -106,8 +108,15 @@ let run_job ?(jobs = 1) ?(profile = false) ?(sanitize = false) ~scale (job : Exp
               match result with Summary s -> acc + s.Scenario.rounds | Row _ -> acc)
             0 results
         in
+        let active_rounds =
+          Array.fold_left
+            (fun acc result ->
+              match result with Summary s -> acc + s.Scenario.active_rounds | Row _ -> acc)
+            0 results
+        in
+        let minor_words = g1.Gc.minor_words -. g0.Gc.minor_words in
         {
-          minor_words = g1.Gc.minor_words -. g0.Gc.minor_words;
+          minor_words;
           major_words = g1.Gc.major_words -. g0.Gc.major_words;
           promoted_words = g1.Gc.promoted_words -. g0.Gc.promoted_words;
           (* Process-lifetime peak, monotone across jobs of one process:
@@ -117,6 +126,13 @@ let run_job ?(jobs = 1) ?(profile = false) ?(sanitize = false) ~scale (job : Exp
           rounds_simulated;
           rounds_per_second =
             (if wall_seconds > 0.0 then float_of_int rounds_simulated /. wall_seconds else 0.0);
+          active_rounds;
+          (* Allocation rate of the hot loop: coordinator minor words over
+             transmission-carrying rounds (exact at --jobs 1, like the
+             other top-level deltas); [bench compare] gates this against
+             committed [max_words_per_active_round] ceilings. *)
+          words_per_active_round =
+            (if active_rounds > 0 then minor_words /. float_of_int active_rounds else 0.0);
           workers;
         })
       gc0
@@ -190,6 +206,8 @@ let json_of_profile p =
       ("top_heap_words", Json.Int p.top_heap_words);
       ("rounds_simulated", Json.Int p.rounds_simulated);
       ("rounds_per_second", Json.Float p.rounds_per_second);
+      ("active_rounds", Json.Int p.active_rounds);
+      ("words_per_active_round", Json.Float p.words_per_active_round);
       ("workers", Json.List (List.map json_of_worker p.workers));
     ]
 

@@ -17,6 +17,13 @@ type profile = {
           [bench compare] gates this against committed ceilings *)
   rounds_simulated : int;  (** engine rounds across the job's Grid trials *)
   rounds_per_second : float;  (** rounds_simulated / wall_seconds *)
+  active_rounds : int;
+      (** transmission-carrying engine rounds across the job's Grid trials
+          (mode-independent — see {!Engine.result}) *)
+  words_per_active_round : float;
+      (** [minor_words / active_rounds] (0 when no active rounds): the
+          hot-loop allocation rate that [bench compare] gates against
+          committed [max_words_per_active_round] ceilings *)
   workers : Pool.worker_stat list;
       (** one entry per pool domain: tasks run and exact per-domain
           {!Gc.quick_stat} deltas *)

@@ -22,6 +22,7 @@ type mode = [ `Dense | `Sparse | `Sharded of int ]
 
 type result = {
   rounds_used : int;
+  active_rounds : int;
   hit_cap : bool;
   delivered : Bitvec.t option array;
   completion_round : int array;
@@ -92,6 +93,11 @@ let run ?(mode : mode = `Sparse) ?rng ?(channel = Channel.ideal) ?stop_when ?(st
      reconstructed as r - 1 - last_tx (consecutive silent rounds ending at
      r - 1), and the same short-circuit order. *)
   let last_tx = ref (-1) in
+  (* Rounds with at least one transmission.  All three loops detect that
+     condition already (for the idle cut-off), so the count is
+     mode-independent; it is the denominator of the words/active-round
+     allocation gate. *)
+  let active_rounds = ref 0 in
   let idle_limit = match idle_stop with Some k -> k | None -> max_int in
   let has_idle_stop = idle_stop <> None in
   let check_stop r =
@@ -266,7 +272,11 @@ let run ?(mode : mode = `Sparse) ?rng ?(channel = Channel.ideal) ?stop_when ?(st
             active.(!k) <- active.(!n_active)
           | None -> incr k
         done;
-        if !anyone_transmitted then idle_rounds := 0 else incr idle_rounds;
+        if !anyone_transmitted then begin
+          idle_rounds := 0;
+          incr active_rounds
+        end
+        else incr idle_rounds;
         incr round
       done
     | `Sparse ->
@@ -389,7 +399,10 @@ let run ?(mode : mode = `Sparse) ?rng ?(channel = Channel.ideal) ?stop_when ?(st
           else if r = 0 then check_complete i 0
         done;
         reset_touched ();
-        if !any_tx then last_tx := r;
+        if !any_tx then begin
+          last_tx := r;
+          incr active_rounds
+        end;
         pre := !pre_next;
         pre_next := 0
       in
@@ -785,7 +798,10 @@ let run ?(mode : mode = `Sparse) ?rng ?(channel = Channel.ideal) ?stop_when ?(st
                 if t.any_tx then any := true;
                 p := !p + t.t_pending)
               tile_arr;
-            if !any then last_tx := r;
+            if !any then begin
+              last_tx := r;
+              incr active_rounds
+            end;
             pending := !p;
             if Shard.Team.failed team then stopping := true;
             incr round
@@ -814,6 +830,7 @@ let run ?(mode : mode = `Sparse) ?rng ?(channel = Channel.ideal) ?stop_when ?(st
     if tiles <= 1 then run_serial `Sparse else run_sharded tiles tile_of);
   {
     rounds_used = !round;
+    active_rounds = !active_rounds;
     hit_cap = !round >= cap && !pending > 0;
     delivered = Array.init n (fun i -> machines.(i).delivered ());
     completion_round;

@@ -65,6 +65,10 @@ type mode = [ `Dense | `Sparse | `Sharded of int ]
 
 type result = {
   rounds_used : int;  (** rounds executed before stopping *)
+  active_rounds : int;
+      (** rounds in which at least one machine transmitted; mode-independent
+          (the sparse loops skip only all-silent rounds), and the denominator
+          of the allocation-rate gate (minor words / active round) *)
   hit_cap : bool;  (** true when stopped by the round cap *)
   delivered : Bitvec.t option array;  (** per-node accepted message *)
   completion_round : int array;  (** first round with a delivery; -1 if none *)

@@ -1,0 +1,13 @@
+(* Fixture for the hot-path allocation analyzer (test_check): a fake
+   round function whose per-cell work boxes floats on two lines, builds a
+   closure and a throwaway list.  Linted under a custom root, never
+   built. *)
+
+let weight x y =
+  let p = x *. y in
+  p +. 1.0
+
+let process_round cells =
+  let scale = 2.0 in
+  let boxed = List.map (fun c -> weight c scale) cells in
+  List.length boxed

@@ -216,6 +216,87 @@ let test_compare_rejects_bad_files () =
         Alcotest.(check bool) "diagnostic mentions experiments" true
           (contains ~needle:"experiments" message))
 
+(* --- allocation-rate gate ------------------------------------------------- *)
+
+(* A results file with optional per-experiment words/active-round ceilings
+   and measured rates, for exercising the allocation gate in isolation. *)
+let alloc_results_file entries =
+  Json.Obj
+    [
+      ("schema", Json.String "securebit-bench/1");
+      ( "experiments",
+        Json.List
+          (List.map
+             (fun (id, seconds, ceiling, rate) ->
+               Json.Obj
+                 ([ ("id", Json.String id); ("wall_seconds", Json.Float seconds) ]
+                 @ (match ceiling with
+                   | Some c -> [ ("max_words_per_active_round", Json.Float c) ]
+                   | None -> [])
+                 @
+                 match rate with
+                 | Some r ->
+                   [ ("profile", Json.Obj [ ("words_per_active_round", Json.Float r) ]) ]
+                 | None -> []))
+             entries) );
+    ]
+
+let with_results_json json f =
+  let path = Filename.temp_file "securebit_bench" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Out_channel.with_open_text path (fun oc -> output_string oc (Json.to_string_pretty json));
+      f path)
+
+(* The acceptance bar for the dynamic half of the allocation gate: an
+   injected words/active-round regression over a committed ceiling must
+   fail the compare. *)
+let test_compare_alloc_gate () =
+  with_results_json
+    (alloc_results_file [ ("e1", 10.0, Some 1000.0, None) ])
+    (fun base ->
+      with_results_json
+        (alloc_results_file [ ("e1", 10.0, None, Some 1500.0) ])
+        (fun current ->
+          match Bench.compare_files ~base ~current () with
+          | Error m -> Alcotest.fail m
+          | Ok (report, failed) ->
+            Alcotest.(check bool) "injected allocation regression flagged" true failed;
+            Alcotest.(check bool) "report says OVER CEILING" true
+              (contains ~needle:"OVER CEILING" report));
+      with_results_json
+        (alloc_results_file [ ("e1", 10.0, None, Some 900.0) ])
+        (fun current ->
+          match Bench.compare_files ~base ~current () with
+          | Error m -> Alcotest.fail m
+          | Ok (report, failed) ->
+            Alcotest.(check bool) "within-ceiling rate passes" false failed;
+            Alcotest.(check bool) "report confirms the gate ran" true
+              (contains ~needle:"no allocation-rate ceilings exceeded" report));
+      (* A ceiling the current run did not measure warns, never fails. *)
+      with_results_json
+        (alloc_results_file [ ("e1", 10.0, None, None) ])
+        (fun current ->
+          match Bench.compare_files ~base ~current () with
+          | Error m -> Alcotest.fail m
+          | Ok (report, failed) ->
+            Alcotest.(check bool) "unmeasured ceiling is not a failure" false failed;
+            Alcotest.(check bool) "reported as not profiled" true
+              (contains ~needle:"not profiled" report)))
+
+let test_alloc_checks_semantics () =
+  let checks =
+    Bench.alloc_checks
+      ~ceilings:[ ("e1", 1000.0); ("e2", 500.0) ]
+      ~rates:[ ("e1", 1200.0) ]
+  in
+  Alcotest.(check int) "one check per committed ceiling" 2 (List.length checks);
+  Alcotest.(check bool) "measured rate over its ceiling" true
+    (Bench.alloc_exceeded (List.nth checks 0));
+  Alcotest.(check bool) "unmeasured ceiling not exceeded" false
+    (Bench.alloc_exceeded (List.nth checks 1))
+
 (* --- Runner byte-identity ------------------------------------------------- *)
 
 (* The acceptance bar for the parallel runner: the rendered table, the fits,
@@ -280,6 +361,11 @@ let test_profile_counters () =
     Alcotest.(check bool) "simulated some rounds" true (p.Runner.rounds_simulated > 0);
     Alcotest.(check bool) "rounds/s positive" true (p.Runner.rounds_per_second > 0.0);
     Alcotest.(check bool) "allocation observed" true (p.Runner.minor_words > 0.0);
+    Alcotest.(check bool) "active rounds counted" true (p.Runner.active_rounds > 0);
+    Alcotest.(check bool) "active rounds within simulated rounds" true
+      (p.Runner.active_rounds <= p.Runner.rounds_simulated);
+    Alcotest.(check bool) "words/active-round computed" true
+      (p.Runner.words_per_active_round > 0.0);
     match p.Runner.workers with
     | [ w ] ->
       Alcotest.(check int) "single coordinator worker at jobs=1" 0 w.Pool.domain_index;
@@ -345,6 +431,9 @@ let () =
           Alcotest.test_case "threshold and noise floor" `Quick test_compare_semantics;
           Alcotest.test_case "pairing" `Quick test_compare_pairing;
           Alcotest.test_case "bad files rejected" `Quick test_compare_rejects_bad_files;
+          Alcotest.test_case "injected words/active-round regression detected" `Quick
+            test_compare_alloc_gate;
+          Alcotest.test_case "allocation-check semantics" `Quick test_alloc_checks_semantics;
         ] );
       ( "runner",
         [

@@ -131,6 +131,7 @@ let test_experiment_aggregate () =
       correct_of_delivered = 1.0;
       correct_rate = rate;
       rounds;
+      active_rounds = rounds;
       hit_cap = false;
       total_broadcasts = 1000;
       mean_completion_round = 10.0;
