@@ -366,6 +366,14 @@ let lint_alloc_cmd =
       & info [ "inventory" ]
           ~doc:"Print the current inventory as JSON instead of diffing.  Always exits 0.")
   in
+  let sites_arg =
+    Arg.(
+      value & flag
+      & info [ "sites" ]
+          ~doc:
+            "Print every classified allocation site (file:line class root function) instead of \
+             diffing — the per-site audit trail behind an inventory count.  Always exits 0.")
+  in
   let seed_violation_arg =
     Arg.(
       value & flag
@@ -375,11 +383,18 @@ let lint_alloc_cmd =
              throwaway lists per round, diffed against an empty golden inventory, to demonstrate \
              the diagnostics.")
   in
-  let run json baseline write inventory seed_violation paths =
+  let run json baseline write inventory sites seed_violation paths =
     if seed_violation then
       alloc_report ~json
         ~files_count:(List.length Alloc_lint.seed_violation_files)
         ~baseline:"(empty golden)" (Alloc_lint.seed_violation ())
+    else if sites then
+      List.iter
+        (fun (s : Alloc_lint.site) ->
+          Printf.printf "%s:%d: %s %s %s\n" s.site_file s.site_line
+            (Alloc_lint.class_label s.site_class)
+            s.site_root s.site_fn)
+        (Alloc_lint.sites_paths paths)
     else if write || inventory then begin
       let inv = Alloc_lint.inventory_paths paths in
       let text = Json.to_string_pretty (Alloc_lint.json_of_inventory inv) in
@@ -407,8 +422,8 @@ let lint_alloc_cmd =
           error; count growth is a warning.  Pairs with the dynamic words/active-round gate in \
           `bench compare`.")
     Term.(
-      const run $ json_arg $ baseline_arg $ write_arg $ inventory_arg $ seed_violation_arg
-      $ paths_arg)
+      const run $ json_arg $ baseline_arg $ write_arg $ inventory_arg $ sites_arg
+      $ seed_violation_arg $ paths_arg)
 
 let lint_group =
   Cmd.group

@@ -16,6 +16,7 @@ let machine_of_predicate ?next_active pred ~budget =
   {
     Engine.act;
     observe = (fun _ _ -> ());
+    observe_packed = Some (fun _ _ _ -> ());
     delivered = (fun () -> None);
     next_active = budget_gated budget next;
   }

@@ -150,7 +150,7 @@ let assign_machines ~n ~source ~byzantine ~faults ~fake ~adversary_machine make 
       end
       else make i Role_relay)
 
-let run ?tap ?(mode = (`Sparse : Engine.mode)) ?tile_of ?topology spec =
+let run ?tap ?(mode = (`Sparse : Engine.mode)) ?tile_of ?topology ?(boxed = false) spec =
   let rng = Rng.create spec.seed in
   (* The split order is part of the deterministic contract: it must stay
      fixed — and the splits must happen — whether or not a prebuilt
@@ -276,6 +276,10 @@ let run ?tap ?(mode = (`Sparse : Engine.mode)) ?tile_of ?topology spec =
         Certified_propagation.cycle_rounds ctx,
         fun () -> Certified_propagation.progress ctx )
   in
+  (* [boxed] strips every packed observer so the engine exercises the
+     variant-observation bridge; the equivalence suite holds both paths
+     byte-identical. *)
+  let machines = if boxed then Array.map Engine.boxed_machine machines else machines in
   let waiters = Array.init n (fun i -> honest.(i) && i <> source) in
   (* Three silent schedule cycles mean the run is permanently stuck (one
      cycle can legitimately be silent under all-zero parity/data pairs). *)

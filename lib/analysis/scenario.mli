@@ -93,6 +93,7 @@ val run :
   ?mode:Engine.mode ->
   ?tile_of:int array ->
   ?topology:Topology.t ->
+  ?boxed:bool ->
   spec ->
   result
 (** [tap] is forwarded to {!Engine.run}: one digest per executed round.
@@ -105,7 +106,9 @@ val run :
     supplied topology instead: it must be the very topology this spec
     builds (campaign warm rounds reuse the cold round's); the rng split
     order is unchanged either way, so faults and channel draws are
-    identical. *)
+    identical.  [boxed] (default false) runs every machine through
+    {!Engine.boxed_machine}, disabling the packed observation fast path —
+    the equivalence suite holds packed and boxed runs byte-identical. *)
 
 val presets : (string * spec) list
 (** Named specs mirroring the bundled examples ([examples/<name>.ml]); the

@@ -136,6 +136,10 @@ val lint_paths :
 val inventory_paths :
   ?roots:(string * string list) list -> string list -> (string * (string * int) list) list
 
+val sites_paths : ?roots:(string * string list) list -> string list -> site list
+(** The individual classified sites behind {!inventory_paths}, allowlist
+    already applied — the per-site view for auditing a count change. *)
+
 val seed_violation_files : (string * string) list
 (** A fake hot module whose round function boxes floats, closes over a
     variable and builds throwaway lists. *)

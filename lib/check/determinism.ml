@@ -40,14 +40,14 @@ let diff (first : trace) (second : trace) =
   in
   go 0
 
-let capture_spec ?max_rounds ?mode ?tile_of spec =
+let capture_spec ?max_rounds ?mode ?tile_of ?boxed spec =
   let spec =
     match max_rounds with
     | Some cap -> { spec with Scenario.cap = min spec.Scenario.cap cap }
     | None -> spec
   in
   let tap, finish = collector () in
-  let result = Scenario.run ~tap ?mode ?tile_of spec in
+  let result = Scenario.run ~tap ?mode ?tile_of ?boxed spec in
   (finish (), result)
 
 let check_spec ?max_rounds ?mode spec =

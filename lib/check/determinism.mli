@@ -25,13 +25,20 @@ type outcome = Deterministic of { rounds : int } | Diverged of divergence
 val diff : trace -> trace -> outcome
 
 val capture_spec :
-  ?max_rounds:int -> ?mode:Engine.mode -> ?tile_of:int array -> Scenario.spec -> trace * Scenario.result
+  ?max_rounds:int ->
+  ?mode:Engine.mode ->
+  ?tile_of:int array ->
+  ?boxed:bool ->
+  Scenario.spec ->
+  trace * Scenario.result
 (** One traced run.  [max_rounds] lowers the round cap so that checking
     stays cheap on large scenarios.  [mode] picks the engine loop
     (default sparse); rounds the sparse loop skips appear in the trace as
     all-silent digests, so traces are comparable across modes.  [tile_of]
     overrides the sharded modes' tile assignment (forwarded to
-    {!Scenario.run}), for properties quantifying over partitions. *)
+    {!Scenario.run}), for properties quantifying over partitions.
+    [boxed] disables the machines' packed observation fast path
+    (forwarded to {!Scenario.run}), for packed-vs-variant equivalence. *)
 
 val check_spec : ?max_rounds:int -> ?mode:Engine.mode -> Scenario.spec -> outcome
 (** Two traced runs of the same spec, diffed. *)

@@ -269,7 +269,9 @@ let check_neighbor_watch ?(impl = nw_reference) ~votes ~radius:r () =
     let vote = impl.nw_create ~votes in
     let square_streams = List.init 3 (fun k -> V.stream (V.Sq k)) in
     let src_stream = Option.map (fun _ -> V.stream V.Src) src in
-    let all = (match src_stream with Some st -> [ st ] | None -> []) @ square_streams in
+    let all =
+      Array.of_list ((match src_stream with Some st -> [ st ] | None -> []) @ square_streams)
+    in
     let shadow =
       (match (src_stream, src) with
       | Some st, Some content -> [ (st, true, Array.of_list content, ref 0) ]

@@ -16,6 +16,9 @@ type state = {
   peer_by_slot : Node.id option array;  (** listening slot -> decodable peer *)
   mutable committed : Bitvec.t option;
   mutable sent : int;
+  mutable packet : Msg.t Engine.action;
+      (** the [Transmit] action, allocated once at commitment; [Silent]
+          until then *)
   mutable vouches : (string * Node.id list) list;
       (** candidate value -> distinct vouching neighbours *)
 }
@@ -74,12 +77,23 @@ let machine ctx id role =
       peer_by_slot;
       committed = (match role with Source m | Liar m -> Some m | Relay -> None);
       sent = 0;
+      packet = Engine.Silent;
       vouches = [];
     }
   in
+  (match s.committed with
+  | Some m -> s.packet <- Engine.Transmit (Msg.Packet m)
+  | None -> ());
   Hashtbl.replace ctx.states id s;
   let slot_rounds = ctx.config.slot_rounds in
-  let commit value = if s.committed = None then s.committed <- Some value in
+  let cyc = cycle ctx in
+  let repeats = ctx.config.repeats in
+  let commit value =
+    if s.committed = None then begin
+      s.committed <- Some value;
+      s.packet <- Engine.Transmit (Msg.Packet value)
+    end
+  in
   let vouch voucher value =
     let key = Bitvec.to_string value in
     let entry = match List.assoc_opt key s.vouches with Some e -> e | None -> [] in
@@ -90,19 +104,22 @@ let machine ctx id role =
     end
   in
   let act round =
-    let slot = round / slot_rounds mod cycle ctx in
-    let in_slot = round mod slot_rounds = 0 in
-    match s.committed with
-    | Some value when in_slot && slot = s.my_slot && s.sent < ctx.config.repeats ->
-      s.sent <- s.sent + 1;
-      Engine.Transmit (Msg.Packet value)
-    | Some _ | None -> Engine.Silent
+    match s.packet with
+    | Engine.Silent -> Engine.Silent
+    | Engine.Transmit _ as tx ->
+      if
+        round mod slot_rounds = 0
+        && round / slot_rounds mod cyc = s.my_slot
+        && s.sent < repeats
+      then begin
+        s.sent <- s.sent + 1;
+        tx
+      end
+      else Engine.Silent
   in
-  let observe round obs =
-    match obs with
-    | Channel.Clear (Msg.Packet value)
-      when (not s.is_liar) && s.committed = None && round mod slot_rounds = 0 -> begin
-      let slot = round / slot_rounds mod cycle ctx in
+  let on_clear round value =
+    if (not s.is_liar) && s.committed = None && round mod slot_rounds = 0 then begin
+      let slot = round / slot_rounds mod cyc in
       (* Attribute by slot ownership; a packet in a slot none of my
          decodable neighbours owns is spoofed air and carries no
          authentication, so it is dropped. *)
@@ -111,7 +128,18 @@ let machine ctx id role =
       | Some p -> vouch p value
       | None -> ()
     end
-    | Channel.Clear (Msg.Packet _ | Msg.Blip) | Channel.Silence | Channel.Busy -> ()
+  in
+  let observe round obs =
+    match obs with
+    | Channel.Clear (Msg.Packet value) -> on_clear round value
+    | Channel.Clear Msg.Blip | Channel.Silence | Channel.Busy -> ()
+  in
+  let observe_packed round code slots =
+    if Channel.Packed.is_clear code then begin
+      match slots.Engine.payloads.(Channel.Packed.slot code) with
+      | Msg.Packet value -> on_clear round value
+      | Msg.Blip -> ()
+    end
   in
   (* Wakeup contract, mirroring Epidemic: an uncommitted node has nothing
      scheduled (receptions always arrive through the engine's touched set,
@@ -122,15 +150,20 @@ let machine ctx id role =
     match s.committed with
     | None -> max_int
     | Some _ ->
-      if s.sent >= ctx.config.repeats then max_int
+      if s.sent >= repeats then max_int
       else begin
-        let cyc = cycle ctx in
         let q = (round + slot_rounds - 1) / slot_rounds in
         let j = q + ((((s.my_slot - q) mod cyc) + cyc) mod cyc) in
         j * slot_rounds
       end
   in
-  { Engine.act; observe; delivered = (fun () -> s.committed); next_active }
+  {
+    Engine.act;
+    observe;
+    observe_packed = Some observe_packed;
+    delivered = (fun () -> s.committed);
+    next_active;
+  }
 
 (* --- synchronous reference baseline ----------------------------------- *)
 

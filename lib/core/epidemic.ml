@@ -12,6 +12,9 @@ and state = {
   my_slot : int;
   mutable have : Bitvec.t option;
   mutable sent : int;
+  mutable packet : Msg.t Engine.action;
+      (** the [Transmit] action, allocated once at adoption; [Silent] until
+          the node has the message *)
 }
 
 let make_ctx config ~topology ~source =
@@ -36,25 +39,47 @@ let machine ctx id role =
       my_slot = Schedule.slot_of ctx.schedule id;
       have = (match role with Source m | Liar m -> Some m | Relay -> None);
       sent = 0;
+      packet = Engine.Silent;
     }
   in
+  (match s.have with Some m -> s.packet <- Engine.Transmit (Msg.Packet m) | None -> ());
   Hashtbl.replace ctx.states id s;
   let slot_rounds = ctx.config.slot_rounds in
+  let cyc = cycle ctx in
+  let repeats = ctx.config.repeats in
+  let adopt message =
+    if s.have = None then begin
+      s.have <- Some message;
+      s.packet <- Engine.Transmit (Msg.Packet message)
+    end
+  in
   let act round =
     (* The packet occupies a whole slot; it goes on the air in the slot's
        first round. *)
-    let slot = round / slot_rounds mod cycle ctx in
-    let in_slot = round mod slot_rounds = 0 in
-    match s.have with
-    | Some message when in_slot && slot = s.my_slot && s.sent < ctx.config.repeats ->
-      s.sent <- s.sent + 1;
-      Engine.Transmit (Msg.Packet message)
-    | Some _ | None -> Engine.Silent
+    match s.packet with
+    | Engine.Silent -> Engine.Silent
+    | Engine.Transmit _ as tx ->
+      if
+        round mod slot_rounds = 0
+        && round / slot_rounds mod cyc = s.my_slot
+        && s.sent < repeats
+      then begin
+        s.sent <- s.sent + 1;
+        tx
+      end
+      else Engine.Silent
   in
   let observe _round obs =
     match obs with
-    | Channel.Clear (Msg.Packet message) -> if s.have = None then s.have <- Some message
+    | Channel.Clear (Msg.Packet message) -> adopt message
     | Channel.Clear Msg.Blip | Channel.Silence | Channel.Busy -> ()
+  in
+  let observe_packed _round code slots =
+    if Channel.Packed.is_clear code then begin
+      match slots.Engine.payloads.(Channel.Packed.slot code) with
+      | Msg.Packet message -> adopt message
+      | Msg.Blip -> ()
+    end
   in
   (* Wakeup contract: nothing to do until the packet arrives (reception
      happens through the engine's touched set, which re-queries this after
@@ -64,12 +89,17 @@ let machine ctx id role =
     match s.have with
     | None -> max_int
     | Some _ ->
-      if s.sent >= ctx.config.repeats then max_int
+      if s.sent >= repeats then max_int
       else begin
-        let cyc = cycle ctx in
         let q = (round + slot_rounds - 1) / slot_rounds in
         let j = q + ((((s.my_slot - q) mod cyc) + cyc) mod cyc) in
         j * slot_rounds
       end
   in
-  { Engine.act; observe; delivered = (fun () -> s.have); next_active }
+  {
+    Engine.act;
+    observe;
+    observe_packed = Some observe_packed;
+    delivered = (fun () -> s.have);
+    next_active;
+  }

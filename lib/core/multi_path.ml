@@ -17,11 +17,13 @@ type peer = {
   mutable poisoned : bool;  (** an invalid frame appeared: stop parsing *)
 }
 
-type role_state =
-  | Idle
-  | Sending of Two_bit.Sender.t
-  | Blocking of Two_bit.Blocker.t
-  | Receiving of peer * Two_bit.Receiver.t
+(* Interval roles as int codes over preallocated sub-machines: the role
+   switch at an interval boundary re-arms the machine's own 2Bit state in
+   place instead of boxing a fresh (role, sub-machine) pair. *)
+let role_idle = 0
+let role_sending = 1
+let role_blocking = 2
+let role_receiving = 3
 
 type state = {
   pos : Point.t;
@@ -35,7 +37,11 @@ type state = {
   source_bits : Buffer.t;  (** bits received directly from the source *)
   heard_relayed : int array;
   enqueue_commits : bool;  (** sources stream SOURCE frames instead *)
-  mutable role : role_state;
+  mutable role : int;  (** one of the [role_*] codes *)
+  tb_sender : Two_bit.Sender.t;
+  tb_blocker : Two_bit.Blocker.t;
+  tb_receiver : Two_bit.Receiver.t;
+  mutable rx_peer : peer option;  (** the peer listened to while receiving *)
   mutable cur_interval : int;
 }
 
@@ -170,62 +176,69 @@ let parse_frames ctx s peer =
 let setup_interval ctx s interval =
   s.cur_interval <- interval;
   let slot = Schedule.active_slot ctx.schedule ~interval in
-  s.role <-
-    (if slot = s.my_slot then begin
-       if One_hop.Sender.has_current s.sender then begin
-         let parity, data = One_hop.Sender.current s.sender in
-         Sending (Two_bit.Sender.create ~b1:parity ~b2:data)
-       end
-       else Blocking (Two_bit.Blocker.create ())
-     end
-     else begin
-       match s.peer_by_slot.(slot) with
-       | Some peer -> Receiving (peer, Two_bit.Receiver.create ())
-       | None -> Idle
-     end)
+  if slot = s.my_slot then begin
+    if One_hop.Sender.has_current s.sender then begin
+      s.role <- role_sending;
+      Two_bit.Sender.reset s.tb_sender
+        ~b1:(One_hop.Sender.current_parity s.sender)
+        ~b2:(One_hop.Sender.current_data s.sender)
+    end
+    else begin
+      s.role <- role_blocking;
+      Two_bit.Blocker.reset s.tb_blocker
+    end
+  end
+  else begin
+    match s.peer_by_slot.(slot) with
+    | Some _ as p ->
+      s.role <- role_receiving;
+      s.rx_peer <- p;
+      Two_bit.Receiver.reset s.tb_receiver
+    | None -> s.role <- role_idle
+  end
 
 let finish_interval ctx s =
-  match s.role with
-  | Sending sender -> begin
-    match Two_bit.Sender.outcome sender with
+  if s.role = role_sending then begin
+    match Two_bit.Sender.outcome s.tb_sender with
     | Some Two_bit.Success -> One_hop.Sender.advance s.sender
     | Some Two_bit.Failure | None -> ()
   end
-  | Receiving (peer, receiver) -> begin
-    match Two_bit.Receiver.outcome receiver with
-    | Some (Two_bit.Success, (parity, data)) ->
-      One_hop.Receiver.push_two_bit peer.stream ~parity ~data;
-      parse_frames ctx s peer
-    | Some (Two_bit.Failure, _) | None -> ()
+  else if s.role = role_receiving then begin
+    let r = s.tb_receiver in
+    if Two_bit.Receiver.finished r && not (Two_bit.Receiver.veto_seen r) then begin
+      match s.rx_peer with
+      | Some peer ->
+        One_hop.Receiver.push_two_bit peer.stream ~parity:(Two_bit.Receiver.bit1 r)
+          ~data:(Two_bit.Receiver.bit2 r);
+        parse_frames ctx s peer
+      | None -> ()
+    end
   end
-  | Idle | Blocking _ -> ()
+
+let tx_blip = Engine.Transmit Msg.Blip
 
 let act ctx s round =
   let interval = Schedule.interval_of_round round in
   let phase = Schedule.phase_of_round round in
   if interval <> s.cur_interval then setup_interval ctx s interval;
   let transmit =
-    match s.role with
-    | Idle -> false
-    | Sending sender -> Two_bit.Sender.act sender ~phase
-    | Blocking blocker -> Two_bit.Blocker.act blocker ~phase
-    | Receiving (_, receiver) -> Two_bit.Receiver.act receiver ~phase
+    if s.role = role_sending then Two_bit.Sender.act s.tb_sender ~phase
+    else if s.role = role_receiving then Two_bit.Receiver.act s.tb_receiver ~phase
+    else if s.role = role_blocking then Two_bit.Blocker.act s.tb_blocker ~phase
+    else false
   in
-  if transmit then Engine.Transmit Msg.Blip else Engine.Silent
+  if transmit then tx_blip else Engine.Silent
 
-let observe ctx s round obs =
+let observe_activity ctx s round activity =
   let interval = Schedule.interval_of_round round in
   let phase = Schedule.phase_of_round round in
   if interval <> s.cur_interval then setup_interval ctx s interval;
-  let activity = Channel.is_activity obs in
-  begin
-    match s.role with
-    | Idle -> ()
-    | Sending sender -> Two_bit.Sender.observe sender ~phase ~activity
-    | Blocking blocker -> Two_bit.Blocker.observe blocker ~phase ~activity
-    | Receiving (_, receiver) -> Two_bit.Receiver.observe receiver ~phase ~activity
-  end;
+  if s.role = role_sending then Two_bit.Sender.observe s.tb_sender ~phase ~activity
+  else if s.role = role_receiving then Two_bit.Receiver.observe s.tb_receiver ~phase ~activity
+  else if s.role = role_blocking then Two_bit.Blocker.observe s.tb_blocker ~phase ~activity;
   if phase = Schedule.rounds_per_interval - 1 then finish_interval ctx s
+
+let observe ctx s round obs = observe_activity ctx s round (Channel.is_activity obs)
 
 let delivered ctx s =
   if committed_len s >= ctx.config.msg_len then
@@ -280,7 +293,11 @@ let machine ctx id role =
       source_bits = Buffer.create 16;
       heard_relayed = Array.make config.msg_len 0;
       enqueue_commits = (match role with Source _ -> false | Relay | Liar _ -> true);
-      role = Idle;
+      role = role_idle;
+      tb_sender = Two_bit.Sender.create ~b1:false ~b2:false;
+      tb_blocker = Two_bit.Blocker.create ();
+      tb_receiver = Two_bit.Receiver.create ();
+      rx_peer = None;
       cur_interval = -1;
     }
   in
@@ -302,6 +319,10 @@ let machine ctx id role =
   {
     Engine.act = (fun round -> act ctx s round);
     observe = (fun round obs -> observe ctx s round obs);
+    observe_packed =
+      Some
+        (fun round code _slots ->
+          observe_activity ctx s round (Channel.Packed.is_activity code));
     delivered = (fun () -> delivered ctx s);
     next_active;
   }

@@ -93,20 +93,20 @@ module Vote = struct
       Voting.Tally.reset t.tally;
       t.src_vote <- None
     end;
-    List.iter
-      (fun st ->
-        if st.counted <> c then begin
-          advance_agreement ~committed st;
-          if (not st.disagrees) && st.agreed = c && One_hop.Receiver.received st.receiver > c
-          then begin
-            st.counted <- c;
-            let v = One_hop.Receiver.get st.receiver c in
-            match st.provider with
-            | Src -> t.src_vote <- Some v
-            | Sq _ -> Voting.Tally.add t.tally v
-          end
-        end)
-      streams;
+    for k = 0 to Array.length streams - 1 do
+      let st = streams.(k) in
+      if st.counted <> c then begin
+        advance_agreement ~committed st;
+        if (not st.disagrees) && st.agreed = c && One_hop.Receiver.received st.receiver > c
+        then begin
+          st.counted <- c;
+          let v = One_hop.Receiver.get st.receiver c in
+          match st.provider with
+          | Src -> t.src_vote <- Some v
+          | Sq _ -> Voting.Tally.add t.tally v
+        end
+      end
+    done;
     match t.src_vote with
     (* Direct reception from the source is authenticated by Theorem 2
        and needs no corroboration, whatever the voting threshold. *)
@@ -117,12 +117,15 @@ module Vote = struct
       else None
 end
 
-type role_state =
-  | Idle
-  | Sending of Two_bit.Sender.t * bool  (** 2Bit sender and the parity bit *)
-  | Blocking of Two_bit.Blocker.t
-  | Receiving of Vote.stream * Two_bit.Receiver.t
-  | Passive  (** catch-up fired: stay silent for the rest of the interval *)
+(* Interval roles as int codes over preallocated sub-machines (see
+   Multi_path for the same pattern): the role switch at an interval
+   boundary re-arms 2Bit state in place instead of boxing a fresh
+   (role, sub-machine) pair. *)
+let role_idle = 0
+let role_sending = 1
+let role_blocking = 2
+let role_receiving = 3
+let role_passive = 4  (* catch-up fired: stay silent for the rest of the interval *)
 
 type state = {
   my_slot : int;
@@ -130,14 +133,20 @@ type state = {
   listen_by_slot : Vote.stream option array;  (** slot -> provider stream, O(1) *)
   committed : Buffer.t;  (** '0'/'1' chars *)
   mutable sender : One_hop.Sender.t;
-  streams : Vote.stream list;
+  streams : Vote.stream array;
   vote : Vote.t;  (** the frontier tally (see {!Vote}) *)
-  mutable role : role_state;
+  mutable role : int;  (** one of the [role_*] codes *)
+  tb_sender : Two_bit.Sender.t;
+  tb_blocker : Two_bit.Blocker.t;
+  tb_receiver : Two_bit.Receiver.t;
+  mutable send_parity : bool;  (** the parity bit of the current 2Bit send *)
+  mutable rx_stream : Vote.stream option;  (** stream listened to while receiving *)
   mutable cur_interval : int;
   mutable failures : int;
-  mutable liar_attempts : int option;
-      (** [Some k]: a lying device that will abandon its fake message and
-          fall back to honest relaying after [k] more vetoed exchanges.
+  mutable liar_attempts : int;
+      (** [> 0]: a lying device that will abandon its fake message and
+          fall back to honest relaying after that many more vetoed
+          exchanges; [0]: honest (or a liar that has given up).
           The paper's liars "appear correct": a square's honest watch
           detects and vetoes the injection, after which a rational liar
           stops burning budget on a detected attack (otherwise it is just a
@@ -211,45 +220,48 @@ let setup_interval ctx s interval =
     if s.is_source then slot = Schedule.source_slot
     else slot = s.my_slot
   in
-  s.role <-
-    (if sending_here then begin
-       if One_hop.Sender.has_current s.sender then begin
-         let parity, data = One_hop.Sender.current s.sender in
-         Sending (Two_bit.Sender.create ~b1:parity ~b2:data, parity)
-       end
-       else Blocking (Two_bit.Blocker.create ())
-     end
-     else begin
-       match s.listen_by_slot.(slot) with
-       | Some stream -> Receiving (stream, Two_bit.Receiver.create ())
-       | None -> Idle
-     end)
+  if sending_here then begin
+    if One_hop.Sender.has_current s.sender then begin
+      let parity = One_hop.Sender.current_parity s.sender in
+      s.role <- role_sending;
+      s.send_parity <- parity;
+      Two_bit.Sender.reset s.tb_sender ~b1:parity ~b2:(One_hop.Sender.current_data s.sender)
+    end
+    else begin
+      s.role <- role_blocking;
+      Two_bit.Blocker.reset s.tb_blocker
+    end
+  end
+  else begin
+    match s.listen_by_slot.(slot) with
+    | Some _ as stream ->
+      s.role <- role_receiving;
+      s.rx_stream <- stream;
+      Two_bit.Receiver.reset s.tb_receiver
+    | None -> s.role <- role_idle
+  end
 
 (* A detected liar abandons the fake and relays honestly from scratch.  The
    committed prefix restarts, so every stream's agreement state restarts
    with it. *)
 let liar_give_up s =
-  s.liar_attempts <- None;
+  s.liar_attempts <- 0;
   Buffer.clear s.committed;
   s.sender <- One_hop.Sender.create ();
   s.failures <- 0;
-  List.iter Vote.reset_stream s.streams;
+  Array.iter Vote.reset_stream s.streams;
   Vote.reset s.vote;
   try_commit s
 
 let finish_interval s =
-  match s.role with
-  | Sending (sender, _) -> begin
-    match Two_bit.Sender.outcome sender with
+  if s.role = role_sending then begin
+    match Two_bit.Sender.outcome s.tb_sender with
     | Some Two_bit.Success ->
       One_hop.Sender.advance s.sender;
       s.failures <- 0
-    | Some Two_bit.Failure when s.liar_attempts <> None -> begin
-      match s.liar_attempts with
-      | Some k when k <= 1 -> liar_give_up s
-      | Some k -> s.liar_attempts <- Some (k - 1)
-      | None -> assert false
-    end
+    | Some Two_bit.Failure when s.liar_attempts > 0 ->
+      if s.liar_attempts <= 1 then liar_give_up s
+      else s.liar_attempts <- s.liar_attempts - 1
     | Some Two_bit.Failure ->
       s.failures <- s.failures + 1;
       (* Square catch-up, trigger 2: persistently failing on bit [i] while
@@ -264,52 +276,54 @@ let finish_interval s =
       end
     | None -> ()
   end
-  | Receiving (stream, receiver) -> begin
-    match Two_bit.Receiver.outcome receiver with
-    | Some (Two_bit.Success, (parity, data)) ->
-      One_hop.Receiver.push_two_bit (Vote.receiver stream) ~parity ~data;
-      try_commit s
-    | Some (Two_bit.Failure, _) | None -> ()
+  else if s.role = role_receiving then begin
+    let r = s.tb_receiver in
+    if Two_bit.Receiver.finished r && not (Two_bit.Receiver.veto_seen r) then begin
+      match s.rx_stream with
+      | Some stream ->
+        One_hop.Receiver.push_two_bit (Vote.receiver stream)
+          ~parity:(Two_bit.Receiver.bit1 r) ~data:(Two_bit.Receiver.bit2 r);
+        try_commit s
+      | None -> ()
+    end
   end
-  | Idle | Blocking _ | Passive -> ()
+
+let tx_blip = Engine.Transmit Msg.Blip
 
 let act ctx s round =
   let interval = Schedule.interval_of_round round in
   let phase = Schedule.phase_of_round round in
   if interval <> s.cur_interval then setup_interval ctx s interval;
   let transmit =
-    match s.role with
-    | Idle | Passive -> false
-    | Sending (sender, _) -> Two_bit.Sender.act sender ~phase
-    | Blocking blocker -> Two_bit.Blocker.act blocker ~phase
-    | Receiving (_, receiver) -> Two_bit.Receiver.act receiver ~phase
+    if s.role = role_sending then Two_bit.Sender.act s.tb_sender ~phase
+    else if s.role = role_receiving then Two_bit.Receiver.act s.tb_receiver ~phase
+    else if s.role = role_blocking then Two_bit.Blocker.act s.tb_blocker ~phase
+    else false
   in
-  if transmit then Engine.Transmit Msg.Blip else Engine.Silent
+  if transmit then tx_blip else Engine.Silent
 
-let observe ctx s round obs =
+let observe_activity ctx s round activity =
   let interval = Schedule.interval_of_round round in
   let phase = Schedule.phase_of_round round in
   if interval <> s.cur_interval then setup_interval ctx s interval;
-  let activity = Channel.is_activity obs in
-  begin
-    match s.role with
-    | Idle | Passive -> ()
-    | Sending (sender, parity) ->
-      (* Square catch-up, trigger 1: silent in the parity round but heard
-         parity activity, and the next bit is already committed — the rest
-         of the square is one bit ahead; join them. *)
-      if phase = 0 && (not parity) && activity
-         && One_hop.Sender.total s.sender > One_hop.Sender.sent s.sender + 1
-      then begin
-        One_hop.Sender.skip_to s.sender (One_hop.Sender.sent s.sender + 1);
-        s.failures <- 0;
-        s.role <- Passive
-      end
-      else Two_bit.Sender.observe sender ~phase ~activity
-    | Blocking blocker -> Two_bit.Blocker.observe blocker ~phase ~activity
-    | Receiving (_, receiver) -> Two_bit.Receiver.observe receiver ~phase ~activity
-  end;
+  if s.role = role_sending then begin
+    (* Square catch-up, trigger 1: silent in the parity round but heard
+       parity activity, and the next bit is already committed — the rest
+       of the square is one bit ahead; join them. *)
+    if phase = 0 && (not s.send_parity) && activity
+       && One_hop.Sender.total s.sender > One_hop.Sender.sent s.sender + 1
+    then begin
+      One_hop.Sender.skip_to s.sender (One_hop.Sender.sent s.sender + 1);
+      s.failures <- 0;
+      s.role <- role_passive
+    end
+    else Two_bit.Sender.observe s.tb_sender ~phase ~activity
+  end
+  else if s.role = role_receiving then Two_bit.Receiver.observe s.tb_receiver ~phase ~activity
+  else if s.role = role_blocking then Two_bit.Blocker.observe s.tb_blocker ~phase ~activity;
   if phase = Schedule.rounds_per_interval - 1 then finish_interval s
+
+let observe ctx s round obs = observe_activity ctx s round (Channel.is_activity obs)
 
 (* --- construction ---------------------------------------------------- *)
 
@@ -330,6 +344,7 @@ let machine ?initial_commit ctx id role =
     else squares_listen
   in
   let streams = List.map (fun (_, provider) -> Vote.stream provider) listen in
+  let stream_arr = Array.of_list streams in
   (* Adjacent squares of one 3x3 block get pairwise-distinct slots (the
      schedule's reuse distance k >= 3), so slot -> stream is injective. *)
   let listen_by_slot = Array.make (Schedule.cycle ctx.schedule) None in
@@ -355,12 +370,17 @@ let machine ?initial_commit ctx id role =
       listen_by_slot;
       committed = Buffer.create 16;
       sender = One_hop.Sender.create ();
-      streams;
+      streams = stream_arr;
       vote = Vote.create ~votes:config.votes;
-      role = Idle;
+      role = role_idle;
+      tb_sender = Two_bit.Sender.create ~b1:false ~b2:false;
+      tb_blocker = Two_bit.Blocker.create ();
+      tb_receiver = Two_bit.Receiver.create ();
+      send_parity = false;
+      rx_stream = None;
       cur_interval = -1;
       failures = 0;
-      liar_attempts = (match role with Liar _ -> Some 3 | Source _ | Relay -> None);
+      liar_attempts = (match role with Liar _ -> 3 | Source _ | Relay -> 0);
       msg_len = config.msg_len;
       catchup_failures = config.catchup_failures;
       pipelined = config.pipelined;
@@ -385,6 +405,10 @@ let machine ?initial_commit ctx id role =
   {
     Engine.act = (fun round -> act ctx s round);
     observe = (fun round obs -> observe ctx s round obs);
+    observe_packed =
+      Some
+        (fun round code _slots ->
+          observe_activity ctx s round (Channel.Packed.is_activity code));
     delivered = (fun () -> delivered s);
     next_active;
   }
@@ -397,7 +421,7 @@ let committed_bits ctx id =
 let progress ctx =
   Hashtbl.fold
     (fun _ s acc ->
-      List.fold_left
+      Array.fold_left
         (fun acc st -> acc + One_hop.Receiver.received (Vote.receiver st))
         (acc + committed_len s) s.streams)
     ctx.states 0

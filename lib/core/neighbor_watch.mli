@@ -86,7 +86,7 @@ module Vote : sig
   val votes : t -> int
   val reset : t -> unit
 
-  val poll : t -> committed:Buffer.t -> stream list -> bool option
+  val poll : t -> committed:Buffer.t -> stream array -> bool option
   (** One frontier decision at [Buffer.length committed]: advance every
       stream's agreement pointer, tally candidate streams' frontier bits
       (each at most once per frontier), and return [Some bit] when the

@@ -14,6 +14,15 @@ module Sender = struct
     assert (has_current t);
     (parity_of_index t.pointer, Buffer.nth t.queue t.pointer = '1')
 
+  (* Tuple-free projections of [current] for the engine hot path. *)
+  let current_parity t =
+    assert (has_current t);
+    parity_of_index t.pointer
+
+  let current_data t =
+    assert (has_current t);
+    Buffer.nth t.queue t.pointer = '1'
+
   let advance t = if has_current t then t.pointer <- t.pointer + 1
   let skip_to t n = if n > t.pointer then t.pointer <- min n (total t)
   let sent t = t.pointer

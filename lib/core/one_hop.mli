@@ -35,6 +35,10 @@ module Sender : sig
   val current : t -> bool * bool
   (** [(parity, data)] of the current bit; requires [has_current]. *)
 
+  val current_parity : t -> bool
+  val current_data : t -> bool
+  (** Tuple-free projections of [current] for per-interval callers. *)
+
   val advance : t -> unit
   (** The current bit's 2Bit exchange succeeded. *)
 

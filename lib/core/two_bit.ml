@@ -2,8 +2,8 @@ type outcome = Success | Failure
 
 module Sender = struct
   type t = {
-    b1 : bool;
-    b2 : bool;
+    mutable b1 : bool;
+    mutable b2 : bool;
     mutable ack1 : bool;
     mutable ack2 : bool;
     mutable veto_sent : bool;
@@ -12,6 +12,16 @@ module Sender = struct
 
   let create ~b1 ~b2 =
     { b1; b2; ack1 = false; ack2 = false; veto_sent = false; result = None }
+
+  (* In-place re-arm for a new interval: callers keep one sender per machine
+     instead of allocating one per interval. *)
+  let reset t ~b1 ~b2 =
+    t.b1 <- b1;
+    t.b2 <- b2;
+    t.ack1 <- false;
+    t.ack2 <- false;
+    t.veto_sent <- false;
+    t.result <- None
 
   let mismatch t = t.ack1 <> t.b1 || t.ack2 <> t.b2
 
@@ -70,12 +80,26 @@ module Receiver = struct
     if not t.done_ then None
     else if t.veto_seen then Some (Failure, (t.act1, t.act2))
     else Some (Success, (t.act1, t.act2))
+
+  (* Flat accessors for the engine hot path: everything [outcome] reports,
+     without boxing an option of tuples per poll. *)
+  let finished t = t.done_
+  let veto_seen t = t.veto_seen
+  let bit1 t = t.act1
+  let bit2 t = t.act2
+
+  let reset t =
+    t.act1 <- false;
+    t.act2 <- false;
+    t.veto_seen <- false;
+    t.done_ <- false
 end
 
 module Blocker = struct
   type t = { mutable saw_data : bool }
 
   let create () = { saw_data = false }
+  let reset t = t.saw_data <- false
 
   let act t ~phase =
     match phase with

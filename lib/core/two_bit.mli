@@ -30,6 +30,10 @@ module Sender : sig
   type t
 
   val create : b1:bool -> b2:bool -> t
+  val reset : t -> b1:bool -> b2:bool -> unit
+  (** In-place re-arm for a new interval, so one sender per machine can be
+      reused instead of allocating one per interval. *)
+
   val act : t -> phase:int -> bool
   (** Whether to transmit in this phase (phases are 0–5). *)
 
@@ -51,12 +55,25 @@ module Receiver : sig
   val outcome : t -> (outcome * (bool * bool)) option
   (** Available after phase 4 has been observed: the result and the
       estimates of [(b1, b2)]. *)
+
+  (** Flat projections of [outcome] for per-round callers — no boxing. *)
+
+  val finished : t -> bool
+  (** Phase 4 has been observed. *)
+
+  val veto_seen : t -> bool
+  val bit1 : t -> bool
+  val bit2 : t -> bool
+
+  val reset : t -> unit
+  (** In-place re-arm for a new interval. *)
 end
 
 module Blocker : sig
   type t
 
   val create : unit -> t
+  val reset : t -> unit
   val act : t -> phase:int -> bool
   val observe : t -> phase:int -> activity:bool -> unit
 

@@ -8,31 +8,59 @@ let distinct_origins ~value items =
     items;
   Hashtbl.length seen
 
-let count_in_window items ~x0 ~y0 ~size =
-  let inside (p : Point.t) =
-    p.x >= x0 -. 1e-9 && p.x <= x0 +. size +. 1e-9 && p.y >= y0 -. 1e-9
-    && p.y <= y0 +. size +. 1e-9
-  in
-  let seen = Hashtbl.create 16 in
-  List.iter
-    (fun item ->
-      if (not (Hashtbl.mem seen item.origin)) && List.for_all inside item.points then
-        Hashtbl.replace seen item.origin ())
-    items;
-  Hashtbl.length seen
+let window_inside ~x0 ~y0 ~size (p : Point.t) =
+  p.x >= x0 -. 1e-9 && p.x <= x0 +. size +. 1e-9 && p.y >= y0 -. 1e-9
+  && p.y <= y0 +. size +. 1e-9
+
+let rec all_inside ~x0 ~y0 ~size points =
+  match points with
+  | [] -> true
+  | p :: rest -> window_inside ~x0 ~y0 ~size p && all_inside ~x0 ~y0 ~size rest
+
+let rec tally_window seen items ~x0 ~y0 ~size =
+  match items with
+  | [] -> Hashtbl.length seen
+  | item :: rest ->
+    if (not (Hashtbl.mem seen item.origin)) && all_inside ~x0 ~y0 ~size item.points then
+      Hashtbl.replace seen item.origin ();
+    tally_window seen rest ~x0 ~y0 ~size
+
+let count_in_window items ~x0 ~y0 ~size = tally_window (Hashtbl.create 16) items ~x0 ~y0 ~size
+
+(* The candidate anchors walk the evidence points in place — a (points,
+   pending items) cursor pair instead of materialized coordinate lists, so
+   the scan allocates nothing.  Duplicate coordinates retest the same
+   window; the scan is an [exists], so the result is unaffected. *)
+let rec scan_ys voting ~size ~need ~x0 points pending =
+  match points with
+  | (p : Point.t) :: rest ->
+    count_in_window voting ~x0 ~y0:p.y ~size >= need
+    || scan_ys voting ~size ~need ~x0 rest pending
+  | [] -> (
+    match pending with
+    | [] -> false
+    | item :: rest -> scan_ys voting ~size ~need ~x0 item.points rest)
+
+let rec scan_xs voting ~size ~need points pending =
+  match points with
+  | (p : Point.t) :: rest ->
+    scan_ys voting ~size ~need ~x0:p.x [] voting || scan_xs voting ~size ~need rest pending
+  | [] -> (
+    match pending with
+    | [] -> false
+    | item :: rest -> scan_xs voting ~size ~need item.points rest)
 
 (* The window scan proper, over items already filtered to one value.  The
-   result does not depend on the order of [voting]. *)
+   result does not depend on the order of [voting].  A minimal window has
+   its left edge at some point's x and its top edge at some point's y, so
+   anchoring candidates at every such pair is complete.  The scan is
+   reachable from the protocol hot path (Voting.Index.decide), so every
+   helper above is a top-level function — nested or anonymous functions
+   here would count as per-call closure allocations against that hot
+   root. *)
 let window_scan ~radius ~need voting =
   let size = 2.0 *. radius in
-  let points = List.concat_map (fun item -> item.points) voting in
-  (* A minimal window has its left edge at some point's x and its top
-     edge at some point's y, so anchoring candidates there is complete. *)
-  let xs = List.sort_uniq Float.compare (List.map (fun (p : Point.t) -> p.x) points) in
-  let ys = List.sort_uniq Float.compare (List.map (fun (p : Point.t) -> p.y) points) in
-  List.exists
-    (fun x0 -> List.exists (fun y0 -> count_in_window voting ~x0 ~y0 ~size >= need) ys)
-    xs
+  scan_xs voting ~size ~need [] voting
 
 let quorum ~radius ~need ~value items =
   let voting = List.filter (fun item -> item.value = value) items in
@@ -121,7 +149,10 @@ end
 module Index = struct
   type t = {
     seen : (item, unit) Hashtbl.t;  (* replay / duplicate suppression *)
-    origins : (bool * origin, unit) Hashtbl.t;
+    (* one origin table per value instead of a (value, origin) key: [add] is
+       on the protocol hot path and must not box a tuple per call *)
+    origins_for : (origin, unit) Hashtbl.t;
+    origins_against : (origin, unit) Hashtbl.t;
     votes : Tally.t;  (* distinct origins per value, maintained on add *)
     mutable items_for : item list;
     mutable items_against : item list;
@@ -131,7 +162,8 @@ module Index = struct
   let create () =
     {
       seen = Hashtbl.create 8;
-      origins = Hashtbl.create 8;
+      origins_for = Hashtbl.create 8;
+      origins_against = Hashtbl.create 8;
       votes = Tally.create ();
       items_for = [];
       items_against = [];
@@ -141,9 +173,9 @@ module Index = struct
   let add t item =
     if not (Hashtbl.mem t.seen item) then begin
       Hashtbl.add t.seen item ();
-      let key = (item.value, item.origin) in
-      if not (Hashtbl.mem t.origins key) then begin
-        Hashtbl.add t.origins key ();
+      let origins = if item.value then t.origins_for else t.origins_against in
+      if not (Hashtbl.mem origins item.origin) then begin
+        Hashtbl.add origins item.origin ();
         Tally.add t.votes item.value
       end;
       if item.value then t.items_for <- item :: t.items_for

@@ -5,37 +5,99 @@ type params = { capture_ratio : float; loss_prob : float }
 let ideal = { capture_ratio = infinity; loss_prob = 0.0 }
 let realistic = { capture_ratio = 3.0; loss_prob = 0.01 }
 
-let resolve ?rng params ~sense_threshold txs =
-  let sensed = List.filter (fun tx -> tx.power >= sense_threshold) txs in
-  match sensed with
-  | [] -> Silence
-  | _ ->
-    let lost tx =
-      tx.power >= 1.0
-      &&
-      match rng with
-      | Some r when params.loss_prob > 0.0 -> Rng.bernoulli r params.loss_prob
-      | Some _ | None ->
-        if params.loss_prob > 0.0 then
-          invalid_arg "Channel.resolve: loss_prob > 0 requires an rng";
-        false
-    in
-    let decodable = List.filter (fun tx -> tx.power >= 1.0 && not (lost tx)) sensed in
-    let total = List.fold_left (fun acc tx -> acc +. tx.power) 0.0 sensed in
-    let capture tx =
-      let interference = total -. tx.power in
-      interference <= 0.0
-      || params.capture_ratio < infinity && tx.power >= params.capture_ratio *. interference
-    in
-    let strongest_first =
-      List.sort (fun a b -> Float.compare b.power a.power) decodable
-    in
-    begin
-      match strongest_first with
-      | [] -> Busy
-      | [ tx ] when List.length sensed = 1 -> Clear tx.payload
-      | tx :: _ -> if capture tx then Clear tx.payload else Busy
+module Packed = struct
+  let silence = 0
+  let busy = 1
+  let clear slot = 2 lor (slot lsl 2)
+  let tag p = p land 3
+  let slot p = p lsr 2
+  let is_clear p = p land 3 = 2
+  let is_activity p = p <> 0
+end
+
+(* The loss coin: drawn exactly once per decodable candidate, in
+   transmission order, whatever the calling path — the draw sequence is
+   part of the deterministic trace contract. *)
+let draw_loss rng params =
+  match rng with
+  | Some r when params.loss_prob > 0.0 -> Rng.bernoulli r params.loss_prob
+  | Some _ | None ->
+    if params.loss_prob > 0.0 then invalid_arg "Channel.resolve: loss_prob > 0 requires an rng";
+    false
+
+(* Single pass over the transmission list, accumulating the same aggregates
+   the engine's flat fan-out keeps per receiver: sensed count and power sum,
+   decodable count, and the earliest strongest decodable signal (matching
+   the stable strongest-first sort of the old list-based implementation).
+   Top-level and closure-free: this is on the hot-path allocation budget. *)
+let rec resolve_scan rng params sense_threshold txs n_sensed total n_dec best_pow best =
+  match txs with
+  | tx :: rest ->
+    if tx.power < sense_threshold then
+      resolve_scan rng params sense_threshold rest n_sensed total n_dec best_pow best
+    else begin
+      let total = total +. tx.power in
+      let n_sensed = n_sensed + 1 in
+      if tx.power >= 1.0 && not (draw_loss rng params) then
+        if tx.power > best_pow then
+          resolve_scan rng params sense_threshold rest n_sensed total (n_dec + 1) tx.power
+            (Some tx.payload)
+        else resolve_scan rng params sense_threshold rest n_sensed total (n_dec + 1) best_pow best
+      else resolve_scan rng params sense_threshold rest n_sensed total n_dec best_pow best
     end
+  | [] ->
+    if n_sensed = 0 then Silence
+    else begin
+      match best with
+      | None -> Busy
+      | Some payload ->
+        if n_sensed = 1 then Clear payload
+        else begin
+          let interference = total -. best_pow in
+          if
+            interference <= 0.0
+            || (params.capture_ratio < infinity
+               && best_pow >= params.capture_ratio *. interference)
+          then Clear payload
+          else Busy
+        end
+    end
+
+let resolve ?rng params ~sense_threshold txs =
+  match txs with
+  | [] -> Silence
+  | [ tx ] ->
+    (* Singleton fast path: no collision is possible, so skip the aggregate
+       bookkeeping — but the loss coin is still drawn for a decodable
+       signal, keeping the RNG stream identical to the general path. *)
+    if tx.power < sense_threshold then Silence
+    else if tx.power < 1.0 then Busy
+    else if draw_loss rng params then Busy
+    else Clear tx.payload
+  | txs -> resolve_scan rng params sense_threshold txs 0 0.0 0 0.0 None
+
+(* Packed resolution over the engine's per-receiver flat aggregates: write
+   one encoded observation per touched receiver into [out] (untouched
+   entries stay [Packed.silence]).  [best_slot.(i)] indexes the round's
+   merged transmissions.  Mirrors [resolve] with the engine's float-noise
+   tolerance on the zero-interference test (per-receiver sums are
+   accumulated incrementally there, not folded from a list). *)
+let resolve_packed params ~touched ~n_touched ~sum_power ~n_decodable ~best_power ~best_slot
+    ~out =
+  for k = 0 to n_touched - 1 do
+    let i = touched.(k) in
+    out.(i) <-
+      (if n_decodable.(i) = 0 then Packed.busy
+       else begin
+         let interference = sum_power.(i) -. best_power.(i) in
+         if
+           interference <= 1e-12
+           || (params.capture_ratio < infinity
+              && best_power.(i) >= params.capture_ratio *. interference)
+         then Packed.clear best_slot.(i)
+         else Packed.busy
+       end)
+  done
 
 let is_activity = function Silence -> false | Clear _ | Busy -> true
 

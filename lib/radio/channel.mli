@@ -36,7 +36,40 @@ val realistic : params
 
 val resolve : ?rng:Rng.t -> params -> sense_threshold:float -> 'a tx list -> 'a observation
 (** Resolve what one receiver observes in one round given all transmissions
-    that reach it.  [rng] is required whenever [loss_prob > 0]. *)
+    that reach it.  [rng] is required whenever [loss_prob > 0].  The empty
+    and singleton transmission lists take allocation-free fast paths. *)
+
+(** Packed observation encoding for the engine's hot path: an observation
+    is one int, [tag lor (slot lsl 2)] with tag 0 = silence, 1 = busy,
+    2 = clear.  [slot] indexes the round's transmissions in global
+    ascending-transmitter order; it is meaningful only for clear codes. *)
+module Packed : sig
+  val silence : int
+  val busy : int
+  val clear : int -> int
+  (** [clear slot] encodes a decoded message at [slot]. *)
+
+  val tag : int -> int
+  val slot : int -> int
+  val is_clear : int -> bool
+  val is_activity : int -> bool
+  (** [true] unless silence — the packed carrier-sense predicate. *)
+end
+
+val resolve_packed :
+  params ->
+  touched:int array ->
+  n_touched:int ->
+  sum_power:float array ->
+  n_decodable:int array ->
+  best_power:float array ->
+  best_slot:int array ->
+  out:int array ->
+  unit
+(** Resolve every receiver on the [touched] stack from the engine's flat
+    per-receiver aggregates, writing one packed code per receiver into
+    [out].  Entries for untouched receivers are left alone (the engine
+    keeps them at [Packed.silence]).  Allocation-free. *)
 
 val is_activity : 'a observation -> bool
 (** [true] unless [Silence] — the carrier-sense predicate used throughout

@@ -117,6 +117,7 @@ let heap_peaks_of_results json =
 type alloc_check = {
   al_id : string;
   ceiling_words_per_round : float;
+  base_rate : float option;  (* baseline measured words/active-round, if profiled *)
   rate : float option;  (* measured words/active-round; None: not profiled *)
 }
 
@@ -157,18 +158,31 @@ let alloc_rates_of_results json =
       experiments
   | Some None | None -> []
 
-let alloc_checks ~ceilings ~rates =
+let alloc_checks ?(base_rates = []) ~ceilings ~rates () =
   List.map
     (fun (id, ceiling_words_per_round) ->
-      { al_id = id; ceiling_words_per_round; rate = List.assoc_opt id rates })
+      {
+        al_id = id;
+        ceiling_words_per_round;
+        base_rate = List.assoc_opt id base_rates;
+        rate = List.assoc_opt id rates;
+      })
     ceilings
+
+(* Relative words/active-round change vs the baseline's measured rate:
+   negative is an allocation-rate win. *)
+let alloc_delta a =
+  match (a.base_rate, a.rate) with
+  | Some b, Some r when b > 0.0 -> Some ((r -. b) /. b)
+  | _ -> None
 
 let render_alloc checks =
   if checks = [] then ""
   else begin
     let table =
       Table.create ~title:"allocation-rate ceiling check (minor words / active round)"
-        ~columns:[ "experiment"; "ceiling (w/round)"; "measured (w/round)"; "verdict" ]
+        ~columns:
+          [ "experiment"; "ceiling (w/round)"; "base (w/round)"; "measured (w/round)"; "delta"; "verdict" ]
     in
     List.iter
       (fun a ->
@@ -176,7 +190,11 @@ let render_alloc checks =
           [
             a.al_id;
             Table.cell_f ~decimals:0 a.ceiling_words_per_round;
+            (match a.base_rate with Some r -> Table.cell_f ~decimals:0 r | None -> "-");
             (match a.rate with Some r -> Table.cell_f ~decimals:0 r | None -> "-");
+            (match alloc_delta a with
+            | Some d -> Printf.sprintf "%+.1f%%" (100.0 *. d)
+            | None -> "-");
             (match a.rate with
             | Some r when r > a.ceiling_words_per_round -> "OVER CEILING"
             | Some _ -> "ok"
@@ -322,7 +340,9 @@ let compare_against ?tolerance ?(peaks = []) ?(alloc_rates = []) ~base current =
       let exceeded = List.filter memory_exceeded checks in
       let unmeasured = List.filter (fun m -> m.peak_words = None) checks in
       let allocs =
-        alloc_checks ~ceilings:(alloc_ceilings_of_results base_json) ~rates:alloc_rates
+        alloc_checks
+          ~base_rates:(alloc_rates_of_results base_json)
+          ~ceilings:(alloc_ceilings_of_results base_json) ~rates:alloc_rates ()
       in
       let alloc_over = List.filter alloc_exceeded allocs in
       let alloc_unmeasured = List.filter (fun a -> a.rate = None) allocs in

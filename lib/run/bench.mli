@@ -76,6 +76,10 @@ type alloc_check = {
   al_id : string;
   ceiling_words_per_round : float;
       (** committed [max_words_per_active_round] from the baseline *)
+  base_rate : float option;
+      (** the baseline's own measured [profile.words_per_active_round],
+          when the baseline was a profiled run — the reference for the
+          delta column *)
   rate : float option;
       (** measured [profile.words_per_active_round]; [None] when the
           current run was not profiled — reported as a warning, never a
@@ -84,6 +88,11 @@ type alloc_check = {
 
 val alloc_exceeded : alloc_check -> bool
 (** True iff a measured allocation rate is above its ceiling. *)
+
+val alloc_delta : alloc_check -> float option
+(** Relative words/active-round change vs the baseline's measured rate
+    ([(rate - base_rate) / base_rate]); negative is a win.  [None] unless
+    both sides were profiled. *)
 
 val wall_times_of_results : Json.t -> ((string * float) list, string) result
 (** Per-experiment wall seconds out of a parsed results file. *)
@@ -109,9 +118,14 @@ val memory_checks :
 (** One check per ceiling, paired with the matching peak if measured. *)
 
 val alloc_checks :
-  ceilings:(string * float) list -> rates:(string * float) list -> alloc_check list
+  ?base_rates:(string * float) list ->
+  ceilings:(string * float) list ->
+  rates:(string * float) list ->
+  unit ->
+  alloc_check list
 (** One check per allocation ceiling, paired with the measured rate if
-    profiled. *)
+    profiled; [base_rates] supplies the baseline's own measured rates for
+    the delta column. *)
 
 val render_memory : memory_check list -> string
 (** ASCII ceiling-check table; empty string when there are no ceilings. *)

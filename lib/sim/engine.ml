@@ -1,8 +1,16 @@
 type 'm action = Silent | Transmit of 'm
 
+(* The round's transmissions in global ascending-transmitter order.  The
+   engine owns one of these per run and reuses it every round; packed
+   observers read decoded payloads out of it by slot index.  [payloads] is
+   lazily sized from the first payload (the engine is polymorphic in ['m],
+   so there is no dummy element to preallocate with). *)
+type 'm slots = { mutable payloads : 'm array; mutable count : int }
+
 type 'm machine = {
   act : int -> 'm action;
   observe : int -> 'm Channel.observation -> unit;
+  observe_packed : (int -> int -> 'm slots -> unit) option;
   delivered : unit -> Bitvec.t option;
   next_active : int -> int;
 }
@@ -14,9 +22,22 @@ let silent_machine =
   {
     act = (fun _ -> Silent);
     observe = (fun _ _ -> ());
+    observe_packed = Some (fun _ _ _ -> ());
     delivered = (fun () -> None);
     next_active = never_active;
   }
+
+let boxed_machine m = { m with observe_packed = None }
+
+let observation_of_packed slots p =
+  if p = 0 then Channel.Silence
+  else if p land 3 = 1 then Channel.Busy
+  else Channel.Clear slots.payloads.(p lsr 2)
+
+let slots_push s capacity payload =
+  if Array.length s.payloads = 0 then s.payloads <- Array.make (max 1 capacity) payload;
+  s.payloads.(s.count) <- payload;
+  s.count <- s.count + 1
 
 type mode = [ `Dense | `Sparse | `Sharded of int ]
 
@@ -31,13 +52,20 @@ type result = {
 
 type round_digest = { round : int; transmitters : int list; observations : int array }
 
+(* The default Hashtbl.hash stops after 10 meaningful nodes; deep payloads
+   would alias in determinism-checker traces. *)
+let fingerprint_payload payload = 2 + (Hashtbl.hash_param 64 128 payload land 0x3FFFFFFF)
+
 let fingerprint_observation = function
   | Channel.Silence -> 0
   | Channel.Busy -> 1
-  | Channel.Clear payload ->
-    (* The default Hashtbl.hash stops after 10 meaningful nodes; deep
-       payloads would alias in determinism-checker traces. *)
-    2 + (Hashtbl.hash_param 64 128 payload land 0x3FFFFFFF)
+  | Channel.Clear payload -> fingerprint_payload payload
+
+(* Tap fingerprint of a packed code: the payload hash was computed once per
+   slot when the transmission entered the round (see [slot_fp] below), not
+   once per (receiver, observation). *)
+let fingerprint_packed slot_fp p =
+  if p = 0 then 0 else if p land 3 = 1 then 1 else slot_fp.(p lsr 2)
 
 (* One tile of a sharded run: a disjoint slice of the machines plus every
    piece of per-round state the serial sparse loop keeps globally, sized to
@@ -57,15 +85,19 @@ type 'm tile = {
   sum_power : float array;
   n_decodable : int array;
   best_power : float array;
-  best_payload : 'm option array;
+  best_slot : int array;
+  obs_packed : int array;
   has_rx : bool array;
   touched : int array;
   mutable n_touched : int;
   (* phase-A output: this tile's transmitters (ascending) and payloads *)
   tx_ids : int array;
-  tx_payloads : 'm option array;
-  mutable n_tx : int;
-  mutable any_tx : bool;
+  txs : 'm slots;
+  (* merged-slot activity words for this tile: bit m set iff merged
+     transmitter m has a link into the tile.  Written by the coordinator
+     during the merge, consumed and cleared by the tile in phase B — the
+     halo exchange is whole words, not per-transmission lists. *)
+  halo : Bitvec.t;
   (* machines polled this round, for tap fingerprint resets *)
   polled : int array;
   mutable n_polled : int;
@@ -83,7 +115,6 @@ let run ?(mode : mode = `Sparse) ?rng ?(channel = Channel.ideal) ?stop_when ?(st
      runs over one topology stop paying the O(links) rebuild. *)
   let { Graph.out_off; out_rcv; out_pow } = Graph.csr (Topology.graph topology) in
   let loss = channel.Channel.loss_prob in
-  let capture_ratio = channel.Channel.capture_ratio in
   let pending = ref 0 in
   Array.iter (fun w -> if w then incr pending) waiters;
   let round = ref 0 in
@@ -147,27 +178,42 @@ let run ?(mode : mode = `Sparse) ?rng ?(channel = Channel.ideal) ?stop_when ?(st
   let run_serial (mode : [ `Dense | `Sparse ]) =
     (* Flat per-receiver channel aggregates instead of transmission lists:
        resolution only needs the sensed power sum, the strongest decodable
-       signal, and the signal counts, so the hot loop allocates (almost)
-       nothing.  Equivalence with the reference [Channel.resolve] is covered
-       by a property test. *)
+       signal, and the signal counts, so the hot loop allocates nothing.
+       [Channel.resolve_packed] turns the aggregates into packed codes;
+       equivalence with the reference [Channel.resolve] is covered by a
+       property test. *)
     let sum_power = Array.make n 0.0 in
     let n_decodable = Array.make n 0 in
     let best_power = Array.make n 0.0 in
-    let best_payload = Array.make n None in
+    let best_slot = Array.make n 0 in
+    let obs_packed = Array.make n 0 in
     let has_rx = Array.make n false in
     (* The receivers touched this round, as a preallocated stack: Phase 1
        pushes each receiver at most once (guarded by [has_rx]), the
        after-round reset pops them all. *)
     let touched = Array.make (max 1 n) 0 in
     let n_touched = ref 0 in
+    let slots = { payloads = [||]; count = 0 } in
     (* Trace capture is allocated only when a tap is installed, so the hot
-       path of untraced runs is untouched. *)
+       path of untraced runs is untouched.  [slot_fp] memoizes the payload
+       hash per transmission slot; receivers reuse it instead of re-hashing
+       per observation. *)
     let tap_fp = match tap with None -> [||] | Some _ -> Array.make n 0 in
-    let tap_tx = ref [] in
+    let slot_fp = match tap with None -> [||] | Some _ -> Array.make (max 1 n) 0 in
+    let polled = match tap with None -> [||] | Some _ -> Array.make (max 1 n) 0 in
+    let n_polled = ref 0 in
+    (* Transmitter ids per slot, mirrored out of [slots] so the trace
+       record can be built outside the hot functions without a per-round
+       cons list. *)
+    let tap_tx = match tap with None -> [||] | Some _ -> Array.make (max 1 n) 0 in
     let fan_out i payload =
       broadcasts.(i) <- broadcasts.(i) + 1;
-      if tap <> None then tap_tx := i :: !tap_tx;
-      let payload_opt = Some payload in
+      let slot = slots.count in
+      if tap <> None then begin
+        tap_tx.(slot) <- i;
+        slot_fp.(slot) <- fingerprint_payload payload
+      end;
+      slots_push slots n payload;
       for k = out_off.(i) to out_off.(i + 1) - 1 do
         let receiver = out_rcv.(k) and power = out_pow.(k) in
         if not has_rx.(receiver) then begin
@@ -187,26 +233,10 @@ let run ?(mode : mode = `Sparse) ?rng ?(channel = Channel.ideal) ?stop_when ?(st
           n_decodable.(receiver) <- n_decodable.(receiver) + 1;
           if power > best_power.(receiver) then begin
             best_power.(receiver) <- power;
-            best_payload.(receiver) <- payload_opt
+            best_slot.(receiver) <- slot
           end
         end
       done
-    in
-    let resolve i =
-      if not has_rx.(i) then Channel.Silence
-      else if n_decodable.(i) = 0 then Channel.Busy
-      else begin
-        let interference = sum_power.(i) -. best_power.(i) in
-        if
-          interference <= 1e-12
-          || (capture_ratio < infinity && best_power.(i) >= capture_ratio *. interference)
-        then begin
-          match best_payload.(i) with
-          | Some payload -> Channel.Clear payload
-          | None -> assert false
-        end
-        else Channel.Busy
-      end
     in
     let reset_touched () =
       for k = 0 to !n_touched - 1 do
@@ -214,10 +244,12 @@ let run ?(mode : mode = `Sparse) ?rng ?(channel = Channel.ideal) ?stop_when ?(st
         sum_power.(i) <- 0.0;
         n_decodable.(i) <- 0;
         best_power.(i) <- 0.0;
-        best_payload.(i) <- None;
+        best_slot.(i) <- 0;
+        obs_packed.(i) <- 0;
         has_rx.(i) <- false
       done;
-      n_touched := 0
+      n_touched := 0;
+      slots.count <- 0
     in
     match mode with
     | `Dense ->
@@ -237,27 +269,33 @@ let run ?(mode : mode = `Sparse) ?rng ?(channel = Channel.ideal) ?stop_when ?(st
       let n_active = ref n in
       while (not (stopped ())) && !round < cap do
         let r = !round in
-        let anyone_transmitted = ref false in
         (* Phase 1: collect actions and fan transmissions out to receivers. *)
         for i = 0 to n - 1 do
           match machines.(i).act r with
           | Silent -> ()
-          | Transmit payload ->
-            anyone_transmitted := true;
-            fan_out i payload
+          | Transmit payload -> fan_out i payload
         done;
+        let anyone_transmitted = slots.count > 0 in
         (* Phase 2: resolve the channel at every node and deliver observations. *)
+        Channel.resolve_packed channel ~touched ~n_touched:!n_touched ~sum_power ~n_decodable
+          ~best_power ~best_slot ~out:obs_packed;
         for i = 0 to n - 1 do
-          let obs = resolve i in
-          if tap <> None then tap_fp.(i) <- fingerprint_observation obs;
-          machines.(i).observe r obs
+          let p = obs_packed.(i) in
+          if tap <> None then tap_fp.(i) <- fingerprint_packed slot_fp p;
+          match machines.(i).observe_packed with
+          | Some f -> f r p slots
+          | None -> machines.(i).observe r (observation_of_packed slots p)
         done;
         begin
           match tap with
           | None -> ()
           | Some f ->
-            f { round = r; transmitters = List.rev !tap_tx; observations = Array.copy tap_fp };
-            tap_tx := []
+            f
+              {
+                round = r;
+                transmitters = List.init slots.count (fun m -> tap_tx.(m));
+                observations = Array.copy tap_fp;
+              }
         end;
         reset_touched ();
         (* Phase 3: completion bookkeeping over the not-yet-complete worklist. *)
@@ -272,7 +310,7 @@ let run ?(mode : mode = `Sparse) ?rng ?(channel = Channel.ideal) ?stop_when ?(st
             active.(!k) <- active.(!n_active)
           | None -> incr k
         done;
-        if !anyone_transmitted then begin
+        if anyone_transmitted then begin
           idle_rounds := 0;
           incr active_rounds
         end
@@ -353,38 +391,32 @@ let run ?(mode : mode = `Sparse) ?rng ?(channel = Channel.ideal) ?stop_when ?(st
         while (not (Calendar.is_empty cal)) && Calendar.min_key cal = r do
           sched_stamp.(Calendar.pop_min cal) <- r
         done;
-        let any_tx = ref false in
         (* Phase 1 over the scheduled machines only. *)
         for i = 0 to n - 1 do
           if sched_stamp.(i) = r then begin
             match machines.(i).act r with
             | Silent -> ()
-            | Transmit payload ->
-              any_tx := true;
-              fan_out i payload
+            | Transmit payload -> fan_out i payload
           end
         done;
+        let any_tx = slots.count > 0 in
         (* Phase 2 restricted to scheduled machines and touched receivers;
            everyone else observes the silence implied by the contract. *)
+        Channel.resolve_packed channel ~touched ~n_touched:!n_touched ~sum_power ~n_decodable
+          ~best_power ~best_slot ~out:obs_packed;
         for i = 0 to n - 1 do
           if sched_stamp.(i) = r || has_rx.(i) then begin
-            let obs = resolve i in
-            if tap <> None then tap_fp.(i) <- fingerprint_observation obs;
-            machines.(i).observe r obs
+            let p = obs_packed.(i) in
+            if tap <> None then begin
+              tap_fp.(i) <- fingerprint_packed slot_fp p;
+              polled.(!n_polled) <- i;
+              incr n_polled
+            end;
+            match machines.(i).observe_packed with
+            | Some f -> f r p slots
+            | None -> machines.(i).observe r (observation_of_packed slots p)
           end
         done;
-        begin
-          match tap with
-          | None -> ()
-          | Some f ->
-            f { round = r; transmitters = List.rev !tap_tx; observations = Array.copy tap_fp };
-            tap_tx := [];
-            (* Restore the all-silent background the skipped-round digests
-               rely on. *)
-            for i = 0 to n - 1 do
-              if sched_stamp.(i) = r || has_rx.(i) then tap_fp.(i) <- 0
-            done
-        end;
         (* Phase 3 + rescheduling over the polled set (all machines in round
            0, for construction-time deliveries), before the channel scratch
            is cleared so [has_rx] still marks the touched receivers.  A poll
@@ -398,8 +430,7 @@ let run ?(mode : mode = `Sparse) ?rng ?(channel = Channel.ideal) ?stop_when ?(st
           end
           else if r = 0 then check_complete i 0
         done;
-        reset_touched ();
-        if !any_tx then begin
+        if any_tx then begin
           last_tx := r;
           incr active_rounds
         end;
@@ -417,6 +448,24 @@ let run ?(mode : mode = `Sparse) ?rng ?(channel = Channel.ideal) ?stop_when ?(st
           if check_stop !round then stopping := true
           else begin
             process_round !round;
+            (* Tap emission and channel-scratch reset live out here, off
+               the per-round hot path of untraced runs; the polled stack
+               restores the all-silent background the skipped-round
+               digests rely on. *)
+            (match tap with
+            | None -> ()
+            | Some f ->
+              f
+                {
+                  round = !round;
+                  transmitters = List.init slots.count (fun m -> tap_tx.(m));
+                  observations = Array.copy tap_fp;
+                };
+              for j = 0 to !n_polled - 1 do
+                tap_fp.(polled.(j)) <- 0
+              done;
+              n_polled := 0);
+            reset_touched ();
             incr round
           end
         end
@@ -429,12 +478,13 @@ let run ?(mode : mode = `Sparse) ?rng ?(channel = Channel.ideal) ?stop_when ?(st
        A   every tile polls its scheduled machines and collects their
            transmissions, in ascending id (no fan-out yet)
        B1  all transmissions collected
-           coordinator merges them into global ascending order and draws
-           the per-link loss coins in exactly the serial sequence
-       B2  merged transmissions + loss outcomes published
-       B   every tile fans the merged transmissions into its own receivers
-           (ascending transmitter order, original within-row link order),
-           resolves, observes, completes and reschedules its machines
+           coordinator merges them into the global slots buffer, marks each
+           tile's halo words, and draws the per-link loss coins in exactly
+           the serial sequence
+       B2  merged slots + halo words + loss outcomes published
+       B   every tile fans the slots named by its own halo words into its
+           receivers (ascending slot order, original within-row link
+           order), resolves, observes, completes and reschedules
        B3  round effects done; coordinator emits the tap digest, sums
            pending, and decides stop / skip / next round
 
@@ -503,14 +553,14 @@ let run ?(mode : mode = `Sparse) ?rng ?(channel = Channel.ideal) ?stop_when ?(st
         sum_power = Array.make (max 1 len) 0.0;
         n_decodable = Array.make (max 1 len) 0;
         best_power = Array.make (max 1 len) 0.0;
-        best_payload = Array.make (max 1 len) None;
+        best_slot = Array.make (max 1 len) 0;
+        obs_packed = Array.make (max 1 len) 0;
         has_rx = Array.make (max 1 len) false;
         touched = Array.make (max 1 len) 0;
         n_touched = 0;
         tx_ids = Array.make (max 1 len) 0;
-        tx_payloads = Array.make (max 1 len) None;
-        n_tx = 0;
-        any_tx = false;
+        txs = { payloads = [||]; count = 0 };
+        halo = Bitvec.create n false;
         polled = Array.make (if tap = None then 0 else len) 0;
         n_polled = 0;
       }
@@ -547,12 +597,16 @@ let run ?(mode : mode = `Sparse) ?rng ?(channel = Channel.ideal) ?stop_when ?(st
         t.pre_next <- 0)
       tile_arr;
     (* Merged transmissions of the current round, globally ascending;
-       written by the coordinator between B1 and B2. *)
+       written by the coordinator between B1 and B2.  [slots.count] is the
+       merged count. *)
     let mtx_ids = Array.make (max 1 n) 0 in
-    let mtx_payloads = Array.make (max 1 n) None in
-    let n_mtx = ref 0 in
+    let slots = { payloads = [||]; count = 0 } in
     let merge_cursor = Array.make tiles 0 in
+    (* Merge scratch, in place of per-call refs: [0] candidate tile, [1]
+       candidate id, [2] loop flag. *)
+    let merge_scratch = Array.make 3 0 in
     let tap_fp = match tap with None -> [||] | Some _ -> Array.make n 0 in
+    let slot_fp = match tap with None -> [||] | Some _ -> Array.make (max 1 n) 0 in
     (* The round command, published by barrier B0: the round to process, or
        -1 to shut the team down. *)
     let cmd = ref 0 in
@@ -561,8 +615,7 @@ let run ?(mode : mode = `Sparse) ?rng ?(channel = Channel.ideal) ?stop_when ?(st
       while (not (Calendar.is_empty t.cal)) && Calendar.min_key t.cal = r do
         t.stamp.(Calendar.pop_min t.cal) <- r
       done;
-      t.n_tx <- 0;
-      t.any_tx <- false;
+      t.txs.count <- 0;
       let m = t.members in
       for li = 0 to Array.length m - 1 do
         if t.stamp.(li) = r then begin
@@ -570,49 +623,54 @@ let run ?(mode : mode = `Sparse) ?rng ?(channel = Channel.ideal) ?stop_when ?(st
           match machines.(i).act r with
           | Silent -> ()
           | Transmit payload ->
-            t.any_tx <- true;
             broadcasts.(i) <- broadcasts.(i) + 1;
-            t.tx_ids.(t.n_tx) <- i;
-            t.tx_payloads.(t.n_tx) <- Some payload;
-            t.n_tx <- t.n_tx + 1
+            t.tx_ids.(t.txs.count) <- i;
+            slots_push t.txs (Array.length m) payload
         end
       done
     in
     let merge_and_draw () =
       (* Tiles partition the ids and each tile's list is ascending, so a
          cursor merge yields the global ascending transmitter order the
-         serial Phase-1 sweep produces. *)
-      n_mtx := 0;
+         serial Phase-1 sweep produces.  Each merged slot also marks the
+         halo word bit of every tile its CSR row reaches. *)
+      slots.count <- 0;
       Array.fill merge_cursor 0 tiles 0;
-      let merging = ref true in
-      while !merging do
-        let best = ref (-1) in
-        let best_id = ref max_int in
+      merge_scratch.(2) <- 1;
+      while merge_scratch.(2) = 1 do
+        merge_scratch.(0) <- -1;
+        merge_scratch.(1) <- max_int;
         for t = 0 to tiles - 1 do
-          if merge_cursor.(t) < tile_arr.(t).n_tx then begin
+          if merge_cursor.(t) < tile_arr.(t).txs.count then begin
             let id = tile_arr.(t).tx_ids.(merge_cursor.(t)) in
-            if id < !best_id then begin
-              best_id := id;
-              best := t
+            if id < merge_scratch.(1) then begin
+              merge_scratch.(1) <- id;
+              merge_scratch.(0) <- t
             end
           end
         done;
-        if !best < 0 then merging := false
+        if merge_scratch.(0) < 0 then merge_scratch.(2) <- 0
         else begin
-          let t = tile_arr.(!best) in
-          let c = merge_cursor.(!best) in
-          mtx_ids.(!n_mtx) <- !best_id;
-          mtx_payloads.(!n_mtx) <- t.tx_payloads.(c);
-          t.tx_payloads.(c) <- None;
-          merge_cursor.(!best) <- c + 1;
-          incr n_mtx
+          let t = tile_arr.(merge_scratch.(0)) in
+          let c = merge_cursor.(merge_scratch.(0)) in
+          let i = merge_scratch.(1) in
+          let slot = slots.count in
+          mtx_ids.(slot) <- i;
+          let payload = t.txs.payloads.(c) in
+          if tap <> None then slot_fp.(slot) <- fingerprint_payload payload;
+          slots_push slots n payload;
+          for td = 0 to tiles - 1 do
+            let cell = (i * tiles) + td in
+            if seg_off.(cell + 1) > seg_off.(cell) then Bitvec.set tile_arr.(td).halo slot true
+          done;
+          merge_cursor.(merge_scratch.(0)) <- c + 1
         end
       done;
       (* Per-link loss coins, drawn serially here in exactly the order the
          serial fan-out consumes them: transmitters ascending, links in
          within-row order, decodable links only. *)
       if loss > 0.0 then
-        for m = 0 to !n_mtx - 1 do
+        for m = 0 to slots.count - 1 do
           let i = mtx_ids.(m) in
           for k = out_off.(i) to out_off.(i + 1) - 1 do
             if out_pow.(k) >= 1.0 then begin
@@ -649,60 +707,61 @@ let run ?(mode : mode = `Sparse) ?rng ?(channel = Channel.ideal) ?stop_when ?(st
         else Calendar.add t.cal na li
       end
     in
-    let resolve_local t li =
-      if not t.has_rx.(li) then Channel.Silence
-      else if t.n_decodable.(li) = 0 then Channel.Busy
-      else begin
-        let interference = t.sum_power.(li) -. t.best_power.(li) in
-        if
-          interference <= 1e-12
-          || (capture_ratio < infinity && t.best_power.(li) >= capture_ratio *. interference)
-        then begin
-          match t.best_payload.(li) with
-          | Some payload -> Channel.Clear payload
-          | None -> assert false
-        end
-        else Channel.Busy
-      end
-    in
     let phase_b t r =
-      (* Fan-in: merged transmitters ascending, each row's in-tile slice in
-         original order, so per-receiver sums, capture ties and loss lookups
-         match the serial fan-out bit for bit. *)
-      for m = 0 to !n_mtx - 1 do
-        let i = mtx_ids.(m) in
-        let payload = mtx_payloads.(m) in
-        let cell = (i * tiles) + t.t_id in
-        for s = seg_off.(cell) to seg_off.(cell + 1) - 1 do
-          let k = seg_orig.(s) in
-          let power = out_pow.(k) in
-          let lr = local_ix.(out_rcv.(k)) in
-          if not t.has_rx.(lr) then begin
-            t.has_rx.(lr) <- true;
-            t.touched.(t.n_touched) <- lr;
-            t.n_touched <- t.n_touched + 1
-          end;
-          t.sum_power.(lr) <- t.sum_power.(lr) +. power;
-          let lost_link = power >= 1.0 && loss > 0.0 && Bytes.get lost k <> '\000' in
-          if power >= 1.0 && not lost_link then begin
-            t.n_decodable.(lr) <- t.n_decodable.(lr) + 1;
-            if power > t.best_power.(lr) then begin
-              t.best_power.(lr) <- power;
-              t.best_payload.(lr) <- payload
+      (* Fan-in over the slots named by this tile's halo words: slot bits
+         ascending (= merged transmitters ascending), each row's in-tile
+         slice in original order, so per-receiver sums, capture ties and
+         loss lookups match the serial fan-out bit for bit.  Words the
+         round never touched are skipped and stay zero; touched words are
+         cleared on the way out. *)
+      for wi = 0 to Bitvec.word_count t.halo - 1 do
+        let word = Bitvec.word t.halo wi in
+        if word <> 0 then begin
+          let base = wi * Bitvec.bits_per_word in
+          for b = 0 to Bitvec.bits_per_word - 1 do
+            if (word lsr b) land 1 = 1 then begin
+              let m = base + b in
+              let i = mtx_ids.(m) in
+              let cell = (i * tiles) + t.t_id in
+              for s = seg_off.(cell) to seg_off.(cell + 1) - 1 do
+                let k = seg_orig.(s) in
+                let power = out_pow.(k) in
+                let lr = local_ix.(out_rcv.(k)) in
+                if not t.has_rx.(lr) then begin
+                  t.has_rx.(lr) <- true;
+                  t.touched.(t.n_touched) <- lr;
+                  t.n_touched <- t.n_touched + 1
+                end;
+                t.sum_power.(lr) <- t.sum_power.(lr) +. power;
+                let lost_link = power >= 1.0 && loss > 0.0 && Bytes.get lost k <> '\000' in
+                if power >= 1.0 && not lost_link then begin
+                  t.n_decodable.(lr) <- t.n_decodable.(lr) + 1;
+                  if power > t.best_power.(lr) then begin
+                    t.best_power.(lr) <- power;
+                    t.best_slot.(lr) <- m
+                  end
+                end
+              done
             end
-          end
-        done
+          done;
+          Bitvec.set_range t.halo ~pos:base ~len:(min Bitvec.bits_per_word (n - base)) false
+        end
       done;
+      Channel.resolve_packed channel ~touched:t.touched ~n_touched:t.n_touched
+        ~sum_power:t.sum_power ~n_decodable:t.n_decodable ~best_power:t.best_power
+        ~best_slot:t.best_slot ~out:t.obs_packed;
       let m = t.members in
       for li = 0 to Array.length m - 1 do
         if t.stamp.(li) = r || t.has_rx.(li) then begin
-          let obs = resolve_local t li in
+          let p = t.obs_packed.(li) in
           if tap <> None then begin
-            tap_fp.(m.(li)) <- fingerprint_observation obs;
+            tap_fp.(m.(li)) <- fingerprint_packed slot_fp p;
             t.polled.(t.n_polled) <- m.(li);
             t.n_polled <- t.n_polled + 1
           end;
-          machines.(m.(li)).observe r obs
+          match machines.(m.(li)).observe_packed with
+          | Some f -> f r p slots
+          | None -> machines.(m.(li)).observe r (observation_of_packed slots p)
         end
       done;
       for li = 0 to Array.length m - 1 do
@@ -717,7 +776,8 @@ let run ?(mode : mode = `Sparse) ?rng ?(channel = Channel.ideal) ?stop_when ?(st
         t.sum_power.(lr) <- 0.0;
         t.n_decodable.(lr) <- 0;
         t.best_power.(lr) <- 0.0;
-        t.best_payload.(lr) <- None;
+        t.best_slot.(lr) <- 0;
+        t.obs_packed.(lr) <- 0;
         t.has_rx.(lr) <- false
       done;
       t.n_touched <- 0;
@@ -760,7 +820,7 @@ let run ?(mode : mode = `Sparse) ?rng ?(channel = Channel.ideal) ?stop_when ?(st
         f
           {
             round = r;
-            transmitters = List.init !n_mtx (fun m -> mtx_ids.(m));
+            transmitters = List.init slots.count (fun m -> mtx_ids.(m));
             observations = Array.copy tap_fp;
           };
         Array.iter
@@ -795,7 +855,7 @@ let run ?(mode : mode = `Sparse) ?rng ?(channel = Channel.ideal) ?stop_when ?(st
             let p = ref 0 in
             Array.iter
               (fun t ->
-                if t.any_tx then any := true;
+                if t.txs.count > 0 then any := true;
                 p := !p + t.t_pending)
               tile_arr;
             if !any then begin

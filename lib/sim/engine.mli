@@ -21,11 +21,24 @@
 
 type 'm action = Silent | Transmit of 'm
 
+type 'm slots = { mutable payloads : 'm array; mutable count : int }
+(** The current round's transmissions in global ascending-transmitter
+    order, reused across rounds.  Packed observers decode a clear code [p]
+    as [payloads.(Channel.Packed.slot p)].  Only the first [count] entries
+    are meaningful, and only during the observe sweep of the round. *)
+
 type 'm machine = {
   act : int -> 'm action;  (** called once per polled round with the round number *)
   observe : int -> 'm Channel.observation -> unit;
       (** called once per polled round, after all [act]s, with what the
           node's radio observed *)
+  observe_packed : (int -> int -> 'm slots -> unit) option;
+      (** Allocation-free fast path for [observe]: when present, the engine
+          calls [f round code slots] with a {!Channel.Packed} code instead
+          of materialising the observation variant.  Must be behaviourally
+          identical to [observe round (observation_of_packed slots code)];
+          the equivalence suite runs every protocol both ways.  [None]
+          falls back to [observe]. *)
   delivered : unit -> Bitvec.t option;
       (** the broadcast payload this node has accepted, once complete *)
   next_active : int -> int;
@@ -41,6 +54,15 @@ type 'm machine = {
           depend on state updated by a reception).  Use {!always_active}
           to opt out of skipping. *)
 }
+
+val observation_of_packed : 'm slots -> int -> 'm Channel.observation
+(** Decode a packed code against the round's slots — the bridge the engine
+    uses for machines without a packed observer. *)
+
+val boxed_machine : 'm machine -> 'm machine
+(** [boxed_machine m] is [m] with the packed fast path disabled, forcing
+    the variant [observe] route — the equivalence suite's lever for pinning
+    the two paths byte-identical. *)
 
 val always_active : int -> int
 (** The identity contract: wake me every round (dense behaviour for this
@@ -88,6 +110,11 @@ type round_digest = {
     mismatch pinpoints the first divergent round. *)
 
 val fingerprint_observation : 'm Channel.observation -> int
+
+val fingerprint_payload : 'm -> int
+(** The clear-observation fingerprint ([>= 2]) of a payload; the engine
+    computes it once per transmission slot and reuses it for every receiver
+    of that slot. *)
 
 val run :
   ?mode:mode ->

@@ -1,38 +1,115 @@
-type t = bool array
-(* Invariant: never mutated after construction; all exposed operations copy. *)
+(* Bit vectors packed 62 bits to a word.  The exposed constructors build
+   canonical values (padding bits above [len] are always zero), so
+   structural equality and hashing on the record coincide with bit-string
+   equality — code that compared the old [bool array] representation
+   polymorphically keeps working.  The scratch-mutation entry points at the
+   bottom are for engine-owned buffers only; every other operation copies. *)
 
-let length = Array.length
-let get t i = t.(i)
-let create n b = Array.make n b
-let init = Array.init
-let of_list = Array.of_list
-let to_list = Array.to_list
+type t = { len : int; words : int array }
+
+let bits_per_word = 62
+let word_mask = (1 lsl bits_per_word) - 1
+let words_for len = (len + bits_per_word - 1) / bits_per_word
+let length t = t.len
+
+let check_index name t i = if i < 0 || i >= t.len then invalid_arg name
+
+let get t i =
+  check_index "Bitvec.get" t i;
+  (t.words.(i / bits_per_word) lsr (i mod bits_per_word)) land 1 = 1
+
+let set t i b =
+  check_index "Bitvec.set" t i;
+  let w = i / bits_per_word and bit = 1 lsl (i mod bits_per_word) in
+  if b then t.words.(w) <- t.words.(w) lor bit else t.words.(w) <- t.words.(w) land lnot bit
+
+(* Mask covering the valid bits of the last word, restoring canonical
+   padding after a whole-word fill. *)
+let trim t =
+  let r = t.len mod bits_per_word in
+  if r > 0 then begin
+    let last = Array.length t.words - 1 in
+    t.words.(last) <- t.words.(last) land ((1 lsl r) - 1)
+  end
+
+let create n b =
+  let t = { len = n; words = Array.make (words_for n) (if b then word_mask else 0) } in
+  if b then trim t;
+  t
+
+let init n f =
+  let t = create n false in
+  for i = 0 to n - 1 do
+    if f i then set t i true
+  done;
+  t
+
+let of_list bits =
+  let t = create (List.length bits) false in
+  List.iteri (fun i b -> if b then set t i true) bits;
+  t
+
+let to_list t = List.init t.len (get t)
 
 let of_string s =
-  Array.init (String.length s) (fun i ->
+  init (String.length s) (fun i ->
       match s.[i] with
       | '0' -> false
       | '1' -> true
       | c -> invalid_arg (Printf.sprintf "Bitvec.of_string: bad char %c" c))
 
-let to_string t = String.init (Array.length t) (fun i -> if t.(i) then '1' else '0')
+let to_string t = String.init t.len (fun i -> if get t i then '1' else '0')
 
 let of_int ~width n =
   assert (n >= 0 && width >= 0);
-  Array.init width (fun i -> (n lsr (width - 1 - i)) land 1 = 1)
+  init width (fun i -> (n lsr (width - 1 - i)) land 1 = 1)
 
 let to_int t =
-  assert (Array.length t <= 62);
-  Array.fold_left (fun acc b -> (acc lsl 1) lor if b then 1 else 0) 0 t
+  assert (t.len <= 62);
+  let acc = ref 0 in
+  for i = 0 to t.len - 1 do
+    acc := (!acc lsl 1) lor if get t i then 1 else 0
+  done;
+  !acc
 
-let append = Array.append
-let concat = Array.concat
-let sub t ~pos ~len = Array.sub t pos len
-let equal a b = a = b
-let random rng n = Rng.bits rng n
-let empty = [||]
-let snoc t b = Array.append t [| b |]
-let fold_left = Array.fold_left
+let append a b =
+  let t = create (a.len + b.len) false in
+  for i = 0 to a.len - 1 do
+    if get a i then set t i true
+  done;
+  for i = 0 to b.len - 1 do
+    if get b i then set t (a.len + i) true
+  done;
+  t
+
+let concat ts = List.fold_left append { len = 0; words = [||] } ts
+
+let sub t ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > t.len then invalid_arg "Bitvec.sub";
+  init len (fun i -> get t (pos + i))
+
+let equal a b =
+  a.len = b.len
+  &&
+  let k = Array.length a.words in
+  let rec go i = i >= k || (a.words.(i) = b.words.(i) && go (i + 1)) in
+  go 0
+
+(* Must keep drawing one [Rng.bool] per bit in ascending index order: the
+   draw sequence is part of the deterministic trace contract. *)
+let random rng n =
+  let bits = Rng.bits rng n in
+  init n (fun i -> bits.(i))
+
+let empty = { len = 0; words = [||] }
+let snoc t b = append t (init 1 (fun _ -> b))
+
+let fold_left f acc t =
+  let acc = ref acc in
+  for i = 0 to t.len - 1 do
+    acc := f !acc (get t i)
+  done;
+  !acc
 
 let digest ~size m =
   assert (size > 0);
@@ -41,7 +118,7 @@ let digest ~size m =
      enough that a random fake message almost never matches. *)
   let mask = (1 lsl 61) - 1 in
   let acc =
-    Array.fold_left
+    fold_left
       (fun acc b ->
         let acc = (acc * 0x5DEECE66D) + if b then 0xB504F333F9DE649 else 1 in
         acc land mask)
@@ -51,3 +128,74 @@ let digest ~size m =
   init size (fun i -> (acc lsr (i mod 61)) land 1 = 1)
 
 let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+(* --- word-level operations and scratch mutation ------------------------ *)
+
+let popcount t =
+  let total = ref 0 in
+  for w = 0 to Array.length t.words - 1 do
+    let x = ref t.words.(w) in
+    while !x <> 0 do
+      x := !x land (!x - 1);
+      incr total
+    done
+  done;
+  !total
+
+let iter_set f t =
+  for w = 0 to Array.length t.words - 1 do
+    let word = t.words.(w) in
+    if word <> 0 then begin
+      let base = w * bits_per_word in
+      let lim = min bits_per_word (t.len - base) in
+      for b = 0 to lim - 1 do
+        if (word lsr b) land 1 = 1 then f (base + b)
+      done
+    end
+  done
+
+let set_range t ~pos ~len b =
+  if pos < 0 || len < 0 || pos + len > t.len then invalid_arg "Bitvec.set_range";
+  if len > 0 then begin
+    let hi = pos + len in
+    let w0 = pos / bits_per_word and w1 = (hi - 1) / bits_per_word in
+    for w = w0 to w1 do
+      let lo_bit = if w = w0 then pos mod bits_per_word else 0 in
+      let hi_bit = if w = w1 then ((hi - 1) mod bits_per_word) + 1 else bits_per_word in
+      let mask =
+        if hi_bit - lo_bit = bits_per_word then word_mask
+        else ((1 lsl (hi_bit - lo_bit)) - 1) lsl lo_bit
+      in
+      if b then t.words.(w) <- t.words.(w) lor mask
+      else t.words.(w) <- t.words.(w) land lnot mask
+    done
+  end
+
+let blit ~src ~src_pos ~dst ~dst_pos ~len =
+  if
+    src_pos < 0 || dst_pos < 0 || len < 0 || src_pos + len > src.len
+    || dst_pos + len > dst.len
+  then invalid_arg "Bitvec.blit";
+  if src_pos mod bits_per_word = 0 && dst_pos mod bits_per_word = 0 then begin
+    (* Word-aligned fast path: copy whole words, then the ragged tail. *)
+    let full = len / bits_per_word in
+    Array.blit src.words (src_pos / bits_per_word) dst.words (dst_pos / bits_per_word) full;
+    (* A full-word copy into the last destination word may drag along
+       padding bits from the source; the tail loop below only touches the
+       ragged remainder, so re-trim the destination. *)
+    for i = full * bits_per_word to len - 1 do
+      set dst (dst_pos + i) (get src (src_pos + i))
+    done;
+    trim dst
+  end
+  else if src == dst && dst_pos > src_pos then
+    for i = len - 1 downto 0 do
+      set dst (dst_pos + i) (get src (src_pos + i))
+    done
+  else
+    for i = 0 to len - 1 do
+      set dst (dst_pos + i) (get src (src_pos + i))
+    done
+
+let word_count t = Array.length t.words
+let word t w = t.words.(w)

@@ -42,3 +42,33 @@ val digest : size:int -> t -> t
     and only this digest over the authenticated channel. *)
 
 val pp : Format.formatter -> t -> unit
+
+(** {2 Word-level access and scratch mutation}
+
+    The representation packs {!bits_per_word} bits to a word.  The mutating
+    operations below exist for engine-owned scratch buffers (the sharded
+    engine's per-tile activity words); values handed to protocol code are
+    still treated as immutable. *)
+
+val popcount : t -> int
+(** Number of set bits. *)
+
+val iter_set : (int -> unit) -> t -> unit
+(** [iter_set f t] calls [f] on each set index in ascending order. *)
+
+val set : t -> int -> bool -> unit
+(** In-place single-bit update. *)
+
+val set_range : t -> pos:int -> len:int -> bool -> unit
+(** In-place fill of [len] bits starting at [pos]. *)
+
+val blit : src:t -> src_pos:int -> dst:t -> dst_pos:int -> len:int -> unit
+(** Bit-range copy; word-blits when both positions are word-aligned. *)
+
+val bits_per_word : int
+(** Bits packed per word (62). *)
+
+val word_count : t -> int
+val word : t -> int -> int
+(** [word t k] is the raw [k]-th word, low bit = index [k * bits_per_word].
+    Padding bits above [length t] are always zero. *)

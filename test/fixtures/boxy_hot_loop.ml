@@ -11,3 +11,26 @@ let process_round cells =
   let scale = 2.0 in
   let boxed = List.map (fun c -> weight c scale) cells in
   List.length boxed
+
+(* An old-style observation delivery path: one variant-shaped option per
+   receiver, tuples for the (round, payload) pairs, a closure over the
+   round and a throwaway list per call — the exact shape the engine's
+   packed observation fast path replaced.  Kept as a regression tripwire:
+   if the analyzer ever stops flagging this, the packed path has lost its
+   guard. *)
+let observe_boxy round codes payloads =
+  let delivered = ref 0 in
+  let obs =
+    List.map
+      (fun code ->
+        if code = 0 then None
+        else if code land 3 = 1 then Some (round, -1)
+        else Some (round, List.nth payloads (code lsr 2)))
+      codes
+  in
+  List.iter
+    (function
+      | Some (_, payload) when payload >= 0 -> delivered := !delivered + payload
+      | Some _ | None -> ())
+    obs;
+  !delivered

@@ -514,6 +514,26 @@ let test_alloc_boxy_fixture () =
            diags))
     [ "boxed-float"; "closure"; "list" ]
 
+(* The packed-observation regression tripwire: the fixture's old-style
+   observe path (per-receiver option/tuple boxing, a closure over the
+   round, a throwaway list per call) must keep tripping the analyzer on
+   every class the flat-state engine rewrite eliminated. *)
+let test_alloc_boxy_observe_path () =
+  let roots = [ ("boxy-observe", [ "Boxy_hot_loop.observe_boxy" ]) ] in
+  let diags = Alloc_lint.lint_strings ~roots ~golden:(Some empty_golden) (boxy_files ()) in
+  Alcotest.(check bool) "the observe path fails the lint" true (Alloc_lint.has_errors diags);
+  List.iter
+    (fun cls ->
+      Alcotest.(check bool) (cls ^ " flagged on the observe path") true
+        (List.exists
+           (fun d ->
+             d.Alloc_lint.severity = Lint.Error
+             && d.Alloc_lint.code = "new-alloc-class"
+             && d.Alloc_lint.file = "lib/sim/boxy_hot_loop.ml"
+             && contains ~affix:("class " ^ cls) d.Alloc_lint.message)
+           diags))
+    [ "closure"; "tuple"; "ref"; "list" ]
+
 let test_alloc_inventory_roundtrip_and_diff () =
   let files = boxy_files () in
   let inv = Alloc_lint.inventory_strings ~roots:boxy_roots files in
@@ -727,6 +747,7 @@ let test_collector_catches_shared_state () =
             incr leaked;
             if !leaked mod 2 = 0 then Engine.Transmit 7 else Engine.Silent);
         observe = (fun _ _ -> ());
+        observe_packed = None;
         delivered = (fun () -> None);
         next_active = Engine.always_active;
       }
@@ -823,6 +844,8 @@ let () =
             test_alloc_seed_violation;
           Alcotest.test_case "boxy fixture flagged as new hot-path classes" `Quick
             test_alloc_boxy_fixture;
+          Alcotest.test_case "old boxy observe path still trips the analyzer" `Quick
+            test_alloc_boxy_observe_path;
           Alcotest.test_case "inventory roundtrip, growth and shrink" `Quick
             test_alloc_inventory_roundtrip_and_diff;
           Alcotest.test_case "missing or unreadable baseline is an error" `Quick

@@ -92,6 +92,22 @@ let matrix_case (pname, protocol) (fname, faults) =
       let seed = String.fold_left (fun h c -> (h * 131) + Char.code c) 7 name land 0xFFFF in
       check_equivalent name (small_spec ~protocol ~faults ~seed ~n:50))
 
+(* Packed vs boxed observation path: [Engine.boxed_machine] strips every
+   machine's packed observer, forcing the engine's variant-observation
+   bridge.  Both paths must be byte-identical per protocol per engine
+   mode — the packed encoding is an optimization, never a semantic. *)
+let packed_modes = [ ("dense", `Dense); ("sparse", `Sparse); ("sharded", `Sharded 3) ]
+
+let packed_case (pname, protocol) (mname, mode) =
+  let name = pname ^ "/" ^ mname in
+  Alcotest.test_case name `Quick (fun () ->
+      let seed = String.fold_left (fun h c -> (h * 131) + Char.code c) 11 name land 0xFFFF in
+      let spec = small_spec ~protocol ~faults:(Scenario.Lying 0.15) ~seed ~n:50 in
+      let packed_trace, packed = Determinism.capture_spec ~mode spec in
+      let boxed_trace, boxed = Determinism.capture_spec ~mode ~boxed:true spec in
+      check_same_trace name "packed/boxed" packed_trace boxed_trace;
+      check_same_results name "packed/boxed" packed boxed)
+
 (* Loss draws happen during Phase-1 fan-out — serially on the coordinator
    in the sharded rounds — so the CSR link order, the restriction of
    fan-out to scheduled transmitters, and the tile merge must not perturb
@@ -150,6 +166,8 @@ let () =
     [
       ( "protocol x fault matrix",
         List.concat_map (fun p -> List.map (matrix_case p) fault_models) protocols );
+      ( "packed vs boxed observations",
+        List.concat_map (fun p -> List.map (packed_case p) packed_modes) protocols );
       ("lossy channel", [ Alcotest.test_case "nw1 under loss" `Quick test_lossy_channel ]);
       ( "properties",
         List.map

@@ -123,8 +123,63 @@ let prop_resolve_single_strong_is_clear =
     (fun power ->
       resolve Channel.ideal [ { Channel.power; payload = 9 } ] = Channel.Clear 9)
 
+(* The engine's packed fast path must be observation-equivalent to the
+   variant [resolve] (fast paths included).  Rebuild the flat per-receiver
+   aggregates the engine's fan-out keeps — same sense filter, same loss
+   coin order — and check [resolve_packed] decodes to the same observation
+   on the same RNG stream. *)
+let prop_resolve_packed_agrees =
+  QCheck.Test.make ~name:"packed resolution agrees with the variant channel" ~count:500
+    QCheck.(triple (small_list (pair (float_range 0.0 5.0) small_int)) (int_range 0 10000) bool)
+    (fun (raw, seed, lossy) ->
+      let params =
+        if lossy then { Channel.capture_ratio = 3.0; loss_prob = 0.25 } else Channel.ideal
+      in
+      let sense_threshold = 0.3 in
+      let txs = List.map (fun (power, payload) -> { Channel.power; payload }) raw in
+      let expected = Channel.resolve ~rng:(Rng.create seed) params ~sense_threshold txs in
+      let rng = Rng.create seed in
+      let sum = ref 0.0 and n_dec = ref 0 and best_pow = ref 0.0 and best = ref 0 in
+      let sensed = ref 0 in
+      List.iteri
+        (fun slot tx ->
+          if tx.Channel.power >= sense_threshold then begin
+            incr sensed;
+            sum := !sum +. tx.Channel.power;
+            if
+              tx.Channel.power >= 1.0
+              && not
+                   (params.Channel.loss_prob > 0.0
+                   && Rng.bernoulli rng params.Channel.loss_prob)
+            then begin
+              incr n_dec;
+              if tx.Channel.power > !best_pow then begin
+                best_pow := tx.Channel.power;
+                best := slot
+              end
+            end
+          end)
+        txs;
+      let out = [| Channel.Packed.silence |] in
+      if !sensed > 0 then
+        Channel.resolve_packed params ~touched:[| 0 |] ~n_touched:1 ~sum_power:[| !sum |]
+          ~n_decodable:[| !n_dec |] ~best_power:[| !best_pow |] ~best_slot:[| !best |] ~out;
+      let got =
+        let p = out.(0) in
+        if p = Channel.Packed.silence then Channel.Silence
+        else if Channel.Packed.is_clear p then
+          Channel.Clear (List.nth txs (Channel.Packed.slot p)).Channel.payload
+        else Channel.Busy
+      in
+      Channel.equal Int.equal expected got)
+
 let qtests =
-  [ prop_friis_monotonic; prop_resolve_never_invents_payload; prop_resolve_single_strong_is_clear ]
+  [
+    prop_friis_monotonic;
+    prop_resolve_never_invents_payload;
+    prop_resolve_single_strong_is_clear;
+    prop_resolve_packed_agrees;
+  ]
 
 let () =
   Alcotest.run "radio"

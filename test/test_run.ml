@@ -288,14 +288,21 @@ let test_compare_alloc_gate () =
 let test_alloc_checks_semantics () =
   let checks =
     Bench.alloc_checks
+      ~base_rates:[ ("e1", 2000.0) ]
       ~ceilings:[ ("e1", 1000.0); ("e2", 500.0) ]
       ~rates:[ ("e1", 1200.0) ]
+      ()
   in
   Alcotest.(check int) "one check per committed ceiling" 2 (List.length checks);
   Alcotest.(check bool) "measured rate over its ceiling" true
     (Bench.alloc_exceeded (List.nth checks 0));
   Alcotest.(check bool) "unmeasured ceiling not exceeded" false
-    (Bench.alloc_exceeded (List.nth checks 1))
+    (Bench.alloc_exceeded (List.nth checks 1));
+  (match Bench.alloc_delta (List.nth checks 0) with
+  | Some d -> Alcotest.(check (float 1e-9)) "delta vs the baseline's measured rate" (-0.4) d
+  | None -> Alcotest.fail "expected a delta for the profiled pair");
+  Alcotest.(check bool) "no delta without a baseline rate" true
+    (Bench.alloc_delta (List.nth checks 1) = None)
 
 (* --- Runner byte-identity ------------------------------------------------- *)
 

@@ -346,6 +346,7 @@ let tx_once_machine payload =
   {
     Engine.act = (fun round -> if round = 0 then Engine.Transmit payload else Engine.Silent);
     observe = (fun _ _ -> ());
+    observe_packed = None;
     delivered = (fun () -> None);
     next_active = Engine.always_active;
   }
@@ -356,6 +357,7 @@ let recorder () =
     {
       Engine.act = (fun _ -> Engine.Silent);
       observe = (fun round obs -> log := (round, obs) :: !log);
+      observe_packed = None;
       delivered = (fun () -> None);
       (* The log expects an observation every round, so opt out of the
          sparse engine's skipping. *)
@@ -407,6 +409,7 @@ let test_engine_waiters_stop () =
           match obs with
           | Channel.Clear _ -> delivered := Some (Bitvec.of_string "1")
           | Channel.Silence | Channel.Busy -> ());
+      observe_packed = None;
       delivered = (fun () -> !delivered);
       next_active = Engine.always_active;
     }
@@ -415,6 +418,7 @@ let test_engine_waiters_stop () =
     {
       Engine.act = (fun _ -> Engine.Transmit 0);
       observe = (fun _ _ -> ());
+      observe_packed = None;
       delivered = (fun () -> Some (Bitvec.of_string "1"));
       next_active = Engine.always_active;
     }
@@ -440,6 +444,7 @@ let test_engine_cap () =
     {
       Engine.act = (fun _ -> Engine.Transmit 0);
       observe = (fun _ _ -> ());
+      observe_packed = None;
       delivered = (fun () -> None);
       next_active = Engine.always_active;
     }
@@ -494,6 +499,7 @@ let test_engine_sparse_skips_idle_rounds () =
             incr acts;
             if r mod 10 = 0 then Engine.Transmit r else Engine.Silent);
         observe = (fun _ _ -> ());
+        observe_packed = None;
         delivered = (fun () -> None);
         next_active = (fun r -> (r + 9) / 10 * 10);
       }
@@ -503,6 +509,7 @@ let test_engine_sparse_skips_idle_rounds () =
       {
         Engine.act = (fun _ -> Engine.Silent);
         observe = (fun r obs -> observations := (r, obs) :: !observations);
+        observe_packed = None;
         delivered = (fun () -> None);
         next_active = Engine.never_active;
       }
@@ -573,6 +580,7 @@ let prop_engine_matches_reference =
         {
           Engine.act = (fun _ -> Engine.Silent);
           observe = (fun _ obs -> observed := Some obs);
+          observe_packed = None;
           delivered = (fun () -> None);
           next_active = Engine.always_active;
         }
